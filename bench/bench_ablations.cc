@@ -1,0 +1,111 @@
+// Ablation benches beyond the paper's tables: probes of the design
+// choices DESIGN.md calls out.
+//   1. Spatial weights in Eq. 1 city attention: on vs off.
+//   2. Loss weight theta: learnable (Eq. 8) vs frozen at 0.5.
+//   3. MMoE expert count: 1 / 2 / 3 / 5 (paper uses 3).
+//   4. HSG neighbor cap: 2 / 5 / 10 (paper uses 5 following [37]).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/serving/evaluator.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace odnet;
+
+struct AblationRow {
+  std::string label;
+  metrics::OdMetrics m;
+  double train_seconds = 0.0;
+};
+
+AblationRow Run(const std::string& label,
+                const data::FliggySimulator& simulator,
+                const data::OdDataset& dataset,
+                const core::OdnetConfig& config) {
+  baselines::OdnetRecommender method("ODNET", &simulator.atlas(), config);
+  util::Stopwatch watch;
+  ODNET_CHECK(method.Fit(dataset).ok());
+  AblationRow row;
+  row.label = label;
+  row.train_seconds = watch.ElapsedSeconds();
+  serving::EvalOptions eval_options;
+  eval_options.num_candidates = 30;
+  row.m = serving::EvaluateOdRecommender(&method, dataset, eval_options);
+  std::printf("finished %s\n", label.c_str());
+  std::fflush(stdout);
+  return row;
+}
+
+void PrintRows(const std::string& title,
+               const std::vector<AblationRow>& rows) {
+  std::printf("--- %s ---\n", title.c_str());
+  util::AsciiTable table(
+      {"Config", "AUC-O", "AUC-D", "HR@5", "MRR@5", "train (s)"});
+  for (const AblationRow& row : rows) {
+    table.AddRow({row.label, bench::M4(row.m.auc_o), bench::M4(row.m.auc_d),
+                  bench::M4(row.m.hr5), bench::M4(row.m.mrr5),
+                  util::FormatFixed(row.train_seconds, 1)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace odnet;
+  bench::BenchScale scale = bench::BenchScale::FromEnv();
+  data::FliggyConfig dconfig;
+  dconfig.num_users = scale.num_users / 2;  // many training runs here
+  dconfig.num_cities = scale.num_cities;
+  dconfig.seed = scale.seed;
+  data::FliggySimulator simulator(dconfig);
+  data::OdDataset dataset = simulator.Generate();
+  std::printf("=== ODNET design-choice ablations (%zu train samples) ===\n\n",
+              dataset.train_samples.size());
+
+  core::OdnetConfig base;
+  base.epochs = scale.epochs;
+
+  {
+    std::vector<AblationRow> rows;
+    rows.push_back(Run("spatial weights ON (Eq. 2)", simulator, dataset, base));
+    core::OdnetConfig off = base;
+    off.use_spatial_weights = false;
+    rows.push_back(Run("spatial weights OFF", simulator, dataset, off));
+    PrintRows("Ablation 1: Eq. 1 spatial weighting of city attention", rows);
+  }
+  {
+    std::vector<AblationRow> rows;
+    rows.push_back(Run("theta learnable (Eq. 8)", simulator, dataset, base));
+    core::OdnetConfig frozen = base;
+    frozen.learnable_theta = false;
+    rows.push_back(Run("theta frozen at 0.5", simulator, dataset, frozen));
+    PrintRows("Ablation 2: learnable loss weight theta", rows);
+  }
+  {
+    std::vector<AblationRow> rows;
+    for (int64_t experts : {1, 2, 3, 5}) {
+      core::OdnetConfig config = base;
+      config.num_experts = experts;
+      rows.push_back(Run("experts = " + std::to_string(experts), simulator,
+                         dataset, config));
+    }
+    PrintRows("Ablation 3: MMoE expert count (paper: 3)", rows);
+  }
+  {
+    std::vector<AblationRow> rows;
+    for (int64_t cap : {2, 5, 10}) {
+      core::OdnetConfig config = base;
+      config.neighbor_cap = cap;
+      rows.push_back(Run("neighbor cap = " + std::to_string(cap), simulator,
+                         dataset, config));
+    }
+    PrintRows("Ablation 4: HSG neighbor cardinality cap (paper: 5)", rows);
+  }
+  return 0;
+}

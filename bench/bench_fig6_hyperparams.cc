@@ -1,0 +1,95 @@
+// Regenerates Figure 6: hyper-parameter analysis of ODNET.
+//   (a) HR@5 / MRR@5 vs the number of attention heads {1, 2, 4, 8}.
+//   (b) HR@5 / MRR@5 and training time vs exploration depth K {1, 2, 3, 4}.
+//
+// Paper shape: heads peak at 4; K improves accuracy with strongly
+// diminishing returns past 2 while training time keeps rising (55 -> 135
+// minutes from K=1 to K=4 at production scale).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/serving/evaluator.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace odnet;
+
+struct SweepPoint {
+  double hr5 = 0.0;
+  double mrr5 = 0.0;
+  double train_seconds = 0.0;
+};
+
+SweepPoint RunOnce(const data::FliggySimulator& simulator,
+                   const data::OdDataset& dataset,
+                   const core::OdnetConfig& config) {
+  baselines::OdnetRecommender method("ODNET", &simulator.atlas(), config);
+  util::Stopwatch watch;
+  ODNET_CHECK(method.Fit(dataset).ok());
+  SweepPoint point;
+  point.train_seconds = watch.ElapsedSeconds();
+  serving::EvalOptions eval_options;
+  eval_options.num_candidates = 30;
+  metrics::OdMetrics m =
+      serving::EvaluateOdRecommender(&method, dataset, eval_options);
+  point.hr5 = m.hr5;
+  point.mrr5 = m.mrr5;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  using namespace odnet;
+  bench::BenchScale scale = bench::BenchScale::FromEnv();
+  data::FliggyConfig dconfig;
+  dconfig.num_users = scale.num_users / 2;  // 8 training runs in this bench
+  dconfig.num_cities = scale.num_cities;
+  dconfig.seed = scale.seed;
+  data::FliggySimulator simulator(dconfig);
+  data::OdDataset dataset = simulator.Generate();
+
+  std::printf(
+      "=== Figure 6 analogue: ODNET hyper-parameter analysis ===\n"
+      "(%zu train samples, %lld epochs per point)\n\n",
+      dataset.train_samples.size(), static_cast<long long>(scale.epochs));
+
+  // --- (a) number of attention heads -----------------------------------
+  std::printf("--- Fig. 6(a): varying the number of attention heads ---\n");
+  util::AsciiTable heads_table({"heads", "HR@5", "MRR@5"});
+  for (int64_t heads : {1, 2, 4, 8}) {
+    core::OdnetConfig config;
+    config.epochs = scale.epochs;
+    config.num_heads = heads;
+    SweepPoint p = RunOnce(simulator, dataset, config);
+    heads_table.AddRow(
+        {std::to_string(heads), bench::M4(p.hr5), bench::M4(p.mrr5)});
+    std::printf("finished heads=%lld\n", static_cast<long long>(heads));
+    std::fflush(stdout);
+  }
+  heads_table.Print();
+  std::printf("(paper: both metrics peak at 4 heads)\n\n");
+
+  // --- (b) exploration depth K ------------------------------------------
+  std::printf("--- Fig. 6(b): varying exploration depth K ---\n");
+  util::AsciiTable k_table({"K", "HR@5", "MRR@5", "training time (s)"});
+  for (int64_t k : {1, 2, 3, 4}) {
+    core::OdnetConfig config;
+    config.epochs = scale.epochs;
+    config.exploration_depth = k;
+    SweepPoint p = RunOnce(simulator, dataset, config);
+    k_table.AddRow({std::to_string(k), bench::M4(p.hr5), bench::M4(p.mrr5),
+                    util::FormatFixed(p.train_seconds, 1)});
+    std::printf("finished K=%lld\n", static_cast<long long>(k));
+    std::fflush(stdout);
+  }
+  k_table.Print();
+  std::printf(
+      "(paper: K=2 gives the significant accuracy boost; deeper K adds "
+      "training time with no marked return — 55/73/94/135 minutes for "
+      "K=1..4 at production scale)\n");
+  return 0;
+}

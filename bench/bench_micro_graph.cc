@@ -1,0 +1,97 @@
+// Micro-benchmarks of the HSG substrate and ODNET serving path.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/odnet_recommender.h"
+#include "src/core/hsg_builder.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/serving/evaluator.h"
+
+namespace {
+
+using namespace odnet;
+
+const data::FliggySimulator& Simulator() {
+  static data::FliggySimulator* simulator = [] {
+    data::FliggyConfig config;
+    config.num_users = 500;
+    config.num_cities = 50;
+    return new data::FliggySimulator(config);
+  }();
+  return *simulator;
+}
+
+const data::OdDataset& Dataset() {
+  static data::OdDataset* dataset = [] {
+    return new data::OdDataset(
+        const_cast<data::FliggySimulator&>(Simulator()).Generate());
+  }();
+  return *dataset;
+}
+
+void BM_HsgBuild(benchmark::State& state) {
+  const data::OdDataset& dataset = Dataset();
+  for (auto _ : state) {
+    auto hsg = core::BuildHsgFromDataset(dataset, Simulator().atlas());
+    benchmark::DoNotOptimize(hsg->num_edges(graph::EdgeType::kDeparture));
+  }
+}
+BENCHMARK(BM_HsgBuild);
+
+void BM_HsgNeighborQuery(benchmark::State& state) {
+  auto hsg = core::BuildHsgFromDataset(Dataset(), Simulator().atlas());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    int64_t user = static_cast<int64_t>(rng.NextUint64(
+        static_cast<uint64_t>(hsg->num_users())));
+    benchmark::DoNotOptimize(hsg->SampleUserNeighborCities(
+        user, graph::Metapath::kDeparture, 5, &rng));
+  }
+}
+BENCHMARK(BM_HsgNeighborQuery);
+
+void BM_HsgcForward(benchmark::State& state) {
+  auto hsg = core::BuildHsgFromDataset(Dataset(), Simulator().atlas());
+  core::OdnetConfig config;
+  config.exploration_depth = state.range(0);
+  util::Rng rng(7);
+  core::Hsgc hsgc(hsg.get(), graph::Metapath::kDeparture, config, &rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsgc.Forward().city_levels.back().data());
+  }
+}
+BENCHMARK(BM_HsgcForward)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_OdnetInference(benchmark::State& state) {
+  static baselines::OdnetRecommender* method = [] {
+    core::OdnetConfig config;
+    config.epochs = 1;
+    auto* m = new baselines::OdnetRecommender(
+        "ODNET", &Simulator().atlas(), config);
+    ODNET_CHECK(m->Fit(Dataset()).ok());
+    return m;
+  }();
+  const data::OdDataset& dataset = Dataset();
+  const int64_t user = dataset.test_users.front();
+  const data::UserHistory& history =
+      dataset.histories[static_cast<size_t>(user)];
+  std::vector<data::Sample> rows;
+  for (const data::OdPair& od : serving::BuildCandidates(
+           history, dataset.num_cities, state.range(0), 1)) {
+    data::Sample s;
+    s.user = user;
+    s.candidate = od;
+    rows.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method->Score(dataset, rows));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_OdnetInference)->Arg(10)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

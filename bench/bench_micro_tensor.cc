@@ -1,0 +1,95 @@
+// Micro-benchmarks of the tensor/autograd substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace odnet;
+using tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  util::Rng rng(1);
+  Tensor a = Tensor::Randn({batch, 10, 16}, &rng);
+  Tensor b = Tensor::Randn({batch, 16, 16}, &rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul)->Arg(32)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  util::Rng rng(1);
+  Tensor a = Tensor::Randn({state.range(0), 64}, &rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Softmax(a));
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  util::Rng rng(1);
+  Tensor table = Tensor::Randn({1000, 16}, &rng);
+  std::vector<int64_t> indices(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(rng.NextUint64(1000));
+  }
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::EmbeddingLookup(
+        table, indices, {static_cast<int64_t>(indices.size())}));
+  }
+}
+BENCHMARK(BM_EmbeddingLookup)->Arg(128)->Arg(1024);
+
+void BM_BroadcastMul(benchmark::State& state) {
+  util::Rng rng(1);
+  Tensor a = Tensor::Randn({state.range(0), 8, 16}, &rng);
+  Tensor b = Tensor::Randn({state.range(0), 1, 16}, &rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Mul(a, b));
+  }
+}
+BENCHMARK(BM_BroadcastMul)->Arg(64)->Arg(512);
+
+void BM_ForwardBackwardMlp(benchmark::State& state) {
+  util::Rng rng(1);
+  const int64_t batch = state.range(0);
+  Tensor x = Tensor::Randn({batch, 64}, &rng);
+  Tensor w1 = Tensor::Randn({64, 64}, &rng, 0.05f, /*requires_grad=*/true);
+  Tensor w2 = Tensor::Randn({64, 1}, &rng, 0.05f, /*requires_grad=*/true);
+  Tensor y = Tensor::Zeros({batch, 1});
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    Tensor out = tensor::MatMul(tensor::Relu(tensor::MatMul(x, w1)), w2);
+    Tensor loss = tensor::BceWithLogits(out, y);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_ForwardBackwardMlp)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

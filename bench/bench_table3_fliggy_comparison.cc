@@ -1,0 +1,99 @@
+// Regenerates Table III: comparison of all methods on the (synthetic)
+// Fliggy dataset — AUC-O, AUC-D, HR@{1,5,10}, MRR@{5,10}.
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// workload, not Fliggy production logs); the reproduction target is the
+// ordering: ODNET best overall, the HSGC-equipped variants above the
+// HSGC-free ones, STP-UDGAT/STOD-PPA the strongest baselines, MostPop
+// worst. Per-method results are also written to table3_results.csv.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/serving/evaluator.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace odnet;
+  bench::BenchScale scale = bench::BenchScale::FromEnv();
+  std::printf(
+      "=== Table III analogue: method comparison on the synthetic Fliggy "
+      "dataset ===\n(seed %llu, %lld users, %lld cities, %lld epochs)\n\n",
+      static_cast<unsigned long long>(scale.seed),
+      static_cast<long long>(scale.num_users),
+      static_cast<long long>(scale.num_cities),
+      static_cast<long long>(scale.epochs));
+
+  data::FliggyConfig config;
+  config.num_users = scale.num_users;
+  config.num_cities = scale.num_cities;
+  config.seed = scale.seed;
+  data::FliggySimulator simulator(config);
+  data::OdDataset dataset = simulator.Generate();
+  std::printf("dataset: %zu train samples, %zu test samples, %zu test users\n\n",
+              dataset.train_samples.size(), dataset.test_samples.size(),
+              dataset.test_users.size());
+
+  std::vector<graph::CityLocation> locations =
+      core::AtlasLocations(simulator.atlas());
+  auto methods =
+      bench::MakeAllMethods(simulator.atlas(), locations, scale.epochs);
+
+  serving::EvalOptions eval_options;
+  eval_options.num_candidates = 30;
+
+  util::AsciiTable table({"Methods", "AUC-O", "AUC-D", "HR@1", "HR@5",
+                          "HR@10", "MRR@5", "MRR@10"});
+  auto csv = util::CsvWriter::Open("table3_results.csv");
+  if (csv.ok()) {
+    (void)csv.value().WriteRow({"method", "auc_o", "auc_d", "hr1", "hr5",
+                                "hr10", "mrr5", "mrr10", "fit_seconds"});
+  }
+
+  for (auto& method : methods) {
+    util::Stopwatch watch;
+    util::Status status = method->Fit(dataset);
+    double fit_seconds = watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: Fit failed: %s\n", method->name().c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    metrics::OdMetrics m =
+        serving::EvaluateOdRecommender(method.get(), dataset, eval_options);
+    // MostPop has no per-task probability model; the paper leaves its AUC
+    // blank.
+    bool rule_based = method->name() == "MostPop";
+    table.AddRow({method->name(), rule_based ? "-" : bench::M4(m.auc_o),
+                  rule_based ? "-" : bench::M4(m.auc_d), bench::M4(m.hr1),
+                  bench::M4(m.hr5), bench::M4(m.hr10), bench::M4(m.mrr5),
+                  bench::M4(m.mrr10)});
+    if (method->name() == "MostPop" || method->name() == "STP-UDGAT") {
+      table.AddSeparator();  // paper's rule-based / STL / MTL grouping
+    }
+    if (csv.ok()) {
+      (void)csv.value().WriteRow(
+          {method->name(), bench::M4(m.auc_o), bench::M4(m.auc_d),
+           bench::M4(m.hr1), bench::M4(m.hr5), bench::M4(m.hr10),
+           bench::M4(m.mrr5), bench::M4(m.mrr10),
+           util::FormatFixed(fit_seconds, 1)});
+    }
+    std::printf("finished %-10s (fit %.1fs)\n", method->name().c_str(),
+                fit_seconds);
+    std::fflush(stdout);
+  }
+  if (csv.ok()) (void)csv.value().Close();
+
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nShape checks vs paper Table III:\n"
+      "  - ODNET should top AUC-O/AUC-D (paper: 0.9432 / 0.9310).\n"
+      "  - HSGC variants (STL+G, ODNET) above their -G counterparts.\n"
+      "  - STP-UDGAT / STOD-PPA the strongest next-POI baselines.\n"
+      "  - MostPop worst across the board.\n"
+      "Results CSV: table3_results.csv\n");
+  return 0;
+}

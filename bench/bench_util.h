@@ -1,0 +1,93 @@
+#ifndef ODNET_BENCH_BENCH_UTIL_H_
+#define ODNET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/gbdt.h"
+#include "src/baselines/most_pop.h"
+#include "src/baselines/odnet_recommender.h"
+#include "src/baselines/recommender.h"
+#include "src/baselines/sequential_nets.h"
+#include "src/baselines/stl_variants.h"
+#include "src/baselines/stp_udgat.h"
+#include "src/core/hsg_builder.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/util/string_util.h"
+
+namespace odnet {
+namespace bench {
+
+/// Workload scale shared by the table benches. The default is sized for a
+/// single core; ODNET_SCALE=large doubles it (and paper-scale runs are a
+/// matter of raising these numbers).
+struct BenchScale {
+  int64_t num_users = 1200;
+  int64_t num_cities = 50;
+  int64_t epochs = 5;
+  uint64_t seed = 42;
+
+  static BenchScale FromEnv() {
+    BenchScale s;
+    const char* scale = std::getenv("ODNET_SCALE");
+    if (scale != nullptr && std::string(scale) == "large") {
+      s.num_users = 4000;
+      s.num_cities = 100;
+    } else if (scale != nullptr && std::string(scale) == "small") {
+      s.num_users = 400;
+      s.num_cities = 40;
+      s.epochs = 2;
+    }
+    return s;
+  }
+};
+
+/// The full Table III method roster, constructed fitted-config-consistent.
+/// `atlas` and `locations` must outlive the returned recommenders.
+inline std::vector<std::unique_ptr<baselines::OdRecommender>>
+MakeAllMethods(const data::CityAtlas& atlas,
+               const std::vector<graph::CityLocation>& locations,
+               int64_t epochs) {
+  baselines::SingleTaskConfig stc;
+  stc.epochs = epochs;
+  core::OdnetConfig oc;
+  oc.epochs = epochs;
+  core::OdnetConfig oc_ng = oc;
+  oc_ng.use_hsgc = false;
+  // Without the HSGC's smoothing the MMoE head is unstable at lr 0.01 on
+  // this substrate (winner-take-all gate collapse across seeds); 3e-3
+  // keeps ODNET-G trainable. See EXPERIMENTS.md.
+  oc_ng.learning_rate = 0.003;
+
+  std::vector<std::unique_ptr<baselines::OdRecommender>> methods;
+  methods.push_back(std::make_unique<baselines::MostPop>());
+  methods.push_back(
+      std::make_unique<baselines::GbdtRecommender>(baselines::GbdtConfig{}));
+  methods.push_back(std::make_unique<baselines::LstmRecommender>(stc));
+  methods.push_back(std::make_unique<baselines::StgnRecommender>(stc));
+  methods.push_back(std::make_unique<baselines::LstpmRecommender>(stc));
+  methods.push_back(std::make_unique<baselines::StodPpaRecommender>(stc));
+  methods.push_back(
+      std::make_unique<baselines::StpUdgatRecommender>(stc, locations));
+  methods.push_back(
+      std::make_unique<baselines::StlRecommender>(stc, false, locations));
+  methods.push_back(
+      std::make_unique<baselines::StlRecommender>(stc, true, locations));
+  methods.push_back(std::make_unique<baselines::OdnetRecommender>(
+      "ODNET-G", &atlas, oc_ng));
+  methods.push_back(
+      std::make_unique<baselines::OdnetRecommender>("ODNET", &atlas, oc));
+  return methods;
+}
+
+/// Formats a metric to the paper's 4-decimal style.
+inline std::string M4(double v) { return util::FormatFixed(v, 4); }
+inline std::string M3(double v) { return util::FormatFixed(v, 3); }
+
+}  // namespace bench
+}  // namespace odnet
+
+#endif  // ODNET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Case study (paper Fig. 8 analogue): two scripted users whose
+// recommendations should exhibit the two challenge behaviours —
+// exploration of O&D and the unity of O&D (return tickets).
+//
+// User A lives in Hangzhou, recently searched flights to Xi'an and
+// Chengdu, and vacations in seaside cities. User B lives in Beijing and
+// has just booked an outbound Beijing -> Chengdu flight.
+
+#include <cstdio>
+
+#include "src/baselines/odnet_recommender.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/serving/ranking_service.h"
+#include "src/serving/recall.h"
+
+namespace {
+
+using namespace odnet;
+
+int64_t CityId(const data::CityAtlas& atlas, const char* name) {
+  int64_t id = atlas.FindByName(name);
+  ODNET_CHECK_GE(id, 0) << "city not in atlas: " << name;
+  return id;
+}
+
+void PrintRecommendations(const data::FliggySimulator& simulator,
+                          const serving::RankingService& service,
+                          int64_t user, const data::UserHistory& history,
+                          const char* title) {
+  const data::CityAtlas& atlas = simulator.atlas();
+  std::printf("%s\n", title);
+  std::printf("  current city: %s\n",
+              atlas.city(history.current_city).name.c_str());
+  std::printf("  recent clicks:");
+  for (const data::Click& c : history.short_term) {
+    std::printf(" %s->%s", atlas.city(c.od.origin).name.c_str(),
+                atlas.city(c.od.destination).name.c_str());
+  }
+  std::printf("\n  recommended flights:\n");
+  for (const serving::RankedFlight& flight : service.RecommendTopK(user, 8)) {
+    double price = simulator.Price(flight.od.origin, flight.od.destination);
+    std::printf("    %-14s -> %-14s  score %.3f  price %.0f CNY\n",
+                atlas.city(flight.od.origin).name.c_str(),
+                atlas.city(flight.od.destination).name.c_str(), flight.score,
+                price);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  data::FliggyConfig config;
+  config.num_users = 800;
+  config.num_cities = 50;
+  data::FliggySimulator simulator(config);
+  data::OdDataset dataset = simulator.Generate();
+  const data::CityAtlas& atlas = simulator.atlas();
+
+  core::OdnetConfig model_config;
+  model_config.epochs = 4;
+  baselines::OdnetRecommender odnet("ODNET", &atlas, model_config);
+  ODNET_CHECK(odnet.Fit(dataset).ok());
+  std::printf("trained ODNET (%zu train samples)\n\n",
+              dataset.train_samples.size());
+
+  const int64_t hangzhou = CityId(atlas, "Hangzhou");
+  const int64_t xian = CityId(atlas, "Xi'an");
+  const int64_t chengdu = CityId(atlas, "Chengdu");
+  const int64_t sanya = CityId(atlas, "Sanya");
+  const int64_t beijing = CityId(atlas, "Beijing");
+  const int64_t qingdao = CityId(atlas, "Qingdao");
+
+  // Script the two users over real test identities: scoring reads the
+  // history we install here (the HSG keeps its global structure).
+  ODNET_CHECK_GE(dataset.test_users.size(), 2u);
+  int64_t user_a = dataset.test_users[0];
+  int64_t user_b = dataset.test_users[1];
+
+  data::UserHistory& a = dataset.histories[static_cast<size_t>(user_a)];
+  a.current_city = hangzhou;
+  a.long_term = {
+      {{hangzhou, sanya}, 300},   // flies to seaside cities for vacation
+      {{sanya, hangzhou}, 310},
+      {{hangzhou, sanya}, 640},
+      {{sanya, hangzhou}, 652},
+  };
+  a.short_term = {
+      {{hangzhou, xian}, a.decision_day - 3},  // searched Xi'an flights
+      {{hangzhou, chengdu}, a.decision_day - 2},
+      {{hangzhou, xian}, a.decision_day - 1},
+  };
+
+  data::UserHistory& b = dataset.histories[static_cast<size_t>(user_b)];
+  b.current_city = beijing;
+  b.long_term = {
+      {{beijing, chengdu}, 400},
+      {{chengdu, beijing}, 408},
+      {{beijing, chengdu}, b.decision_day - 4},  // outbound leg just booked
+  };
+  b.short_term = {
+      {{beijing, qingdao}, b.decision_day - 2},  // browsing seaside trips
+  };
+
+  serving::RecallOptions recall_options;
+  recall_options.route_exists = [&simulator](int64_t o, int64_t d) {
+    return simulator.RouteExists(o, d);
+  };
+  serving::CandidateRecall recall(&dataset, &atlas, recall_options);
+  serving::RankingService service(&odnet, &dataset, &recall);
+
+  PrintRecommendations(
+      simulator, service, user_a, a,
+      "=== Case 1 (paper Fig. 8a): Hangzhou user who searched Xi'an & "
+      "Chengdu ===\nExpected behaviours: clicked routes ranked first; "
+      "nearby origins (e.g. Ningbo/Shanghai)\nexplored when cheaper; "
+      "same-pattern seaside destinations explored.");
+  PrintRecommendations(
+      simulator, service, user_b, b,
+      "=== Case 2 (paper Fig. 8b): Beijing user holding an outbound "
+      "Beijing->Chengdu ticket ===\nExpected behaviour: the return flight "
+      "Chengdu->Beijing recommended near the top\n(unity of O&D).");
+
+  std::printf(
+      "Note: exact lists depend on the learned model and the synthetic\n"
+      "airline network; the behaviours above are the reproduction target "
+      "of the paper's case study.\n");
+  return 0;
+}

@@ -1,0 +1,312 @@
+#include "src/baselines/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/math_util.h"
+
+namespace odnet {
+namespace baselines {
+
+namespace {
+
+double LeafValue(double grad_sum, double hess_sum, double l2) {
+  return -grad_sum / (hess_sum + l2);
+}
+
+double Gain(double g, double h, double l2) { return g * g / (h + l2); }
+
+}  // namespace
+
+void RegressionTree::Fit(const std::vector<float>& features,
+                         int64_t num_features, const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         const std::vector<int64_t>& rows,
+                         const GbdtConfig& config) {
+  nodes_.clear();
+  std::vector<int64_t> working = rows;
+  BuildNode(features, num_features, grad, hess, &working, 0, config);
+}
+
+int32_t RegressionTree::BuildNode(const std::vector<float>& features,
+                                  int64_t num_features,
+                                  const std::vector<double>& grad,
+                                  const std::vector<double>& hess,
+                                  std::vector<int64_t>* rows, int64_t depth,
+                                  const GbdtConfig& config) {
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (int64_t r : *rows) {
+    g_total += grad[static_cast<size_t>(r)];
+    h_total += hess[static_cast<size_t>(r)];
+  }
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].value =
+      static_cast<float>(LeafValue(g_total, h_total, config.l2_reg));
+
+  if (depth >= config.max_depth ||
+      static_cast<int64_t>(rows->size()) < 2 * config.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Exact greedy split search: per feature, sort rows and scan prefixes.
+  double best_gain = 1e-9;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+  const double parent_gain = Gain(g_total, h_total, config.l2_reg);
+
+  std::vector<int64_t> sorted = *rows;
+  for (int64_t f = 0; f < num_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&features, num_features, f](int64_t a, int64_t b) {
+                return features[static_cast<size_t>(a * num_features + f)] <
+                       features[static_cast<size_t>(b * num_features + f)];
+              });
+    double g_left = 0.0;
+    double h_left = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      int64_t r = sorted[i];
+      g_left += grad[static_cast<size_t>(r)];
+      h_left += hess[static_cast<size_t>(r)];
+      float v = features[static_cast<size_t>(r * num_features + f)];
+      float v_next =
+          features[static_cast<size_t>(sorted[i + 1] * num_features + f)];
+      if (v == v_next) continue;  // cannot split between equal values
+      const int64_t left_count = static_cast<int64_t>(i) + 1;
+      const int64_t right_count =
+          static_cast<int64_t>(sorted.size()) - left_count;
+      if (left_count < config.min_samples_leaf ||
+          right_count < config.min_samples_leaf) {
+        continue;
+      }
+      double gain = Gain(g_left, h_left, config.l2_reg) +
+                    Gain(g_total - g_left, h_total - h_left, config.l2_reg) -
+                    parent_gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        best_threshold = (v + v_next) / 2.0f;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  for (int64_t r : *rows) {
+    if (features[static_cast<size_t>(r * num_features + best_feature)] <=
+        best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows->clear();
+  rows->shrink_to_fit();
+
+  int32_t left = BuildNode(features, num_features, grad, hess, &left_rows,
+                           depth + 1, config);
+  int32_t right = BuildNode(features, num_features, grad, hess, &right_rows,
+                            depth + 1, config);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const float* row) const {
+  ODNET_CHECK(!nodes_.empty());
+  int32_t cursor = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(cursor)];
+    if (node.feature < 0) return node.value;
+    cursor = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+GbdtClassifier::GbdtClassifier(const GbdtConfig& config) : config_(config) {}
+
+void GbdtClassifier::Fit(const std::vector<float>& features,
+                         int64_t num_features,
+                         const std::vector<float>& labels) {
+  ODNET_CHECK_GT(num_features, 0);
+  const int64_t n = static_cast<int64_t>(labels.size());
+  ODNET_CHECK_EQ(static_cast<int64_t>(features.size()), n * num_features);
+  ODNET_CHECK_GT(n, 0);
+  num_features_ = num_features;
+  trees_.clear();
+
+  // Log-odds prior.
+  double pos = 0.0;
+  for (float l : labels) pos += l;
+  double p = util::Clamp(pos / static_cast<double>(n), 1e-4, 1.0 - 1e-4);
+  base_score_ = std::log(p / (1.0 - p));
+
+  std::vector<double> margin(static_cast<size_t>(n), base_score_);
+  std::vector<double> grad(static_cast<size_t>(n));
+  std::vector<double> hess(static_cast<size_t>(n));
+  util::Rng rng(config_.seed);
+
+  for (int64_t t = 0; t < config_.num_trees; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      double prob = util::Sigmoid(margin[static_cast<size_t>(i)]);
+      grad[static_cast<size_t>(i)] =
+          prob - static_cast<double>(labels[static_cast<size_t>(i)]);
+      hess[static_cast<size_t>(i)] = std::max(prob * (1.0 - prob), 1e-6);
+    }
+    std::vector<int64_t> rows;
+    rows.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      if (config_.subsample >= 1.0 || rng.Bernoulli(config_.subsample)) {
+        rows.push_back(i);
+      }
+    }
+    if (rows.size() < 2 * static_cast<size_t>(config_.min_samples_leaf)) {
+      continue;
+    }
+    RegressionTree tree;
+    tree.Fit(features, num_features, grad, hess, rows, config_);
+    for (int64_t i = 0; i < n; ++i) {
+      margin[static_cast<size_t>(i)] +=
+          config_.learning_rate *
+          tree.Predict(features.data() + i * num_features);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtClassifier::PredictProba(const float* row) const {
+  double margin = base_score_;
+  for (const RegressionTree& tree : trees_) {
+    margin += config_.learning_rate * tree.Predict(row);
+  }
+  return util::Sigmoid(margin);
+}
+
+GbdtRecommender::GbdtRecommender(const GbdtConfig& config) : config_(config) {}
+
+void GbdtRecommender::FillFeatures(const data::UserHistory& history,
+                                   int64_t candidate, bool origin_role,
+                                   float* out) const {
+  // Batch-pipeline features only: the classic GBDT ranking stack predates
+  // the platform's real-time feature service, so per-request click-stream
+  // features (which ODNET's x_st includes) are deliberately absent — the
+  // same asymmetry the paper's production comparison has.
+  auto temporal = origin_role
+                      ? temporal_->OriginFeatures(history, candidate)
+                      : temporal_->DestinationFeatures(history, candidate);
+  out[0] = temporal[0];  // global traffic, trailing month
+  out[1] = temporal[1];  // global traffic, same calendar month of history
+
+  int64_t own_count = 0;
+  int64_t pair_count = 0;
+  int64_t same_month_count = 0;
+  const int64_t month = (history.decision_day / 30) % 12;
+  std::vector<int64_t> distinct;
+  for (const data::Booking& b : history.long_term) {
+    int64_t c = origin_role ? b.od.origin : b.od.destination;
+    if (c == candidate) {
+      ++own_count;
+      if ((b.day / 30) % 12 == month) ++same_month_count;
+    }
+    if (b.od.origin == candidate || b.od.destination == candidate) {
+      ++pair_count;
+    }
+    if (std::find(distinct.begin(), distinct.end(), c) == distinct.end()) {
+      distinct.push_back(c);
+    }
+  }
+  const std::vector<double>& pop = origin_role ? origin_pop_ : dest_pop_;
+
+  out[2] = static_cast<float>(std::log1p(static_cast<double>(own_count)));
+  out[3] =
+      static_cast<float>(std::log1p(static_cast<double>(same_month_count)));
+  out[4] = static_cast<float>(pop[static_cast<size_t>(candidate)]);
+  out[5] = history.current_city == candidate ? 1.0f : 0.0f;
+  out[6] = static_cast<float>(std::log1p(static_cast<double>(pair_count)));
+  out[7] =
+      static_cast<float>(std::log1p(static_cast<double>(history.long_term.size())));
+  out[8] = static_cast<float>(std::log1p(static_cast<double>(distinct.size())));
+  out[9] = own_count > 0 ? static_cast<float>(own_count) /
+                               static_cast<float>(history.long_term.size())
+                         : 0.0f;
+  out[10] = static_cast<float>(candidate);  // raw id (trees can split on it)
+  out[11] = static_cast<float>(month);
+}
+
+util::Status GbdtRecommender::Fit(const data::OdDataset& dataset) {
+  int64_t horizon = 730;
+  for (const data::UserHistory& h : dataset.histories) {
+    horizon = std::max(horizon, h.decision_day + 1);
+  }
+  temporal_ = std::make_unique<data::TemporalFeatureIndex>(
+      dataset, dataset.num_cities, horizon);
+
+  origin_pop_.assign(static_cast<size_t>(dataset.num_cities), 0.0);
+  dest_pop_.assign(static_cast<size_t>(dataset.num_cities), 0.0);
+  double total = 0.0;
+  for (const data::UserHistory& h : dataset.histories) {
+    for (const data::Booking& b : h.long_term) {
+      origin_pop_[static_cast<size_t>(b.od.origin)] += 1.0;
+      dest_pop_[static_cast<size_t>(b.od.destination)] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total > 0) {
+    for (double& p : origin_pop_) p /= total;
+    for (double& p : dest_pop_) p /= total;
+  }
+
+  const int64_t n = static_cast<int64_t>(dataset.train_samples.size());
+  std::vector<float> feat_o(static_cast<size_t>(n * kNumFeatures));
+  std::vector<float> feat_d(static_cast<size_t>(n * kNumFeatures));
+  std::vector<float> label_o(static_cast<size_t>(n));
+  std::vector<float> label_d(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const data::Sample& s = dataset.train_samples[static_cast<size_t>(i)];
+    const data::UserHistory& h =
+        dataset.histories[static_cast<size_t>(s.user)];
+    FillFeatures(h, s.candidate.origin, /*origin_role=*/true,
+                 feat_o.data() + i * kNumFeatures);
+    FillFeatures(h, s.candidate.destination, /*origin_role=*/false,
+                 feat_d.data() + i * kNumFeatures);
+    label_o[static_cast<size_t>(i)] = s.label_o;
+    label_d[static_cast<size_t>(i)] = s.label_d;
+  }
+
+  model_o_ = std::make_unique<GbdtClassifier>(config_);
+  model_o_->Fit(feat_o, kNumFeatures, label_o);
+  GbdtConfig config_d = config_;
+  config_d.seed ^= 0xD;
+  model_d_ = std::make_unique<GbdtClassifier>(config_d);
+  model_d_->Fit(feat_d, kNumFeatures, label_d);
+  return util::Status::OK();
+}
+
+std::vector<OdScore> GbdtRecommender::Score(
+    const data::OdDataset& dataset, const std::vector<data::Sample>& samples) {
+  ODNET_CHECK(model_o_ != nullptr && model_d_ != nullptr) << "Fit() not called";
+  std::vector<OdScore> out;
+  out.reserve(samples.size());
+  float row[kNumFeatures];
+  for (const data::Sample& s : samples) {
+    const data::UserHistory& h =
+        dataset.histories[static_cast<size_t>(s.user)];
+    OdScore score;
+    FillFeatures(h, s.candidate.origin, /*origin_role=*/true, row);
+    score.p_o = model_o_->PredictProba(row);
+    FillFeatures(h, s.candidate.destination, /*origin_role=*/false, row);
+    score.p_d = model_d_->PredictProba(row);
+    out.push_back(score);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace odnet

@@ -1,0 +1,59 @@
+#include "src/baselines/most_pop.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace baselines {
+
+util::Status MostPop::Fit(const data::OdDataset& dataset) {
+  origin_pop_.assign(static_cast<size_t>(dataset.num_cities), 0.0);
+  dest_pop_.assign(static_cast<size_t>(dataset.num_cities), 0.0);
+  user_current_city_.assign(static_cast<size_t>(dataset.num_users), 0);
+  double total = 0.0;
+  for (const data::UserHistory& h : dataset.histories) {
+    user_current_city_[static_cast<size_t>(h.user)] = h.current_city;
+    for (const data::Booking& b : h.long_term) {
+      origin_pop_[static_cast<size_t>(b.od.origin)] += 1.0;
+      dest_pop_[static_cast<size_t>(b.od.destination)] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total > 0) {
+    for (double& p : origin_pop_) p /= total;
+    for (double& p : dest_pop_) p /= total;
+  }
+  return util::Status::OK();
+}
+
+std::vector<OdScore> MostPop::Score(const data::OdDataset& dataset,
+                                    const std::vector<data::Sample>& samples) {
+  (void)dataset;
+  ODNET_CHECK(!origin_pop_.empty()) << "Fit() not called";
+  // Normalize into [0,1] by the max share so scores resemble probabilities.
+  double max_o = 1e-12;
+  double max_d = 1e-12;
+  for (double p : origin_pop_) max_o = std::max(max_o, p);
+  for (double p : dest_pop_) max_d = std::max(max_d, p);
+
+  std::vector<OdScore> out;
+  out.reserve(samples.size());
+  for (const data::Sample& s : samples) {
+    OdScore score;
+    // MostPop pairs the user's current city with popular destinations: the
+    // current city gets full origin score, others their popularity share.
+    int64_t current = user_current_city_[static_cast<size_t>(s.user)];
+    score.p_o = s.candidate.origin == current
+                    ? 1.0
+                    : origin_pop_[static_cast<size_t>(s.candidate.origin)] /
+                          max_o * 0.5;
+    score.p_d =
+        dest_pop_[static_cast<size_t>(s.candidate.destination)] / max_d;
+    out.push_back(score);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace odnet

@@ -1,0 +1,30 @@
+#ifndef ODNET_BASELINES_MOST_POP_H_
+#define ODNET_BASELINES_MOST_POP_H_
+
+#include <vector>
+
+#include "src/baselines/recommender.h"
+
+namespace odnet {
+namespace baselines {
+
+/// \brief The paper's rule-based baseline: cities ranked by visit counts;
+/// a user's current city pairs with the most popular destinations. Scores
+/// are normalized popularity shares (no learning).
+class MostPop : public OdRecommender {
+ public:
+  std::string name() const override { return "MostPop"; }
+  util::Status Fit(const data::OdDataset& dataset) override;
+  std::vector<OdScore> Score(const data::OdDataset& dataset,
+                             const std::vector<data::Sample>& samples) override;
+
+ private:
+  std::vector<double> origin_pop_;  // departure share per city
+  std::vector<double> dest_pop_;    // arrival share per city
+  std::vector<int64_t> user_current_city_;
+};
+
+}  // namespace baselines
+}  // namespace odnet
+
+#endif  // ODNET_BASELINES_MOST_POP_H_

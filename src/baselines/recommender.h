@@ -1,0 +1,54 @@
+#ifndef ODNET_BASELINES_RECOMMENDER_H_
+#define ODNET_BASELINES_RECOMMENDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/data/types.h"
+#include "src/util/status.h"
+
+namespace odnet {
+namespace baselines {
+
+/// Per-sample prediction: probabilities of the candidate origin and the
+/// candidate destination being the user's next O and D.
+struct OdScore {
+  double p_o = 0.5;
+  double p_d = 0.5;
+};
+
+/// \brief Uniform interface every compared method implements (ODNET, its
+/// variants, and all baselines of Table III/IV), so the benchmark harness
+/// and the A/B simulator treat them identically.
+class OdRecommender {
+ public:
+  virtual ~OdRecommender() = default;
+
+  /// Display name used in result tables ("ODNET", "STP-UDGAT", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on dataset.train_samples / histories.
+  virtual util::Status Fit(const data::OdDataset& dataset) = 0;
+
+  /// Batch scoring of (user, candidate OD) rows. `dataset` provides the
+  /// user histories the samples reference.
+  virtual std::vector<OdScore> Score(const data::OdDataset& dataset,
+                                     const std::vector<data::Sample>& samples) = 0;
+
+  /// Blend weight theta for the serving score (Eq. 11):
+  /// score = theta * p_o + (1 - theta) * p_d. Multi-task models may learn
+  /// it; single-task models use 0.5.
+  virtual double theta() const { return 0.5; }
+
+  /// Combined ranking score for one prediction.
+  double CombinedScore(const OdScore& s) const {
+    const double t = theta();
+    return t * s.p_o + (1.0 - t) * s.p_d;
+  }
+};
+
+}  // namespace baselines
+}  // namespace odnet
+
+#endif  // ODNET_BASELINES_RECOMMENDER_H_

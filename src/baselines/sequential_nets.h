@@ -1,0 +1,141 @@
+#ifndef ODNET_BASELINES_SEQUENTIAL_NETS_H_
+#define ODNET_BASELINES_SEQUENTIAL_NETS_H_
+
+#include <memory>
+
+#include "src/baselines/single_task.h"
+#include "src/nn/attention.h"
+#include "src/nn/linear.h"
+#include "src/nn/lstm.h"
+
+namespace odnet {
+namespace baselines {
+
+/// \brief Plain LSTM baseline [36]: embeds the role-view booking sequence,
+/// takes the final hidden state, and scores the candidate with an MLP over
+/// [h_last ; short-term mean ; e_user ; e_candidate].
+class LstmNet : public SingleTaskNetwork {
+ public:
+  LstmNet(int64_t num_users, int64_t num_cities, int64_t dim, util::Rng* rng);
+
+  tensor::Tensor Forward(const data::OdBatch& batch, bool origin_role) override;
+
+ private:
+  int64_t d_;
+  nn::Embedding user_embed_;
+  nn::Embedding city_embed_;
+  nn::Lstm lstm_;
+  nn::Mlp head_;
+};
+
+/// \brief STGN baseline [16]: LSTM with dedicated time and distance gates
+/// driven by the inter-booking day gaps and travel-distance changes, so
+/// short- and long-interval transitions update the state differently.
+class StgnNet : public SingleTaskNetwork {
+ public:
+  StgnNet(int64_t num_users, int64_t num_cities, int64_t dim, util::Rng* rng);
+
+  tensor::Tensor Forward(const data::OdBatch& batch, bool origin_role) override;
+
+ private:
+  int64_t d_;
+  nn::Embedding user_embed_;
+  nn::Embedding city_embed_;
+  nn::StgnCell cell_;
+  nn::Mlp head_;
+};
+
+/// \brief LSTPM baseline [19]: long-term preference via a non-local
+/// attention over all LSTM hidden states (queried by the current state),
+/// short-term preference via a second recurrent pass over the recent
+/// (geo-dilated) click trajectory.
+class LstpmNet : public SingleTaskNetwork {
+ public:
+  LstpmNet(int64_t num_users, int64_t num_cities, int64_t dim, util::Rng* rng);
+
+  tensor::Tensor Forward(const data::OdBatch& batch, bool origin_role) override;
+
+ private:
+  int64_t d_;
+  nn::Embedding user_embed_;
+  nn::Embedding city_embed_;
+  nn::Lstm long_lstm_;
+  nn::Lstm short_lstm_;
+  nn::DotProductAttention non_local_;
+  nn::Mlp head_;
+};
+
+/// \brief STOD-PPA baseline [20]: origin-aware but exploit-only. Runs
+/// LSTMs over BOTH the origin and destination sequences, applies
+/// personalized preference attention (candidate embedding as query) to
+/// each to capture the OO / DD / OD relationships, and scores with an MLP.
+/// Unlike ODNET it never explores beyond feedback cities and trains the
+/// two tasks independently.
+class StodPpaNet : public SingleTaskNetwork {
+ public:
+  StodPpaNet(int64_t num_users, int64_t num_cities, int64_t dim,
+             util::Rng* rng);
+
+  tensor::Tensor Forward(const data::OdBatch& batch, bool origin_role) override;
+
+ private:
+  int64_t d_;
+  nn::Embedding user_embed_;
+  nn::Embedding city_embed_;
+  nn::Lstm origin_lstm_;
+  nn::Lstm dest_lstm_;
+  nn::DotProductAttention same_attention_;   // own-role sequence (OO / DD)
+  nn::DotProductAttention cross_attention_;  // other-role sequence (OD)
+  nn::Mlp head_;
+};
+
+// ---- Recommender adapters ------------------------------------------------
+
+class LstmRecommender : public SingleTaskRecommender {
+ public:
+  explicit LstmRecommender(const SingleTaskConfig& config)
+      : SingleTaskRecommender("LSTM", config) {}
+
+ protected:
+  std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role,
+      util::Rng* rng) override;
+};
+
+class StgnRecommender : public SingleTaskRecommender {
+ public:
+  explicit StgnRecommender(const SingleTaskConfig& config)
+      : SingleTaskRecommender("STGN", config) {}
+
+ protected:
+  std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role,
+      util::Rng* rng) override;
+};
+
+class LstpmRecommender : public SingleTaskRecommender {
+ public:
+  explicit LstpmRecommender(const SingleTaskConfig& config)
+      : SingleTaskRecommender("LSTPM", config) {}
+
+ protected:
+  std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role,
+      util::Rng* rng) override;
+};
+
+class StodPpaRecommender : public SingleTaskRecommender {
+ public:
+  explicit StodPpaRecommender(const SingleTaskConfig& config)
+      : SingleTaskRecommender("STOD-PPA", config) {}
+
+ protected:
+  std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role,
+      util::Rng* rng) override;
+};
+
+}  // namespace baselines
+}  // namespace odnet
+
+#endif  // ODNET_BASELINES_SEQUENTIAL_NETS_H_

@@ -1,0 +1,114 @@
+#include "src/baselines/single_task.h"
+
+#include <algorithm>
+
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace odnet {
+namespace baselines {
+
+SingleTaskRecommender::SingleTaskRecommender(std::string display_name,
+                                             const SingleTaskConfig& config)
+    : display_name_(std::move(display_name)), config_(config) {}
+
+util::Status SingleTaskRecommender::Fit(const data::OdDataset& dataset) {
+  int64_t horizon = 730;
+  for (const data::UserHistory& h : dataset.histories) {
+    horizon = std::max(horizon, h.decision_day + 1);
+  }
+  temporal_ = std::make_unique<data::TemporalFeatureIndex>(
+      dataset, dataset.num_cities, horizon);
+
+  util::Rng rng(config_.seed);
+  if (!config_.d_only) {
+    network_o_ = BuildNetwork(dataset, /*origin_role=*/true, &rng);
+    TrainRole(dataset, network_o_.get(), /*origin_role=*/true, &rng);
+  }
+  network_d_ = BuildNetwork(dataset, /*origin_role=*/false, &rng);
+  TrainRole(dataset, network_d_.get(), /*origin_role=*/false, &rng);
+  return util::Status::OK();
+}
+
+void SingleTaskRecommender::TrainRole(const data::OdDataset& dataset,
+                                      SingleTaskNetwork* network,
+                                      bool origin_role, util::Rng* rng) {
+  ODNET_CHECK(network != nullptr);
+  data::BatchEncoder encoder(
+      &dataset, temporal_.get(),
+      data::SequenceSpec{config_.t_long, config_.t_short});
+  optim::Adam optimizer(network->Parameters(), config_.learning_rate);
+  network->Train();
+
+  std::vector<data::Sample> samples = dataset.train_samples;
+  const int64_t n = static_cast<int64_t>(samples.size());
+  ODNET_CHECK_GT(n, 0);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&samples);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      int64_t end = std::min(start + config_.batch_size, n);
+      data::OdBatch batch = encoder.EncodeJoint(
+          samples, static_cast<size_t>(start), static_cast<size_t>(end));
+      const data::TaskBatch& view =
+          origin_role ? batch.origin : batch.destination;
+      tensor::Tensor logits = network->Forward(batch, origin_role);
+      tensor::Tensor labels = tensor::Tensor::FromVector(
+          {view.batch, 1}, std::vector<float>(view.labels));
+      tensor::Tensor loss = tensor::BceWithLogits(logits, labels);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    ODNET_LOG_DEBUG << display_name_ << (origin_role ? " [O]" : " [D]")
+                    << " epoch " << epoch << " loss "
+                    << epoch_loss / std::max<int64_t>(batches, 1);
+  }
+  network->Eval();
+}
+
+std::vector<OdScore> SingleTaskRecommender::Score(
+    const data::OdDataset& dataset, const std::vector<data::Sample>& samples) {
+  ODNET_CHECK(network_d_ != nullptr) << "Fit() not called";
+  ODNET_CHECK(config_.d_only || network_o_ != nullptr) << "Fit() not called";
+  data::BatchEncoder encoder(
+      &dataset, temporal_.get(),
+      data::SequenceSpec{config_.t_long, config_.t_short});
+  std::vector<OdScore> out;
+  out.reserve(samples.size());
+  tensor::NoGradGuard guard;
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  for (size_t start = 0; start < samples.size(); start += bs) {
+    size_t end = std::min(start + bs, samples.size());
+    // Two independent inferences, one per deployed task model — each with
+    // its own feature fetch/preprocessing pass. This is the serving cost
+    // asymmetry Table V attributes to single-task methods (the multi-task
+    // ODNET produces both probabilities from one request).
+    data::OdBatch batch_d = encoder.EncodeJoint(samples, start, end);
+    tensor::Tensor pd =
+        tensor::Sigmoid(network_d_->Forward(batch_d, /*origin_role=*/false));
+    if (config_.d_only) {
+      for (int64_t i = 0; i < pd.numel(); ++i) {
+        out.push_back(OdScore{0.5, static_cast<double>(pd.data()[i])});
+      }
+    } else {
+      data::OdBatch batch_o = encoder.EncodeJoint(samples, start, end);
+      tensor::Tensor po =
+          tensor::Sigmoid(network_o_->Forward(batch_o, /*origin_role=*/true));
+      for (int64_t i = 0; i < po.numel(); ++i) {
+        out.push_back(OdScore{static_cast<double>(po.data()[i]),
+                              static_cast<double>(pd.data()[i])});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace odnet

@@ -1,0 +1,85 @@
+#ifndef ODNET_BASELINES_SINGLE_TASK_H_
+#define ODNET_BASELINES_SINGLE_TASK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/baselines/recommender.h"
+#include "src/data/encoding.h"
+#include "src/data/temporal_features.h"
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace baselines {
+
+/// Training hyper-parameters shared by all single-task neural baselines
+/// (matching the paper's common setting: Adam, lr 0.01, batch 128,
+/// 5 epochs, Gaussian(0, 0.05) init).
+struct SingleTaskConfig {
+  int64_t embed_dim = 16;
+  int64_t epochs = 5;
+  int64_t batch_size = 128;
+  double learning_rate = 0.01;
+  int64_t t_long = 10;
+  int64_t t_short = 5;
+  uint64_t seed = 99;
+  /// Destination-only mode for the LBSN datasets (Table IV): check-in data
+  /// carries no origin information, so only the D network is trained and
+  /// p_o is reported as the uninformative 0.5.
+  bool d_only = false;
+};
+
+/// \brief One single-task scoring network: predicts the probability of a
+/// candidate city being the user's next origin (origin role) or next
+/// destination (destination role). Returns a [B, 1] logit.
+///
+/// Forward receives the full joint batch so origin-aware baselines
+/// (STOD-PPA) can read both role views; most networks only touch the view
+/// selected by `origin_role`.
+class SingleTaskNetwork : public nn::Module {
+ public:
+  virtual tensor::Tensor Forward(const data::OdBatch& batch,
+                                 bool origin_role) = 0;
+};
+
+/// \brief Template-method base for the paper's single-task learners
+/// (LSTM, STGN, LSTPM, STOD-PPA, STP-UDGAT, STL-G, STL+G): trains one
+/// network per task (O and D) with BCE on the per-role labels, and at
+/// serving time runs two inferences — exactly the cost profile Table V
+/// attributes to STL methods.
+class SingleTaskRecommender : public OdRecommender {
+ public:
+  SingleTaskRecommender(std::string display_name,
+                        const SingleTaskConfig& config);
+
+  std::string name() const override { return display_name_; }
+  util::Status Fit(const data::OdDataset& dataset) override;
+  std::vector<OdScore> Score(const data::OdDataset& dataset,
+                             const std::vector<data::Sample>& samples) override;
+
+  const SingleTaskConfig& config() const { return config_; }
+
+ protected:
+  /// Constructs the network for one role. Called once per role in Fit()
+  /// with the dataset available for graph/statistics precomputation.
+  virtual std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role, util::Rng* rng) = 0;
+
+ private:
+  void TrainRole(const data::OdDataset& dataset, SingleTaskNetwork* network,
+                 bool origin_role, util::Rng* rng);
+
+  std::string display_name_;
+  SingleTaskConfig config_;
+  std::unique_ptr<SingleTaskNetwork> network_o_;
+  std::unique_ptr<SingleTaskNetwork> network_d_;
+  std::unique_ptr<data::TemporalFeatureIndex> temporal_;
+};
+
+}  // namespace baselines
+}  // namespace odnet
+
+#endif  // ODNET_BASELINES_SINGLE_TASK_H_

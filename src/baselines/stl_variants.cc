@@ -1,0 +1,49 @@
+#include "src/baselines/stl_variants.h"
+
+#include "src/core/hsg_builder.h"
+#include "src/util/check.h"
+
+namespace odnet {
+namespace baselines {
+
+StlNet::StlNet(const graph::HeterogeneousSpatialGraph* graph,
+               graph::Metapath rho, int64_t num_users, int64_t num_cities,
+               const core::OdnetConfig& config, util::Rng* rng)
+    : encoder_(graph, rho, num_users, num_cities, config, rng),
+      tower_({encoder_.q_dim(), config.tower_hidden, 1}, rng) {
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("tower", &tower_);
+}
+
+tensor::Tensor StlNet::Forward(const data::OdBatch& batch, bool origin_role) {
+  const data::TaskBatch& view = origin_role ? batch.origin : batch.destination;
+  return tower_.Forward(encoder_.Forward(view));
+}
+
+StlRecommender::StlRecommender(const SingleTaskConfig& config, bool use_hsgc,
+                               std::vector<graph::CityLocation> locations)
+    : SingleTaskRecommender(use_hsgc ? "STL+G" : "STL-G", config),
+      use_hsgc_(use_hsgc),
+      locations_(std::move(locations)) {
+  ODNET_CHECK(!use_hsgc_ || !locations_.empty());
+}
+
+std::unique_ptr<SingleTaskNetwork> StlRecommender::BuildNetwork(
+    const data::OdDataset& dataset, bool origin_role, util::Rng* rng) {
+  core::OdnetConfig model_config;
+  model_config.embed_dim = config().embed_dim;
+  model_config.use_hsgc = use_hsgc_;
+  model_config.t_long = config().t_long;
+  model_config.t_short = config().t_short;
+  model_config.seed = config().seed;
+  if (use_hsgc_ && hsg_ == nullptr) {
+    hsg_ = core::BuildHsgFromDataset(dataset, locations_);
+  }
+  return std::make_unique<StlNet>(
+      hsg_.get(),
+      origin_role ? graph::Metapath::kDeparture : graph::Metapath::kArrive,
+      dataset.num_users, dataset.num_cities, model_config, rng);
+}
+
+}  // namespace baselines
+}  // namespace odnet

@@ -1,0 +1,57 @@
+#ifndef ODNET_BASELINES_STL_VARIANTS_H_
+#define ODNET_BASELINES_STL_VARIANTS_H_
+
+#include <memory>
+
+#include "src/baselines/single_task.h"
+#include "src/core/config.h"
+#include "src/core/odnet_model.h"
+#include "src/data/city_atlas.h"
+#include "src/graph/hsg.h"
+
+namespace odnet {
+namespace baselines {
+
+/// \brief Single-task ODNET head: a RoleEncoder (HSGC copy + PEC copy)
+/// feeding a per-task tower. This is the building block of the paper's
+/// STL+G and STL-G ablation variants.
+class StlNet : public SingleTaskNetwork {
+ public:
+  StlNet(const graph::HeterogeneousSpatialGraph* graph, graph::Metapath rho,
+         int64_t num_users, int64_t num_cities, const core::OdnetConfig& config,
+         util::Rng* rng);
+
+  tensor::Tensor Forward(const data::OdBatch& batch, bool origin_role) override;
+
+ private:
+  core::RoleEncoder encoder_;
+  nn::Mlp tower_;
+};
+
+/// \brief STL+G (with HSGC) and STL-G (without): ODNET's encoders trained
+/// as two independent single-task models. The O and D with the highest
+/// scores are concatenated at serving time — which is exactly what breaks
+/// the unity of O&D the full ODNET preserves.
+class StlRecommender : public SingleTaskRecommender {
+ public:
+  /// `use_hsgc` distinguishes STL+G from STL-G. `locations` (per-city
+  /// coordinates) are required when use_hsgc and must match the dataset's
+  /// city space.
+  StlRecommender(const SingleTaskConfig& config, bool use_hsgc,
+                 std::vector<graph::CityLocation> locations);
+
+ protected:
+  std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role,
+      util::Rng* rng) override;
+
+ private:
+  bool use_hsgc_;
+  std::vector<graph::CityLocation> locations_;
+  std::unique_ptr<graph::HeterogeneousSpatialGraph> hsg_;
+};
+
+}  // namespace baselines
+}  // namespace odnet
+
+#endif  // ODNET_BASELINES_STL_VARIANTS_H_

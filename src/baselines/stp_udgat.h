@@ -1,0 +1,101 @@
+#ifndef ODNET_BASELINES_STP_UDGAT_H_
+#define ODNET_BASELINES_STP_UDGAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/single_task.h"
+#include "src/graph/hsg.h"
+#include "src/nn/linear.h"
+
+namespace odnet {
+namespace baselines {
+
+/// Fixed-fanout homogeneous neighbor lists for one city-city graph view.
+struct CityGraphView {
+  int64_t num_nodes = 0;
+  int64_t cap = 0;
+  std::vector<int64_t> neighbors;  // [num_nodes * cap]
+  std::vector<float> pad;          // [num_nodes * cap] 1 = real
+};
+
+/// Builds the three STP graph views from a dataset:
+///  - Spatial: k-nearest cities by coordinate distance.
+///  - Temporal: cities visited by the same user within a day window.
+///  - Preference: cities co-occurring in the same user's history (global
+///    view across users).
+/// `origin_role` selects which role's city sequence defines visits.
+CityGraphView BuildSpatialView(const std::vector<graph::CityLocation>& locs,
+                               int64_t cap);
+CityGraphView BuildTemporalView(const data::OdDataset& dataset,
+                                int64_t num_cities, bool origin_role,
+                                int64_t day_window, int64_t cap);
+CityGraphView BuildPreferenceView(const data::OdDataset& dataset,
+                                  int64_t num_cities, bool origin_role,
+                                  int64_t cap);
+
+/// \brief Single homogeneous graph-attention layer (Velickovic et al.):
+/// score_ij = LeakyReLU(a^T [W h_i ; W h_j]) over a fixed neighbor list,
+/// masked softmax, weighted aggregation, ReLU.
+class GatLayer : public nn::Module {
+ public:
+  GatLayer(int64_t dim, util::Rng* rng);
+
+  /// emb: [n, d] node features; view supplies neighbors/pad.
+  tensor::Tensor Forward(const tensor::Tensor& emb,
+                         const CityGraphView& view) const;
+
+ private:
+  int64_t d_;
+  nn::Linear w_;
+  tensor::Tensor attn_;  // [2d, 1]
+};
+
+/// \brief STP-UDGAT baseline [15]: explores candidate cities through
+/// spatial/temporal/preference GATs over homogeneous city-city graphs
+/// (local + global views), but — unlike ODNET — has no heterogeneous
+/// user-city interactions and no O&D joint learning.
+class StpUdgatNet : public SingleTaskNetwork {
+ public:
+  StpUdgatNet(int64_t num_users, int64_t num_cities, int64_t dim,
+              CityGraphView spatial, CityGraphView temporal,
+              CityGraphView preference, util::Rng* rng);
+
+  tensor::Tensor Forward(const data::OdBatch& batch, bool origin_role) override;
+
+ private:
+  /// Fuses the three GAT views into one refined city table: mean of view
+  /// outputs plus a residual to the raw embeddings.
+  tensor::Tensor RefineCityTable() const;
+
+  int64_t d_;
+  nn::Embedding user_embed_;
+  nn::Embedding city_embed_;
+  CityGraphView spatial_;
+  CityGraphView temporal_;
+  CityGraphView preference_;
+  GatLayer gat_spatial_;
+  GatLayer gat_temporal_;
+  GatLayer gat_preference_;
+  nn::Mlp head_;
+};
+
+class StpUdgatRecommender : public SingleTaskRecommender {
+ public:
+  /// `locations[i]` is city i's coordinates (for the spatial view).
+  StpUdgatRecommender(const SingleTaskConfig& config,
+                      std::vector<graph::CityLocation> locations);
+
+ protected:
+  std::unique_ptr<SingleTaskNetwork> BuildNetwork(
+      const data::OdDataset& dataset, bool origin_role,
+      util::Rng* rng) override;
+
+ private:
+  std::vector<graph::CityLocation> locations_;
+};
+
+}  // namespace baselines
+}  // namespace odnet
+
+#endif  // ODNET_BASELINES_STP_UDGAT_H_

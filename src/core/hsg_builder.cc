@@ -1,0 +1,41 @@
+#include "src/core/hsg_builder.h"
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace core {
+
+std::vector<graph::CityLocation> AtlasLocations(const data::CityAtlas& atlas) {
+  std::vector<graph::CityLocation> locations;
+  locations.reserve(static_cast<size_t>(atlas.size()));
+  for (int64_t c = 0; c < atlas.size(); ++c) {
+    locations.push_back(
+        graph::CityLocation{atlas.city(c).lat, atlas.city(c).lon});
+  }
+  return locations;
+}
+
+std::unique_ptr<graph::HeterogeneousSpatialGraph> BuildHsgFromDataset(
+    const data::OdDataset& dataset,
+    const std::vector<graph::CityLocation>& locations,
+    graph::DistanceMetric metric) {
+  ODNET_CHECK_EQ(static_cast<int64_t>(locations.size()), dataset.num_cities);
+  auto hsg = std::make_unique<graph::HeterogeneousSpatialGraph>(
+      dataset.num_users, locations, metric);
+  for (const data::UserHistory& h : dataset.histories) {
+    for (const data::Booking& b : h.long_term) {
+      ODNET_CHECK(hsg->AddBooking(h.user, b.od.origin, b.od.destination).ok());
+    }
+  }
+  hsg->Finalize();
+  return hsg;
+}
+
+std::unique_ptr<graph::HeterogeneousSpatialGraph> BuildHsgFromDataset(
+    const data::OdDataset& dataset, const data::CityAtlas& atlas,
+    graph::DistanceMetric metric) {
+  return BuildHsgFromDataset(dataset, AtlasLocations(atlas), metric);
+}
+
+}  // namespace core
+}  // namespace odnet

@@ -1,0 +1,33 @@
+#ifndef ODNET_CORE_HSG_BUILDER_H_
+#define ODNET_CORE_HSG_BUILDER_H_
+
+#include <memory>
+
+#include "src/data/city_atlas.h"
+#include "src/data/types.h"
+#include "src/graph/hsg.h"
+
+namespace odnet {
+namespace core {
+
+/// Builds and finalizes the HSG from the historical (long-term) bookings of
+/// every user in the dataset — exactly the "historical interactions between
+/// users and cities" of paper Fig. 2. Label bookings are never added, so
+/// the graph carries no test leakage.
+std::unique_ptr<graph::HeterogeneousSpatialGraph> BuildHsgFromDataset(
+    const data::OdDataset& dataset,
+    const std::vector<graph::CityLocation>& locations,
+    graph::DistanceMetric metric = graph::DistanceMetric::kLatLonL2);
+
+/// Convenience overload taking coordinates from a CityAtlas.
+std::unique_ptr<graph::HeterogeneousSpatialGraph> BuildHsgFromDataset(
+    const data::OdDataset& dataset, const data::CityAtlas& atlas,
+    graph::DistanceMetric metric = graph::DistanceMetric::kLatLonL2);
+
+/// Extracts the per-city coordinate list from an atlas.
+std::vector<graph::CityLocation> AtlasLocations(const data::CityAtlas& atlas);
+
+}  // namespace core
+}  // namespace odnet
+
+#endif  // ODNET_CORE_HSG_BUILDER_H_

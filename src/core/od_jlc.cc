@@ -1,0 +1,65 @@
+#include "src/core/od_jlc.h"
+
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace core {
+
+using tensor::Tensor;
+
+OdJlc::OdJlc(int64_t input_dim, const OdnetConfig& config, util::Rng* rng)
+    : input_dim_(input_dim),
+      expert_dim_(config.expert_dim),
+      gate_o_(2 * input_dim, config.num_experts, rng),
+      gate_d_(2 * input_dim, config.num_experts, rng),
+      tower_o_({config.expert_dim, config.tower_hidden, 1}, rng),
+      tower_d_({config.expert_dim, config.tower_hidden, 1}, rng) {
+  ODNET_CHECK_GE(config.num_experts, 1);
+  for (int64_t i = 0; i < config.num_experts; ++i) {
+    // Eq. 6 / Sec. IV-C: each expert is an MLP over q_plus.
+    experts_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{2 * input_dim, 2 * config.expert_dim,
+                             config.expert_dim},
+        rng));
+    RegisterModule("expert" + std::to_string(i), experts_.back().get());
+  }
+  RegisterModule("gate_o", &gate_o_);
+  RegisterModule("gate_d", &gate_d_);
+  RegisterModule("tower_o", &tower_o_);
+  RegisterModule("tower_d", &tower_d_);
+}
+
+Tensor OdJlc::MixExperts(const std::vector<Tensor>& expert_out,
+                         const Tensor& gate_weights) const {
+  const int64_t batch = expert_out[0].dim(0);
+  // Sum-pooling layer of Fig. 5: weighted sum of expert outputs, the
+  // gate's k-th probability weighting the k-th expert.
+  Tensor mixed = Tensor::Zeros({batch, expert_dim_});
+  for (size_t i = 0; i < expert_out.size(); ++i) {
+    Tensor w = tensor::Slice(gate_weights, 1, static_cast<int64_t>(i), 1);
+    mixed = tensor::Add(mixed, tensor::Mul(w, expert_out[i]));
+  }
+  return mixed;
+}
+
+OdJlc::Output OdJlc::Forward(const Tensor& q_o, const Tensor& q_d) const {
+  ODNET_CHECK_EQ(q_o.dim(-1), input_dim_);
+  ODNET_CHECK_EQ(q_d.dim(-1), input_dim_);
+  Tensor q_plus = tensor::Concat({q_o, q_d}, -1);  // [B, 2*input_dim]
+
+  std::vector<Tensor> expert_out;
+  expert_out.reserve(experts_.size());
+  for (const auto& expert : experts_) {
+    expert_out.push_back(expert->Forward(q_plus));  // Eq. 6
+  }
+  Tensor gate_o = tensor::Softmax(gate_o_.Forward(q_plus));  // Eq. 7
+  Tensor gate_d = tensor::Softmax(gate_d_.Forward(q_plus));
+
+  Output out;
+  out.logit_o = tower_o_.Forward(MixExperts(expert_out, gate_o));
+  out.logit_d = tower_d_.Forward(MixExperts(expert_out, gate_d));
+  return out;
+}
+
+}  // namespace core
+}  // namespace odnet

@@ -1,0 +1,61 @@
+#ifndef ODNET_CORE_OD_JLC_H_
+#define ODNET_CORE_OD_JLC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace core {
+
+/// \brief Origin & Destination Joint Learning Component (paper Sec. IV-C,
+/// Fig. 5) — an MMoE head over the concatenated task representations.
+///
+/// q_plus = [q^O ; q^D] feeds `num_experts` expert networks (Eq. 6) and two
+/// softmax gates (Eq. 7); each task's tower consumes its gate-weighted
+/// expert mixture and emits a logit (the paper's sigmoid is applied in the
+/// loss / serving layer for numerical stability).
+class OdJlc : public nn::Module {
+ public:
+  /// `input_dim` is dim(q^O) == dim(q^D); experts see 2*input_dim.
+  OdJlc(int64_t input_dim, const OdnetConfig& config, util::Rng* rng);
+
+  struct Output {
+    tensor::Tensor logit_o;  // [B, 1] pre-sigmoid origin-task score
+    tensor::Tensor logit_d;  // [B, 1] pre-sigmoid destination-task score
+  };
+
+  /// q_o, q_d: [B, input_dim] task representations from the two PECs.
+  Output Forward(const tensor::Tensor& q_o, const tensor::Tensor& q_d) const;
+
+  int64_t num_experts() const {
+    return static_cast<int64_t>(experts_.size());
+  }
+
+ private:
+  /// Gate-weighted mixture of expert outputs for one task.
+  tensor::Tensor MixExperts(const std::vector<tensor::Tensor>& expert_out,
+                            const tensor::Tensor& gate_weights) const;
+
+  int64_t input_dim_;
+  int64_t expert_dim_;
+  // Sec. IV-C: each expert is an MLP network (Eq. 6 abbreviates it to one
+  // matrix); the hidden ReLU lets experts form cross-view interactions
+  // between q^O and q^D — the mechanism behind the return-ticket cases of
+  // the paper's Fig. 8.
+  std::vector<std::unique_ptr<nn::Mlp>> experts_;
+  nn::Linear gate_o_;  // Eq. 7 (origin task)
+  nn::Linear gate_d_;  // Eq. 7 (dest task)
+  nn::Mlp tower_o_;
+  nn::Mlp tower_d_;
+};
+
+}  // namespace core
+}  // namespace odnet
+
+#endif  // ODNET_CORE_OD_JLC_H_

@@ -1,0 +1,145 @@
+#include "src/core/odnet_model.h"
+
+#include <cmath>
+
+#include "src/data/temporal_features.h"
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace core {
+
+using tensor::Tensor;
+
+RoleEncoder::RoleEncoder(const graph::HeterogeneousSpatialGraph* graph,
+                         graph::Metapath rho, int64_t num_users,
+                         int64_t num_cities, const OdnetConfig& config,
+                         util::Rng* rng)
+    : config_(config), d_(config.embed_dim), pec_(config, rng) {
+  if (config_.use_hsgc) {
+    ODNET_CHECK(graph != nullptr) << "use_hsgc requires a finalized HSG";
+    hsgc_ = std::make_unique<Hsgc>(graph, rho, config, rng);
+    RegisterModule("hsgc", hsgc_.get());
+  } else {
+    user_embed_ = std::make_unique<nn::Embedding>(num_users, d_, rng);
+    city_embed_ = std::make_unique<nn::Embedding>(num_cities, d_, rng);
+    RegisterModule("user_embed", user_embed_.get());
+    RegisterModule("city_embed", city_embed_.get());
+  }
+  RegisterModule("pec", &pec_);
+}
+
+int64_t RoleEncoder::q_dim() const {
+  return 4 * d_ + data::TemporalFeatureIndex::kDim;
+}
+
+Tensor RoleEncoder::EmbedCitySeq(const Hsgc::State* state,
+                                 const std::vector<int64_t>& ids,
+                                 const tensor::Shape& shape) const {
+  if (hsgc_ != nullptr) {
+    ODNET_CHECK(state != nullptr);
+    return hsgc_->EmbedCities(*state, ids, shape);
+  }
+  return city_embed_->Forward(ids, shape);
+}
+
+Tensor RoleEncoder::Forward(const data::TaskBatch& batch) {
+  const int64_t b = batch.batch;
+  ODNET_CHECK_GT(b, 0);
+  Hsgc::State state;
+  if (hsgc_ != nullptr) state = hsgc_->Forward();
+  const Hsgc::State* sp = hsgc_ != nullptr ? &state : nullptr;
+
+  // Spatial semantic embeddings of every id-typed input (Fig. 3's e^X_*).
+  Tensor e_user = hsgc_ != nullptr ? hsgc_->EmbedUsers(state, batch.user_ids)
+                                   : user_embed_->Forward(batch.user_ids);
+  Tensor e_lbs = EmbedCitySeq(sp, batch.current_city, {b});
+  Tensor e_cand = EmbedCitySeq(sp, batch.candidate, {b});
+  Tensor e_long = EmbedCitySeq(sp, batch.long_seq, {b, batch.t_long});
+  Tensor e_short = EmbedCitySeq(sp, batch.short_seq, {b, batch.t_short});
+
+  // PEC: the attention-focused user preference vector v_L.
+  Tensor v_l = pec_.Forward(e_long, batch.long_pad, e_short, batch.short_pad);
+
+  // q = [v_L ; e_user ; e_lbs ; e_cand ; x_st]  (Fig. 4, bottom).
+  Tensor x_st = Tensor::FromVector(
+      {b, data::TemporalFeatureIndex::kDim}, std::vector<float>(batch.xst));
+  return tensor::Concat({v_l, e_user, e_lbs, e_cand, x_st}, -1);
+}
+
+OdnetModel::OdnetModel(const graph::HeterogeneousSpatialGraph* graph,
+                       int64_t num_users, int64_t num_cities,
+                       const OdnetConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      origin_encoder_(graph, graph::Metapath::kDeparture, num_users,
+                      num_cities, config, &init_rng_),
+      destination_encoder_(graph, graph::Metapath::kArrive, num_users,
+                           num_cities, config, &init_rng_),
+      jlc_(origin_encoder_.q_dim(), config, &init_rng_) {
+  RegisterModule("origin_encoder", &origin_encoder_);
+  RegisterModule("destination_encoder", &destination_encoder_);
+  RegisterModule("jlc", &jlc_);
+  // theta = sigmoid(theta_raw); raw 0 -> theta 0.5 at start.
+  theta_raw_ = Tensor::Zeros({});
+  if (config_.learnable_theta) {
+    theta_raw_ = RegisterParameter("theta_raw", theta_raw_);
+  }
+}
+
+OdnetModel::Output OdnetModel::Forward(const data::OdBatch& batch) {
+  Tensor q_o = origin_encoder_.Forward(batch.origin);
+  Tensor q_d = destination_encoder_.Forward(batch.destination);
+  OdJlc::Output head = jlc_.Forward(q_o, q_d);
+  return Output{head.logit_o, head.logit_d};
+}
+
+Tensor OdnetModel::Loss(const data::OdBatch& batch) {
+  Output out = Forward(batch);
+  const int64_t b = batch.origin.batch;
+  Tensor labels_o = Tensor::FromVector({b, 1},
+                                       std::vector<float>(batch.origin.labels));
+  Tensor labels_d = Tensor::FromVector(
+      {b, 1}, std::vector<float>(batch.destination.labels));
+  Tensor loss_o = tensor::BceWithLogits(out.logit_o, labels_o);  // Eq. 9
+  Tensor loss_d = tensor::BceWithLogits(out.logit_d, labels_d);  // Eq. 10
+  // Eq. 8 with learnable theta. Unconstrained, d(Loss)/d(theta) =
+  // L_O - L_D drives theta to whichever task currently has the smaller
+  // loss, starving the other tower (winner-take-all collapse); bounding
+  // theta to [0.3, 0.7] keeps it learnable without letting either task
+  // loss reach weight zero.
+  Tensor theta = tensor::AddScalar(
+      tensor::MulScalar(tensor::Sigmoid(theta_raw_), 0.4f), 0.3f);
+  Tensor one_minus = tensor::AddScalar(tensor::Neg(theta), 1.0f);
+  return tensor::Add(tensor::Mul(theta, loss_o),
+                     tensor::Mul(one_minus, loss_d));
+}
+
+std::pair<std::vector<double>, std::vector<double>> OdnetModel::Predict(
+    const data::OdBatch& batch) {
+  tensor::NoGradGuard guard;
+  Output out = Forward(batch);
+  Tensor p_o = tensor::Sigmoid(out.logit_o);
+  Tensor p_d = tensor::Sigmoid(out.logit_d);
+  std::vector<double> po(p_o.vec().begin(), p_o.vec().end());
+  std::vector<double> pd(p_d.vec().begin(), p_d.vec().end());
+  return {std::move(po), std::move(pd)};
+}
+
+std::vector<double> OdnetModel::ServeScores(const data::OdBatch& batch) {
+  auto [po, pd] = Predict(batch);
+  const double t = theta();
+  std::vector<double> scores(po.size());
+  for (size_t i = 0; i < po.size(); ++i) {
+    scores[i] = t * po[i] + (1.0 - t) * pd[i];  // Eq. 11
+  }
+  return scores;
+}
+
+double OdnetModel::theta() const {
+  double sig =
+      1.0 / (1.0 + std::exp(-static_cast<double>(theta_raw_.data()[0])));
+  return 0.3 + 0.4 * sig;
+}
+
+}  // namespace core
+}  // namespace odnet

@@ -1,0 +1,98 @@
+#ifndef ODNET_CORE_ODNET_MODEL_H_
+#define ODNET_CORE_ODNET_MODEL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/hsgc.h"
+#include "src/core/od_jlc.h"
+#include "src/core/pec.h"
+#include "src/data/encoding.h"
+#include "src/graph/hsg.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace core {
+
+/// \brief One role-view encoder of Fig. 3: an (optional) HSGC copy plus a
+/// PEC copy. Produces the task representation
+///   q = [v_L ; e_user ; e_lbs ; e_candidate ; x_st]
+/// for either the origin-aware or the destination-aware path.
+class RoleEncoder : public nn::Module {
+ public:
+  /// With config.use_hsgc, embeddings come from the HSGC over `graph` and
+  /// metapath `rho`; otherwise (the -G variants) ids embed directly.
+  RoleEncoder(const graph::HeterogeneousSpatialGraph* graph,
+              graph::Metapath rho, int64_t num_users, int64_t num_cities,
+              const OdnetConfig& config, util::Rng* rng);
+
+  /// Encodes a role-view batch into q: [B, q_dim()].
+  tensor::Tensor Forward(const data::TaskBatch& batch);
+
+  /// 4 embeddings of width d plus the temporal-statistics block.
+  int64_t q_dim() const;
+
+ private:
+  tensor::Tensor EmbedCitySeq(const Hsgc::State* state,
+                              const std::vector<int64_t>& ids,
+                              const tensor::Shape& shape) const;
+
+  OdnetConfig config_;
+  int64_t d_;
+  std::unique_ptr<Hsgc> hsgc_;                 // present iff use_hsgc
+  std::unique_ptr<nn::Embedding> user_embed_;  // fallback (no HSGC)
+  std::unique_ptr<nn::Embedding> city_embed_;  // fallback (no HSGC)
+  Pec pec_;
+};
+
+/// \brief The full ODNET model (paper Fig. 3): origin-aware and
+/// destination-aware HSGC+PEC copies feeding the O&D joint learning
+/// component, trained with the jointly-weighted loss of Eq. 8-10 and
+/// served with the blended score of Eq. 11.
+class OdnetModel : public nn::Module {
+ public:
+  /// `graph` may be null only when config.use_hsgc is false (ODNET-G).
+  OdnetModel(const graph::HeterogeneousSpatialGraph* graph, int64_t num_users,
+             int64_t num_cities, const OdnetConfig& config);
+
+  struct Output {
+    tensor::Tensor logit_o;  // [B, 1]
+    tensor::Tensor logit_d;  // [B, 1]
+  };
+
+  /// Forward pass over a joint (origin-view, destination-view) batch.
+  Output Forward(const data::OdBatch& batch);
+
+  /// Training loss (Eq. 8): theta * L_O + (1 - theta) * L_D with the BCE
+  /// task losses of Eq. 9-10.
+  tensor::Tensor Loss(const data::OdBatch& batch);
+
+  /// Inference (no tape): per-sample (p_O, p_D) probabilities.
+  std::pair<std::vector<double>, std::vector<double>> Predict(
+      const data::OdBatch& batch);
+
+  /// Serving score of Eq. 11: theta * p_O + (1 - theta) * p_D.
+  std::vector<double> ServeScores(const data::OdBatch& batch);
+
+  /// Current value of the (learnable) loss weight theta.
+  double theta() const;
+
+  const OdnetConfig& config() const { return config_; }
+
+ private:
+  OdnetConfig config_;
+  util::Rng init_rng_;  // initialization stream; must precede the encoders
+  RoleEncoder origin_encoder_;
+  RoleEncoder destination_encoder_;
+  OdJlc jlc_;
+  tensor::Tensor theta_raw_;  // theta = 0.3 + 0.4*sigmoid(raw), in (0.3, 0.7)
+};
+
+}  // namespace core
+}  // namespace odnet
+
+#endif  // ODNET_CORE_ODNET_MODEL_H_

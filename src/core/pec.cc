@@ -1,0 +1,70 @@
+#include "src/core/pec.h"
+
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace core {
+
+using tensor::Tensor;
+
+Pec::Pec(const OdnetConfig& config, util::Rng* rng)
+    : d_(config.embed_dim),
+      long_encoder_(config.embed_dim, config.num_heads, rng),
+      short_encoder_(config.embed_dim, config.num_heads, rng),
+      attention_(config.embed_dim, rng) {
+  RegisterModule("long_encoder", &long_encoder_);
+  RegisterModule("short_encoder", &short_encoder_);
+  RegisterModule("attention", &attention_);
+}
+
+Tensor Pec::Forward(const Tensor& long_emb, const std::vector<float>& long_pad,
+                    const Tensor& short_emb,
+                    const std::vector<float>& short_pad) const {
+  ODNET_CHECK_EQ(long_emb.rank(), 3);
+  ODNET_CHECK_EQ(short_emb.rank(), 3);
+  const int64_t batch = long_emb.dim(0);
+  const int64_t t_long = long_emb.dim(1);
+  const int64_t t_short = short_emb.dim(1);
+  ODNET_CHECK_EQ(static_cast<int64_t>(long_pad.size()), batch * t_long);
+  ODNET_CHECK_EQ(static_cast<int64_t>(short_pad.size()), batch * t_short);
+
+  // Additive key masks for the encoders.
+  auto additive = [](const std::vector<float>& pad) {
+    std::vector<float> m(pad.size());
+    for (size_t i = 0; i < pad.size(); ++i) {
+      m[i] = pad[i] > 0.5f ? 0.0f : -1e9f;
+    }
+    return m;
+  };
+  Tensor long_mask =
+      Tensor::FromVector({batch, t_long}, additive(long_pad));
+  Tensor short_mask =
+      Tensor::FromVector({batch, t_short}, additive(short_pad));
+
+  // Encoding layer (Eq. 3) on both behaviour matrices.
+  Tensor encoded_long = long_encoder_.Forward(long_emb, long_mask);
+  Tensor encoded_short = short_encoder_.Forward(short_emb, short_mask);
+
+  // Masked average pooling of the encoded short-term matrix -> v_S.
+  Tensor pad_s = Tensor::FromVector({batch, t_short, 1}, [&] {
+    std::vector<float> p(short_pad);
+    return p;
+  }());
+  Tensor summed = tensor::SumAxis(tensor::Mul(encoded_short, pad_s), 1);
+  std::vector<float> counts(static_cast<size_t>(batch), 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    float c = 0.0f;
+    for (int64_t i = 0; i < t_short; ++i) {
+      c += short_pad[static_cast<size_t>(b * t_short + i)];
+    }
+    counts[static_cast<size_t>(b)] = std::max(c, 1.0f);
+  }
+  Tensor v_s = tensor::Div(summed, Tensor::FromVector({batch, 1}, counts));
+
+  // Dot-product attention (Eq. 4-5) focusing E_L-hat through v_S; padded
+  // long-term positions are excluded from the keys.
+  return attention_.Forward(v_s, encoded_long, long_mask);
+}
+
+}  // namespace core
+}  // namespace odnet

@@ -1,0 +1,44 @@
+#ifndef ODNET_CORE_PEC_H_
+#define ODNET_CORE_PEC_H_
+
+#include "src/core/config.h"
+#include "src/nn/attention.h"
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace core {
+
+/// \brief Preference Extraction Component (paper Sec. IV-B, Fig. 4).
+///
+/// Encodes the long-term booking matrix E_L and short-term click matrix
+/// E_S with multi-head self-attention (Eq. 3), average-pools the encoded
+/// short-term matrix into v_S, and attends over the encoded long-term
+/// matrix with v_S as the query (Eq. 4-5), producing the user-preference
+/// vector v_L that focuses historical preferences on the user's latest
+/// flight-booking intentions.
+class Pec : public nn::Module {
+ public:
+  Pec(const OdnetConfig& config, util::Rng* rng);
+
+  /// long_emb:  [B, t_long, d] embedded long-term city sequence;
+  /// long_pad:  [B, t_long] 1 = real element, 0 = padding;
+  /// short_emb: [B, t_short, d]; short_pad: [B, t_short].
+  /// Returns v_L: [B, d].
+  tensor::Tensor Forward(const tensor::Tensor& long_emb,
+                         const std::vector<float>& long_pad,
+                         const tensor::Tensor& short_emb,
+                         const std::vector<float>& short_pad) const;
+
+ private:
+  int64_t d_;
+  nn::MultiHeadAttention long_encoder_;
+  nn::MultiHeadAttention short_encoder_;
+  nn::DotProductAttention attention_;
+};
+
+}  // namespace core
+}  // namespace odnet
+
+#endif  // ODNET_CORE_PEC_H_

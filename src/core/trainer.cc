@@ -1,0 +1,66 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace odnet {
+namespace core {
+
+OdnetTrainer::OdnetTrainer(OdnetModel* model, const data::OdDataset* dataset,
+                           const data::TemporalFeatureIndex* temporal)
+    : model_(model),
+      dataset_(dataset),
+      encoder_(dataset, temporal,
+               data::SequenceSpec{model->config().t_long,
+                                  model->config().t_short}),
+      shuffle_rng_(model->config().seed ^ 0x5eedf00d) {
+  ODNET_CHECK(model != nullptr);
+  ODNET_CHECK(dataset != nullptr);
+}
+
+TrainStats OdnetTrainer::Train() {
+  const OdnetConfig& config = model_->config();
+  util::Stopwatch watch;
+  TrainStats stats;
+
+  optim::Adam optimizer(model_->Parameters(), config.learning_rate);
+  model_->Train();
+
+  // A shuffled copy so sample order is independent of generator order.
+  std::vector<data::Sample> samples = dataset_->train_samples;
+  const int64_t n = static_cast<int64_t>(samples.size());
+  ODNET_CHECK_GT(n, 0) << "empty training set";
+  const int64_t bs = config.batch_size;
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng_.Shuffle(&samples);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += bs) {
+      const int64_t end = std::min(start + bs, n);
+      data::OdBatch batch = encoder_.EncodeJoint(
+          samples, static_cast<size_t>(start), static_cast<size_t>(end));
+      tensor::Tensor loss = model_->Loss(batch);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+      ++stats.steps;
+    }
+    epoch_loss /= static_cast<double>(std::max<int64_t>(batches, 1));
+    if (epoch == 0) stats.first_epoch_loss = epoch_loss;
+    stats.final_epoch_loss = epoch_loss;
+    ODNET_LOG_DEBUG << "epoch " << epoch << " loss " << epoch_loss
+                    << " theta " << model_->theta();
+  }
+  model_->Eval();
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace core
+}  // namespace odnet

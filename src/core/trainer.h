@@ -1,0 +1,46 @@
+#ifndef ODNET_CORE_TRAINER_H_
+#define ODNET_CORE_TRAINER_H_
+
+#include <cstdint>
+
+#include "src/core/odnet_model.h"
+#include "src/data/encoding.h"
+#include "src/data/temporal_features.h"
+#include "src/data/types.h"
+#include "src/optim/optimizer.h"
+
+namespace odnet {
+namespace core {
+
+/// Summary of one training run.
+struct TrainStats {
+  double first_epoch_loss = 0.0;
+  double final_epoch_loss = 0.0;
+  double seconds = 0.0;
+  int64_t steps = 0;
+};
+
+/// \brief Minibatch trainer for OdnetModel: shuffled epochs over the train
+/// samples, Adam (paper Sec. V-A-5), Eq. 8 loss.
+class OdnetTrainer {
+ public:
+  /// All pointers must outlive the trainer.
+  OdnetTrainer(OdnetModel* model, const data::OdDataset* dataset,
+               const data::TemporalFeatureIndex* temporal);
+
+  /// Runs config.epochs epochs; deterministic given the model config seed.
+  TrainStats Train();
+
+  const data::BatchEncoder& encoder() const { return encoder_; }
+
+ private:
+  OdnetModel* model_;
+  const data::OdDataset* dataset_;
+  data::BatchEncoder encoder_;
+  util::Rng shuffle_rng_;
+};
+
+}  // namespace core
+}  // namespace odnet
+
+#endif  // ODNET_CORE_TRAINER_H_

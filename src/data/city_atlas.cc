@@ -1,0 +1,189 @@
+#include "src/data/city_atlas.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/math_util.h"
+
+namespace odnet {
+namespace data {
+
+const char* CityPatternName(CityPattern pattern) {
+  switch (pattern) {
+    case CityPattern::kBusinessHub:
+      return "business_hub";
+    case CityPattern::kSeaside:
+      return "seaside";
+    case CityPattern::kMountain:
+      return "mountain";
+    case CityPattern::kHistoric:
+      return "historic";
+    case CityPattern::kTourist:
+      return "tourist";
+    case CityPattern::kRegional:
+      return "regional";
+  }
+  return "?";
+}
+
+const std::vector<City>& CityAtlas::SeedCities() {
+  // Real coordinates; popularity is a rough passenger-traffic scale.
+  // The cities named in the paper's figures and case studies are all
+  // present (Shanghai, Ningbo, Sanya, Qingdao, Hangzhou, Xi'an, Chengdu,
+  // Beijing, Dali, Nanning, Shijiazhuang, Yantai, Dalian, Kunming, Weihai,
+  // Xiamen).
+  static const std::vector<City> kSeed = {
+      {"Beijing", 39.90, 116.40, CityPattern::kBusinessHub, 10.0},
+      {"Shanghai", 31.23, 121.47, CityPattern::kBusinessHub, 10.0},
+      {"Guangzhou", 23.13, 113.26, CityPattern::kBusinessHub, 9.0},
+      {"Shenzhen", 22.54, 114.06, CityPattern::kBusinessHub, 9.0},
+      {"Chengdu", 30.57, 104.07, CityPattern::kBusinessHub, 8.0},
+      {"Hangzhou", 30.27, 120.15, CityPattern::kBusinessHub, 7.0},
+      {"Chongqing", 29.56, 106.55, CityPattern::kBusinessHub, 7.0},
+      {"Wuhan", 30.59, 114.31, CityPattern::kBusinessHub, 6.5},
+      {"Xi'an", 34.34, 108.94, CityPattern::kHistoric, 6.5},
+      {"Nanjing", 32.06, 118.80, CityPattern::kHistoric, 6.0},
+      {"Zhengzhou", 34.75, 113.63, CityPattern::kBusinessHub, 5.5},
+      {"Changsha", 28.23, 112.94, CityPattern::kBusinessHub, 5.0},
+      {"Kunming", 24.88, 102.83, CityPattern::kTourist, 5.5},
+      {"Qingdao", 36.07, 120.38, CityPattern::kSeaside, 5.0},
+      {"Sanya", 18.25, 109.51, CityPattern::kSeaside, 5.0},
+      {"Xiamen", 24.48, 118.09, CityPattern::kSeaside, 4.8},
+      {"Dalian", 38.91, 121.61, CityPattern::kSeaside, 4.5},
+      {"Haikou", 20.04, 110.34, CityPattern::kSeaside, 4.2},
+      {"Tianjin", 39.34, 117.36, CityPattern::kBusinessHub, 4.5},
+      {"Shenyang", 41.81, 123.43, CityPattern::kBusinessHub, 4.2},
+      {"Harbin", 45.80, 126.53, CityPattern::kTourist, 4.0},
+      {"Urumqi", 43.83, 87.62, CityPattern::kRegional, 4.0},
+      {"Guiyang", 26.65, 106.63, CityPattern::kMountain, 3.8},
+      {"Nanning", 22.82, 108.32, CityPattern::kRegional, 3.8},
+      {"Fuzhou", 26.07, 119.30, CityPattern::kSeaside, 3.5},
+      {"Jinan", 36.65, 117.12, CityPattern::kRegional, 3.5},
+      {"Hefei", 31.82, 117.23, CityPattern::kRegional, 3.2},
+      {"Ningbo", 29.87, 121.54, CityPattern::kSeaside, 3.2},
+      {"Taiyuan", 37.87, 112.55, CityPattern::kRegional, 3.0},
+      {"Changchun", 43.82, 125.32, CityPattern::kRegional, 3.0},
+      {"Nanchang", 28.68, 115.86, CityPattern::kRegional, 2.8},
+      {"Shijiazhuang", 38.04, 114.51, CityPattern::kRegional, 2.8},
+      {"Lanzhou", 36.06, 103.83, CityPattern::kRegional, 2.6},
+      {"Guilin", 25.27, 110.29, CityPattern::kMountain, 3.0},
+      {"Lijiang", 26.86, 100.23, CityPattern::kTourist, 2.8},
+      {"Dali", 25.61, 100.27, CityPattern::kTourist, 2.6},
+      {"Lhasa", 29.65, 91.14, CityPattern::kMountain, 2.4},
+      {"Xining", 36.62, 101.78, CityPattern::kMountain, 2.2},
+      {"Yinchuan", 38.47, 106.27, CityPattern::kRegional, 2.2},
+      {"Hohhot", 40.84, 111.75, CityPattern::kRegional, 2.2},
+      {"Wenzhou", 28.00, 120.67, CityPattern::kSeaside, 2.5},
+      {"Zhuhai", 22.27, 113.58, CityPattern::kSeaside, 2.6},
+      {"Yantai", 37.46, 121.45, CityPattern::kSeaside, 2.4},
+      {"Weihai", 37.51, 122.12, CityPattern::kSeaside, 2.2},
+      {"Beihai", 21.48, 109.12, CityPattern::kSeaside, 2.0},
+      {"Zhangjiajie", 29.12, 110.48, CityPattern::kMountain, 2.2},
+      {"Huangshan", 29.71, 118.31, CityPattern::kMountain, 2.0},
+      {"Jiuzhaigou", 33.26, 103.92, CityPattern::kMountain, 1.8},
+      {"Luoyang", 34.62, 112.45, CityPattern::kHistoric, 2.2},
+      {"Datong", 40.08, 113.30, CityPattern::kHistoric, 1.8},
+      {"Dunhuang", 40.14, 94.66, CityPattern::kHistoric, 1.6},
+      {"Kashgar", 39.47, 75.99, CityPattern::kRegional, 1.6},
+      {"Hailar", 49.21, 119.74, CityPattern::kRegional, 1.4},
+      {"Mohe", 52.97, 122.54, CityPattern::kTourist, 1.2},
+      {"Xishuangbanna", 22.01, 100.80, CityPattern::kTourist, 2.0},
+      {"Tengchong", 25.02, 98.49, CityPattern::kTourist, 1.6},
+      {"Zhanjiang", 21.27, 110.36, CityPattern::kSeaside, 1.8},
+      {"Quanzhou", 24.87, 118.68, CityPattern::kSeaside, 2.0},
+      {"Yichang", 30.69, 111.29, CityPattern::kTourist, 2.0},
+      {"Wanzhou", 30.81, 108.41, CityPattern::kRegional, 1.5},
+      {"Mianyang", 31.47, 104.68, CityPattern::kRegional, 1.6},
+      {"Zunyi", 27.73, 106.92, CityPattern::kRegional, 1.5},
+      {"Baotou", 40.66, 109.84, CityPattern::kRegional, 1.6},
+      {"Ordos", 39.61, 109.78, CityPattern::kRegional, 1.5},
+  };
+  return kSeed;
+}
+
+CityAtlas CityAtlas::Generate(int64_t num_cities, uint64_t seed) {
+  ODNET_CHECK_GT(num_cities, 0);
+  const std::vector<City>& base = SeedCities();
+  std::vector<City> cities;
+  cities.reserve(static_cast<size_t>(num_cities));
+  for (int64_t i = 0; i < num_cities && i < static_cast<int64_t>(base.size());
+       ++i) {
+    cities.push_back(base[static_cast<size_t>(i)]);
+  }
+  // Extend with synthetic regional cities scattered across mainland-China
+  // bounding boxes, anchored near a random seed city so the geography
+  // stays plausible.
+  util::Rng rng(seed);
+  int64_t synth_id = 0;
+  while (static_cast<int64_t>(cities.size()) < num_cities) {
+    const City& anchor =
+        base[static_cast<size_t>(rng.NextUint64(base.size()))];
+    City c;
+    c.name = "City" + std::to_string(++synth_id);
+    c.lat = util::Clamp(anchor.lat + rng.Normal(0.0, 2.0), 18.0, 53.0);
+    c.lon = util::Clamp(anchor.lon + rng.Normal(0.0, 2.5), 76.0, 134.0);
+    double pattern_draw = rng.UniformDouble();
+    if (pattern_draw < 0.15) {
+      c.pattern = CityPattern::kSeaside;
+    } else if (pattern_draw < 0.3) {
+      c.pattern = CityPattern::kMountain;
+    } else if (pattern_draw < 0.42) {
+      c.pattern = CityPattern::kTourist;
+    } else if (pattern_draw < 0.52) {
+      c.pattern = CityPattern::kHistoric;
+    } else {
+      c.pattern = CityPattern::kRegional;
+    }
+    c.popularity = 0.4 + rng.UniformDouble() * 1.2;
+    cities.push_back(std::move(c));
+  }
+  return CityAtlas(std::move(cities));
+}
+
+const City& CityAtlas::city(int64_t id) const {
+  ODNET_CHECK_GE(id, 0);
+  ODNET_CHECK_LT(id, size());
+  return cities_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> CityAtlas::CitiesWithPattern(CityPattern pattern,
+                                                  int64_t exclude) const {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (i != exclude && cities_[static_cast<size_t>(i)].pattern == pattern) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> CityAtlas::NearestCities(int64_t city_id,
+                                              int64_t k) const {
+  ODNET_CHECK_GE(city_id, 0);
+  ODNET_CHECK_LT(city_id, size());
+  const City& self = cities_[static_cast<size_t>(city_id)];
+  std::vector<std::pair<double, int64_t>> by_dist;
+  by_dist.reserve(static_cast<size_t>(size()));
+  for (int64_t i = 0; i < size(); ++i) {
+    if (i == city_id) continue;
+    const City& other = cities_[static_cast<size_t>(i)];
+    by_dist.emplace_back(
+        util::HaversineKm(self.lat, self.lon, other.lat, other.lon), i);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < k && i < static_cast<int64_t>(by_dist.size()); ++i) {
+    out.push_back(by_dist[static_cast<size_t>(i)].second);
+  }
+  return out;
+}
+
+int64_t CityAtlas::FindByName(const std::string& name) const {
+  for (int64_t i = 0; i < size(); ++i) {
+    if (cities_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace data
+}  // namespace odnet

@@ -1,0 +1,74 @@
+#ifndef ODNET_DATA_CITY_ATLAS_H_
+#define ODNET_DATA_CITY_ATLAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace data {
+
+/// Tourism/geography pattern of a city; the "same pattern" semantics the
+/// paper's case study leans on (Sanya/Qingdao/Dalian are all seaside).
+enum class CityPattern {
+  kBusinessHub = 0,
+  kSeaside = 1,
+  kMountain = 2,
+  kHistoric = 3,
+  kTourist = 4,
+  kRegional = 5,
+};
+
+const char* CityPatternName(CityPattern pattern);
+
+/// A city in the simulated airline network.
+struct City {
+  std::string name;
+  double lat = 0.0;
+  double lon = 0.0;
+  CityPattern pattern = CityPattern::kRegional;
+  /// Relative traffic weight; hubs are large, regional airports small.
+  double popularity = 1.0;
+};
+
+/// \brief Catalogue of cities used by the Fliggy simulator.
+///
+/// Seeds with ~60 real Chinese cities (true coordinates, hand-assigned
+/// patterns) and extends with plausibly-placed synthetic regional cities
+/// when a larger network is requested — the paper's Fliggy dataset has 200
+/// origin and 200 destination cities.
+class CityAtlas {
+ public:
+  /// Builds an atlas with exactly `num_cities` entries. If `num_cities`
+  /// exceeds the seed list, synthetic regional cities are generated
+  /// deterministically from `seed`.
+  static CityAtlas Generate(int64_t num_cities, uint64_t seed);
+
+  /// The full hand-curated seed list.
+  static const std::vector<City>& SeedCities();
+
+  int64_t size() const { return static_cast<int64_t>(cities_.size()); }
+  const City& city(int64_t id) const;
+  const std::vector<City>& cities() const { return cities_; }
+
+  /// Cities sharing `pattern`, excluding `exclude` (pass -1 for none).
+  std::vector<int64_t> CitiesWithPattern(CityPattern pattern,
+                                         int64_t exclude = -1) const;
+
+  /// Ids of the `k` nearest cities to `city_id` by great-circle distance.
+  std::vector<int64_t> NearestCities(int64_t city_id, int64_t k) const;
+
+  /// Index of the city whose name matches, or -1.
+  int64_t FindByName(const std::string& name) const;
+
+ private:
+  explicit CityAtlas(std::vector<City> cities) : cities_(std::move(cities)) {}
+  std::vector<City> cities_;
+};
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_CITY_ATLAS_H_

@@ -1,0 +1,257 @@
+#include "src/data/dataset_io.h"
+
+#include <algorithm>
+
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace odnet {
+namespace data {
+
+namespace {
+
+using util::CsvWriter;
+using util::Result;
+using util::Status;
+
+std::string Itos(int64_t v) { return std::to_string(v); }
+
+const char* KindName(SampleKind kind) {
+  switch (kind) {
+    case SampleKind::kPosPos:
+      return "pos_pos";
+    case SampleKind::kPosNeg:
+      return "pos_neg";
+    case SampleKind::kNegPos:
+      return "neg_pos";
+    case SampleKind::kNegNeg:
+      return "neg_neg";
+  }
+  return "?";
+}
+
+Result<SampleKind> ParseKind(const std::string& name) {
+  if (name == "pos_pos") return SampleKind::kPosPos;
+  if (name == "pos_neg") return SampleKind::kPosNeg;
+  if (name == "neg_pos") return SampleKind::kNegPos;
+  if (name == "neg_neg") return SampleKind::kNegNeg;
+  return Status::InvalidArgument("unknown sample kind: " + name);
+}
+
+Status ExpectHeader(const std::vector<std::vector<std::string>>& rows,
+                    const std::string& expected, const std::string& file) {
+  if (rows.empty()) return Status::InvalidArgument(file + ": empty file");
+  if (util::Join(rows[0], ",") != expected) {
+    return Status::InvalidArgument(file + ": bad header '" +
+                                   util::Join(rows[0], ",") + "'");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Field(const std::vector<std::string>& row, size_t index,
+                      const std::string& file) {
+  if (index >= row.size()) {
+    return Status::InvalidArgument(file + ": short row");
+  }
+  return util::ParseInt64(row[index]);
+}
+
+}  // namespace
+
+DatasetIoPaths DatasetIoPaths::InDirectory(const std::string& dir) {
+  DatasetIoPaths paths;
+  paths.users_csv = dir + "/users.csv";
+  paths.bookings_csv = dir + "/bookings.csv";
+  paths.clicks_csv = dir + "/clicks.csv";
+  paths.samples_csv = dir + "/samples.csv";
+  return paths;
+}
+
+Status WriteDataset(const OdDataset& dataset, const DatasetIoPaths& paths) {
+  {
+    ODNET_ASSIGN_OR_RETURN(CsvWriter users, CsvWriter::Open(paths.users_csv));
+    ODNET_RETURN_NOT_OK(users.WriteRow(
+        {"user_id", "current_city", "decision_day", "next_origin",
+         "next_dest"}));
+    for (const UserHistory& h : dataset.histories) {
+      ODNET_RETURN_NOT_OK(users.WriteRow(
+          {Itos(h.user), Itos(h.current_city), Itos(h.decision_day),
+           Itos(h.next_booking.origin), Itos(h.next_booking.destination)}));
+    }
+    ODNET_RETURN_NOT_OK(users.Close());
+  }
+  {
+    ODNET_ASSIGN_OR_RETURN(CsvWriter bookings,
+                           CsvWriter::Open(paths.bookings_csv));
+    ODNET_RETURN_NOT_OK(
+        bookings.WriteRow({"user_id", "day", "origin", "destination"}));
+    for (const UserHistory& h : dataset.histories) {
+      for (const Booking& b : h.long_term) {
+        ODNET_RETURN_NOT_OK(bookings.WriteRow(
+            {Itos(h.user), Itos(b.day), Itos(b.od.origin),
+             Itos(b.od.destination)}));
+      }
+    }
+    ODNET_RETURN_NOT_OK(bookings.Close());
+  }
+  {
+    ODNET_ASSIGN_OR_RETURN(CsvWriter clicks, CsvWriter::Open(paths.clicks_csv));
+    ODNET_RETURN_NOT_OK(
+        clicks.WriteRow({"user_id", "day", "origin", "destination"}));
+    for (const UserHistory& h : dataset.histories) {
+      for (const Click& c : h.short_term) {
+        ODNET_RETURN_NOT_OK(clicks.WriteRow(
+            {Itos(h.user), Itos(c.day), Itos(c.od.origin),
+             Itos(c.od.destination)}));
+      }
+    }
+    ODNET_RETURN_NOT_OK(clicks.Close());
+  }
+  {
+    ODNET_ASSIGN_OR_RETURN(CsvWriter samples,
+                           CsvWriter::Open(paths.samples_csv));
+    ODNET_RETURN_NOT_OK(samples.WriteRow(
+        {"split", "user_id", "origin", "destination", "label_o", "label_d",
+         "kind", "day"}));
+    auto write_samples = [&samples](const std::vector<Sample>& rows,
+                                    const char* split) -> Status {
+      for (const Sample& s : rows) {
+        ODNET_RETURN_NOT_OK(samples.WriteRow(
+            {split, Itos(s.user), Itos(s.candidate.origin),
+             Itos(s.candidate.destination),
+             s.label_o > 0.5f ? "1" : "0", s.label_d > 0.5f ? "1" : "0",
+             KindName(s.kind), Itos(s.day)}));
+      }
+      return Status::OK();
+    };
+    ODNET_RETURN_NOT_OK(write_samples(dataset.train_samples, "train"));
+    ODNET_RETURN_NOT_OK(write_samples(dataset.test_samples, "test"));
+    ODNET_RETURN_NOT_OK(samples.Close());
+  }
+  return Status::OK();
+}
+
+Result<OdDataset> ReadDataset(const DatasetIoPaths& paths) {
+  OdDataset dataset;
+
+  // users.csv establishes the user space.
+  ODNET_ASSIGN_OR_RETURN(auto user_rows, util::ReadCsvFile(paths.users_csv));
+  ODNET_RETURN_NOT_OK(ExpectHeader(
+      user_rows, "user_id,current_city,decision_day,next_origin,next_dest",
+      "users.csv"));
+  int64_t max_city = -1;
+  for (size_t r = 1; r < user_rows.size(); ++r) {
+    ODNET_ASSIGN_OR_RETURN(int64_t user, Field(user_rows[r], 0, "users.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t current,
+                           Field(user_rows[r], 1, "users.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t day, Field(user_rows[r], 2, "users.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t next_o,
+                           Field(user_rows[r], 3, "users.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t next_d,
+                           Field(user_rows[r], 4, "users.csv"));
+    if (user != static_cast<int64_t>(dataset.histories.size())) {
+      return Status::InvalidArgument(
+          "users.csv: user ids must be dense and ordered, got " +
+          Itos(user) + " at row " + Itos(static_cast<int64_t>(r)));
+    }
+    UserHistory h;
+    h.user = user;
+    h.current_city = current;
+    h.decision_day = day;
+    h.next_booking = OdPair{next_o, next_d};
+    dataset.histories.push_back(std::move(h));
+    max_city = std::max({max_city, current, next_o, next_d});
+  }
+  dataset.num_users = static_cast<int64_t>(dataset.histories.size());
+  if (dataset.num_users == 0) {
+    return Status::InvalidArgument("users.csv: no users");
+  }
+
+  auto check_user = [&dataset](int64_t user,
+                               const std::string& file) -> Status {
+    if (user < 0 || user >= dataset.num_users) {
+      return Status::OutOfRange(file + ": user id " + Itos(user));
+    }
+    return Status::OK();
+  };
+
+  ODNET_ASSIGN_OR_RETURN(auto booking_rows,
+                         util::ReadCsvFile(paths.bookings_csv));
+  ODNET_RETURN_NOT_OK(ExpectHeader(
+      booking_rows, "user_id,day,origin,destination", "bookings.csv"));
+  for (size_t r = 1; r < booking_rows.size(); ++r) {
+    ODNET_ASSIGN_OR_RETURN(int64_t user,
+                           Field(booking_rows[r], 0, "bookings.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t day,
+                           Field(booking_rows[r], 1, "bookings.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t o, Field(booking_rows[r], 2, "bookings.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t d, Field(booking_rows[r], 3, "bookings.csv"));
+    ODNET_RETURN_NOT_OK(check_user(user, "bookings.csv"));
+    dataset.histories[static_cast<size_t>(user)].long_term.push_back(
+        Booking{OdPair{o, d}, day});
+    max_city = std::max({max_city, o, d});
+  }
+
+  ODNET_ASSIGN_OR_RETURN(auto click_rows, util::ReadCsvFile(paths.clicks_csv));
+  ODNET_RETURN_NOT_OK(ExpectHeader(click_rows, "user_id,day,origin,destination",
+                                   "clicks.csv"));
+  for (size_t r = 1; r < click_rows.size(); ++r) {
+    ODNET_ASSIGN_OR_RETURN(int64_t user, Field(click_rows[r], 0, "clicks.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t day, Field(click_rows[r], 1, "clicks.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t o, Field(click_rows[r], 2, "clicks.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t d, Field(click_rows[r], 3, "clicks.csv"));
+    ODNET_RETURN_NOT_OK(check_user(user, "clicks.csv"));
+    dataset.histories[static_cast<size_t>(user)].short_term.push_back(
+        Click{OdPair{o, d}, day});
+    max_city = std::max({max_city, o, d});
+  }
+
+  ODNET_ASSIGN_OR_RETURN(auto sample_rows,
+                         util::ReadCsvFile(paths.samples_csv));
+  ODNET_RETURN_NOT_OK(ExpectHeader(
+      sample_rows, "split,user_id,origin,destination,label_o,label_d,kind,day",
+      "samples.csv"));
+  std::vector<bool> is_test_user(static_cast<size_t>(dataset.num_users),
+                                 false);
+  for (size_t r = 1; r < sample_rows.size(); ++r) {
+    const auto& row = sample_rows[r];
+    if (row.size() < 8) return Status::InvalidArgument("samples.csv: short row");
+    ODNET_ASSIGN_OR_RETURN(int64_t user, Field(row, 1, "samples.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t o, Field(row, 2, "samples.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t d, Field(row, 3, "samples.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t lo, Field(row, 4, "samples.csv"));
+    ODNET_ASSIGN_OR_RETURN(int64_t ld, Field(row, 5, "samples.csv"));
+    ODNET_ASSIGN_OR_RETURN(SampleKind kind, ParseKind(row[6]));
+    ODNET_ASSIGN_OR_RETURN(int64_t day, Field(row, 7, "samples.csv"));
+    ODNET_RETURN_NOT_OK(check_user(user, "samples.csv"));
+    Sample sample{user, OdPair{o, d}, lo != 0 ? 1.0f : 0.0f,
+                  ld != 0 ? 1.0f : 0.0f, kind, day};
+    max_city = std::max({max_city, o, d});
+    if (row[0] == "train") {
+      dataset.train_samples.push_back(sample);
+    } else if (row[0] == "test") {
+      dataset.test_samples.push_back(sample);
+      is_test_user[static_cast<size_t>(user)] = true;
+    } else {
+      return Status::InvalidArgument("samples.csv: unknown split " + row[0]);
+    }
+  }
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    if (is_test_user[static_cast<size_t>(u)]) dataset.test_users.push_back(u);
+  }
+  dataset.num_cities = max_city + 1;
+
+  // Per-user sequences must be time-ordered for the encoders.
+  for (UserHistory& h : dataset.histories) {
+    std::stable_sort(
+        h.long_term.begin(), h.long_term.end(),
+        [](const Booking& a, const Booking& b) { return a.day < b.day; });
+    std::stable_sort(
+        h.short_term.begin(), h.short_term.end(),
+        [](const Click& a, const Click& b) { return a.day < b.day; });
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace odnet

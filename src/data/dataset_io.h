@@ -1,0 +1,43 @@
+#ifndef ODNET_DATA_DATASET_IO_H_
+#define ODNET_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "src/data/types.h"
+#include "src/util/status.h"
+
+namespace odnet {
+namespace data {
+
+/// \brief CSV import/export of OdDataset, so real logs can be fed to the
+/// library and synthetic workloads can be inspected offline.
+///
+/// A dataset directory holds four files:
+///   users.csv     user_id,current_city,decision_day,next_origin,next_dest
+///   bookings.csv  user_id,day,origin,destination           (long-term)
+///   clicks.csv    user_id,day,origin,destination           (short-term)
+///   samples.csv   split,user_id,origin,destination,label_o,label_d,kind,day
+/// All files carry a header row. City and user ids must be dense
+/// [0, num_cities) / [0, num_users) integers.
+struct DatasetIoPaths {
+  std::string users_csv;
+  std::string bookings_csv;
+  std::string clicks_csv;
+  std::string samples_csv;
+
+  /// Conventional layout inside one directory.
+  static DatasetIoPaths InDirectory(const std::string& dir);
+};
+
+/// Writes `dataset` to the four CSV files (overwriting).
+util::Status WriteDataset(const OdDataset& dataset,
+                          const DatasetIoPaths& paths);
+
+/// Reads a dataset previously written by WriteDataset (or hand-assembled
+/// in the same schema). Validates id ranges and referential integrity.
+util::Result<OdDataset> ReadDataset(const DatasetIoPaths& paths);
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_DATASET_IO_H_

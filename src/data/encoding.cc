@@ -1,0 +1,128 @@
+#include "src/data/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace data {
+
+std::vector<float> TaskBatch::AdditiveMask(const std::vector<float>& pad) {
+  std::vector<float> mask(pad.size());
+  for (size_t i = 0; i < pad.size(); ++i) {
+    mask[i] = pad[i] > 0.5f ? 0.0f : -1e9f;
+  }
+  return mask;
+}
+
+BatchEncoder::BatchEncoder(const OdDataset* dataset,
+                           const TemporalFeatureIndex* temporal,
+                           SequenceSpec spec)
+    : dataset_(dataset), temporal_(temporal), spec_(spec) {
+  ODNET_CHECK(dataset != nullptr);
+  ODNET_CHECK_GT(spec.t_long, 0);
+  ODNET_CHECK_GT(spec.t_short, 0);
+}
+
+TaskBatch BatchEncoder::Encode(const std::vector<Sample>& samples,
+                               size_t begin, size_t end,
+                               bool origin_role) const {
+  ODNET_CHECK_LE(begin, end);
+  ODNET_CHECK_LE(end, samples.size());
+  const int64_t batch = static_cast<int64_t>(end - begin);
+  TaskBatch out;
+  out.batch = batch;
+  out.t_long = spec_.t_long;
+  out.t_short = spec_.t_short;
+  out.user_ids.reserve(static_cast<size_t>(batch));
+  out.current_city.reserve(static_cast<size_t>(batch));
+  out.candidate.reserve(static_cast<size_t>(batch));
+  out.labels.reserve(static_cast<size_t>(batch));
+  out.long_seq.assign(static_cast<size_t>(batch * spec_.t_long), 0);
+  out.long_pad.assign(static_cast<size_t>(batch * spec_.t_long), 0.0f);
+  out.long_day_gap.assign(static_cast<size_t>(batch * spec_.t_long), 0.0f);
+  out.long_dist_gap.assign(static_cast<size_t>(batch * spec_.t_long), 0.0f);
+  out.short_seq.assign(static_cast<size_t>(batch * spec_.t_short), 0);
+  out.short_pad.assign(static_cast<size_t>(batch * spec_.t_short), 0.0f);
+  out.xst.reserve(static_cast<size_t>(batch * TemporalFeatureIndex::kDim));
+
+  for (size_t s = begin; s < end; ++s) {
+    const Sample& sample = samples[s];
+    const UserHistory& h =
+        dataset_->histories[static_cast<size_t>(sample.user)];
+    const int64_t row = static_cast<int64_t>(s - begin);
+    out.user_ids.push_back(sample.user);
+    out.current_city.push_back(h.current_city);
+    int64_t cand = origin_role ? sample.candidate.origin
+                               : sample.candidate.destination;
+    out.candidate.push_back(cand);
+    out.labels.push_back(origin_role ? sample.label_o : sample.label_d);
+
+    // Long-term: keep the most recent t_long bookings, right-aligned.
+    const int64_t available = static_cast<int64_t>(h.long_term.size());
+    const int64_t keep = std::min(available, spec_.t_long);
+    const int64_t src_start = available - keep;
+    const int64_t dst_start = spec_.t_long - keep;
+    for (int64_t i = 0; i < keep; ++i) {
+      const Booking& b = h.long_term[static_cast<size_t>(src_start + i)];
+      size_t idx = static_cast<size_t>(row * spec_.t_long + dst_start + i);
+      out.long_seq[idx] = origin_role ? b.od.origin : b.od.destination;
+      out.long_pad[idx] = 1.0f;
+      if (i > 0) {
+        const Booking& prev =
+            h.long_term[static_cast<size_t>(src_start + i - 1)];
+        out.long_day_gap[idx] =
+            static_cast<float>(std::log1p(static_cast<double>(
+                std::max<int64_t>(b.day - prev.day, 0))));
+        // Distance proxy: |city id delta| is meaningless; callers with a
+        // geographic atlas overwrite this. By default we record whether
+        // consecutive role cities changed (0/1), still informative.
+        int64_t prev_city =
+            origin_role ? prev.od.origin : prev.od.destination;
+        out.long_dist_gap[idx] = out.long_seq[idx] == prev_city ? 0.0f : 1.0f;
+      }
+    }
+
+    // Short-term: most recent t_short clicks, right-aligned.
+    const int64_t s_available = static_cast<int64_t>(h.short_term.size());
+    const int64_t s_keep = std::min(s_available, spec_.t_short);
+    const int64_t s_src = s_available - s_keep;
+    const int64_t s_dst = spec_.t_short - s_keep;
+    for (int64_t i = 0; i < s_keep; ++i) {
+      const Click& c = h.short_term[static_cast<size_t>(s_src + i)];
+      size_t idx = static_cast<size_t>(row * spec_.t_short + s_dst + i);
+      out.short_seq[idx] = origin_role ? c.od.origin : c.od.destination;
+      out.short_pad[idx] = 1.0f;
+    }
+
+    // Temporal statistics for the candidate in this role.
+    if (temporal_ != nullptr) {
+      auto feats = origin_role ? temporal_->OriginFeatures(h, cand)
+                               : temporal_->DestinationFeatures(h, cand);
+      out.xst.insert(out.xst.end(), feats.begin(), feats.end());
+    } else {
+      out.xst.insert(out.xst.end(), TemporalFeatureIndex::kDim, 0.0f);
+    }
+  }
+  return out;
+}
+
+TaskBatch BatchEncoder::EncodeOrigin(const std::vector<Sample>& samples,
+                                     size_t begin, size_t end) const {
+  return Encode(samples, begin, end, /*origin_role=*/true);
+}
+
+TaskBatch BatchEncoder::EncodeDestination(const std::vector<Sample>& samples,
+                                          size_t begin, size_t end) const {
+  return Encode(samples, begin, end, /*origin_role=*/false);
+}
+
+OdBatch BatchEncoder::EncodeJoint(const std::vector<Sample>& samples,
+                                  size_t begin, size_t end) const {
+  return OdBatch{EncodeOrigin(samples, begin, end),
+                 EncodeDestination(samples, begin, end)};
+}
+
+}  // namespace data
+}  // namespace odnet

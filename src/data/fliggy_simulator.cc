@@ -1,0 +1,424 @@
+#include "src/data/fliggy_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/math_util.h"
+
+namespace odnet {
+namespace data {
+
+namespace {
+
+constexpr double kNoRoute = -1.0;
+
+// Price model constants: base fare plus distance-driven component.
+constexpr double kBaseFare = 200.0;
+constexpr double kPerKmFactor = 0.55;
+constexpr double kDistanceExponent = 0.85;
+
+}  // namespace
+
+FliggySimulator::FliggySimulator(const FliggyConfig& config)
+    : config_(config),
+      atlas_(CityAtlas::Generate(config.num_cities, config.seed ^ 0x9e3779b9)),
+      master_rng_(config.seed) {
+  ODNET_CHECK_GT(config_.num_users, 0);
+  ODNET_CHECK_GT(config_.num_cities, 1);
+  ODNET_CHECK_GT(config_.mean_bookings, 0.0);
+  BuildNetwork();
+  BuildUsers();
+}
+
+void FliggySimulator::BuildNetwork() {
+  const int64_t n = atlas_.size();
+  price_.assign(static_cast<size_t>(n * n), kNoRoute);
+  util::Rng rng = master_rng_.Fork();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const City& a = atlas_.city(i);
+      const City& b = atlas_.city(j);
+      double dist = util::HaversineKm(a.lat, a.lon, b.lat, b.lon);
+      // Route existence grows with endpoint popularity and shrinks for very
+      // short hops (no flights between adjacent cities) — this is what
+      // creates the "no direct flight from Ningbo to Sanya" situations the
+      // paper's Fig. 1 motivates.
+      double pop = a.popularity * b.popularity;
+      double exist_prob = util::Clamp(0.08 * pop, 0.05, 0.98);
+      if (dist < 150.0) exist_prob = 0.0;
+      if (!rng.Bernoulli(exist_prob)) continue;
+      // Hub discount: flights out of busy airports are cheaper per km —
+      // this is what makes departing from an explored nearby hub
+      // attractive (Fig. 1's Shanghai-vs-Ningbo price gap).
+      double hub_discount = 1.0 - 0.05 * std::min(a.popularity, 8.0);
+      double noise = 0.85 + 0.3 * rng.UniformDouble();
+      double fare = (kBaseFare + kPerKmFactor * std::pow(dist, kDistanceExponent) *
+                                      hub_discount) *
+                    noise;
+      price_[static_cast<size_t>(i * n + j)] = fare;
+    }
+  }
+  // Guarantee every city has at least one outbound and one inbound route
+  // (to its nearest hub) so users are never stranded.
+  for (int64_t i = 0; i < n; ++i) {
+    bool has_out = false;
+    bool has_in = false;
+    for (int64_t j = 0; j < n; ++j) {
+      if (price_[static_cast<size_t>(i * n + j)] > 0) has_out = true;
+      if (price_[static_cast<size_t>(j * n + i)] > 0) has_in = true;
+    }
+    if (has_out && has_in) continue;
+    // Connect to the most popular other city.
+    int64_t hub = i == 0 ? 1 : 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i &&
+          atlas_.city(j).popularity > atlas_.city(hub).popularity) {
+        hub = j;
+      }
+    }
+    const City& a = atlas_.city(i);
+    const City& b = atlas_.city(hub);
+    double dist = util::HaversineKm(a.lat, a.lon, b.lat, b.lon);
+    double fare = kBaseFare + kPerKmFactor * std::pow(dist, kDistanceExponent);
+    if (!has_out) price_[static_cast<size_t>(i * n + hub)] = fare;
+    if (!has_in) price_[static_cast<size_t>(hub * n + i)] = fare;
+  }
+}
+
+void FliggySimulator::BuildUsers() {
+  util::Rng rng = master_rng_.Fork();
+  profiles_.resize(static_cast<size_t>(config_.num_users));
+  // Home city follows city popularity.
+  std::vector<double> pop_weights;
+  pop_weights.reserve(static_cast<size_t>(atlas_.size()));
+  for (int64_t c = 0; c < atlas_.size(); ++c) {
+    pop_weights.push_back(atlas_.city(c).popularity);
+  }
+  const CityPattern kVacationPatterns[] = {
+      CityPattern::kSeaside, CityPattern::kMountain, CityPattern::kHistoric,
+      CityPattern::kTourist};
+  for (UserProfile& p : profiles_) {
+    p.home_city = rng.Categorical(pop_weights);
+    double archetype_draw = rng.UniformDouble();
+    if (archetype_draw < 0.3) {
+      p.archetype = UserArchetype::kBusinessCommuter;
+    } else if (archetype_draw < 0.7) {
+      p.archetype = UserArchetype::kSeasonalVacationer;
+    } else {
+      p.archetype = UserArchetype::kExplorer;
+    }
+    // Work city: a hub different from home.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      int64_t w = rng.Categorical(pop_weights);
+      if (w != p.home_city) {
+        p.work_city = w;
+        break;
+      }
+    }
+    if (p.work_city < 0) p.work_city = (p.home_city + 1) % atlas_.size();
+    p.preferred_pattern = kVacationPatterns[rng.NextUint64(4)];
+    p.price_sensitivity = 0.2 + 0.8 * rng.UniformDouble();
+    p.vacation_month = static_cast<int64_t>(rng.NextUint64(12));
+  }
+}
+
+const UserProfile& FliggySimulator::profile(int64_t user) const {
+  ODNET_CHECK_GE(user, 0);
+  ODNET_CHECK_LT(user, static_cast<int64_t>(profiles_.size()));
+  return profiles_[static_cast<size_t>(user)];
+}
+
+bool FliggySimulator::RouteExists(int64_t origin, int64_t destination) const {
+  if (origin == destination) return false;
+  ODNET_CHECK_GE(origin, 0);
+  ODNET_CHECK_LT(origin, atlas_.size());
+  ODNET_CHECK_GE(destination, 0);
+  ODNET_CHECK_LT(destination, atlas_.size());
+  // Read the raw fare table: Price() maps missing routes to +infinity,
+  // which must not count as existing.
+  return price_[static_cast<size_t>(origin * atlas_.size() + destination)] >
+         0;
+}
+
+double FliggySimulator::Price(int64_t origin, int64_t destination) const {
+  ODNET_CHECK_GE(origin, 0);
+  ODNET_CHECK_LT(origin, atlas_.size());
+  ODNET_CHECK_GE(destination, 0);
+  ODNET_CHECK_LT(destination, atlas_.size());
+  double p = price_[static_cast<size_t>(origin * atlas_.size() + destination)];
+  return p > 0 ? p : std::numeric_limits<double>::infinity();
+}
+
+std::vector<int64_t> FliggySimulator::CandidateOrigins(int64_t user) const {
+  const UserProfile& p = profile(user);
+  std::vector<int64_t> origins = atlas_.NearestCities(p.home_city, 4);
+  origins.insert(origins.begin(), p.home_city);
+  return origins;
+}
+
+std::vector<int64_t> FliggySimulator::CandidateDestinations(
+    int64_t user, int64_t day, util::Rng* rng) const {
+  const UserProfile& p = profile(user);
+  const int64_t month = (day / 30) % 12;
+  std::vector<int64_t> dests;
+  switch (p.archetype) {
+    case UserArchetype::kBusinessCommuter:
+      dests.push_back(p.work_city);
+      // Occasional leisure trip.
+      if (rng->Bernoulli(0.25)) {
+        auto leisure = atlas_.CitiesWithPattern(p.preferred_pattern,
+                                                p.home_city);
+        if (!leisure.empty()) {
+          dests.push_back(
+              leisure[rng->NextUint64(leisure.size())]);
+        }
+      }
+      break;
+    case UserArchetype::kSeasonalVacationer: {
+      auto pattern_cities =
+          atlas_.CitiesWithPattern(p.preferred_pattern, p.home_city);
+      bool in_season = month == p.vacation_month ||
+                       month == (p.vacation_month + 1) % 12;
+      // In season: strongly pattern-driven; off-season: mixed.
+      if (!pattern_cities.empty() && (in_season || rng->Bernoulli(0.4))) {
+        // Consider several same-pattern cities (some unseen — explore D).
+        int64_t picks = std::min<int64_t>(
+            3, static_cast<int64_t>(pattern_cities.size()));
+        for (int64_t idx :
+             rng->SampleWithoutReplacement(
+                 static_cast<int64_t>(pattern_cities.size()), picks)) {
+          dests.push_back(pattern_cities[static_cast<size_t>(idx)]);
+        }
+      }
+      if (dests.empty() || rng->Bernoulli(0.3)) {
+        dests.push_back(p.work_city);
+      }
+      break;
+    }
+    case UserArchetype::kExplorer: {
+      // Popularity-weighted random cities.
+      for (int i = 0; i < 3; ++i) {
+        int64_t c = rng->Zipf(atlas_.size(), 0.8);
+        if (c != p.home_city) dests.push_back(c);
+      }
+      if (dests.empty()) dests.push_back(p.work_city);
+      break;
+    }
+  }
+  return dests;
+}
+
+double FliggySimulator::TrueUtility(int64_t user, const OdPair& od,
+                                    int64_t day) const {
+  const UserProfile& p = profile(user);
+  if (od.origin == od.destination) return -1e9;
+  double price = Price(od.origin, od.destination);
+  if (!std::isfinite(price)) return -1e9;
+
+  const City& origin = atlas_.city(od.origin);
+  const City& home = atlas_.city(p.home_city);
+  const City& dest = atlas_.city(od.destination);
+
+  // Hassle of getting to the departure city from home.
+  double hassle_km =
+      util::HaversineKm(home.lat, home.lon, origin.lat, origin.lon);
+  // Destination affinity by archetype.
+  double affinity = 0.0;
+  const int64_t month = (day / 30) % 12;
+  if (od.destination == p.work_city) affinity += 1.2;
+  if (dest.pattern == p.preferred_pattern) {
+    affinity += 0.8;
+    if (month == p.vacation_month) affinity += 1.0;
+  }
+  affinity += 0.08 * dest.popularity;
+
+  // Utility: affinity minus price and hassle costs, scaled to O(1).
+  return affinity - p.price_sensitivity * (price / 600.0) -
+         (hassle_km / 300.0);
+}
+
+OdPair FliggySimulator::SampleBooking(
+    int64_t user, int64_t day, util::Rng* rng,
+    std::vector<PendingReturn>* pending) const {
+  // Pending return tickets dominate (unity of O&D).
+  if (!pending->empty() && pending->front().due_day <= day) {
+    OdPair od = pending->front().od;
+    pending->erase(pending->begin());
+    if (RouteExists(od.origin, od.destination)) return od;
+  }
+
+  const UserProfile& p = profile(user);
+  std::vector<int64_t> origins = CandidateOrigins(user);
+  std::vector<int64_t> dests = CandidateDestinations(user, day, rng);
+
+  // Score every feasible (o, d) pair with the ground-truth utility and
+  // sample via softmax — users mostly pick the best option but not always.
+  std::vector<OdPair> options;
+  std::vector<double> scores;
+  for (int64_t o : origins) {
+    for (int64_t d : dests) {
+      if (o == d || !RouteExists(o, d)) continue;
+      OdPair od{o, d};
+      double u = TrueUtility(user, od, day);
+      // Explore-O damping: users unwilling to explore stick to home.
+      if (o != p.home_city &&
+          !rng->Bernoulli(config_.explore_origin_prob * p.price_sensitivity)) {
+        u -= 2.0;
+      }
+      options.push_back(od);
+      scores.push_back(u * 1.2);  // mild softmax sharpening
+    }
+  }
+  if (options.empty()) {
+    // Fall back to any existing route from home.
+    for (int64_t d = 0; d < atlas_.size(); ++d) {
+      if (RouteExists(p.home_city, d)) {
+        options.push_back(OdPair{p.home_city, d});
+        scores.push_back(0.0);
+        break;
+      }
+    }
+  }
+  ODNET_CHECK(!options.empty()) << "city " << p.home_city
+                                << " has no outbound route";
+  util::SoftmaxInPlace(&scores);
+  OdPair chosen = options[static_cast<size_t>(rng->Categorical(scores))];
+
+  // Queue a return ticket with some probability (the unity signal).
+  double return_prob = config_.return_ticket_prob;
+  if (p.archetype == UserArchetype::kBusinessCommuter) return_prob += 0.3;
+  if (rng->Bernoulli(return_prob) &&
+      RouteExists(chosen.destination, chosen.origin)) {
+    pending->push_back(PendingReturn{
+        OdPair{chosen.destination, chosen.origin},
+        day + 2 + static_cast<int64_t>(rng->NextUint64(10))});
+  }
+  return chosen;
+}
+
+OdDataset FliggySimulator::Generate() {
+  OdDataset dataset;
+  dataset.num_users = config_.num_users;
+  dataset.num_cities = config_.num_cities;
+  dataset.histories.resize(static_cast<size_t>(config_.num_users));
+
+  util::Rng split_rng = master_rng_.Fork();
+  util::Rng user_seed_rng = master_rng_.Fork();
+
+  const int64_t horizon = config_.long_term_days;
+  for (int64_t u = 0; u < config_.num_users; ++u) {
+    util::Rng rng = user_seed_rng.Fork();
+    UserHistory& h = dataset.histories[static_cast<size_t>(u)];
+    h.user = u;
+    h.current_city = profile(u).home_city;
+
+    // Roll the booking timeline across the long-term window.
+    std::vector<PendingReturn> pending;
+    int64_t num_bookings = std::max<int64_t>(
+        2, static_cast<int64_t>(std::llround(
+               rng.Normal(config_.mean_bookings, config_.mean_bookings / 3))));
+    std::vector<int64_t> days;
+    days.reserve(static_cast<size_t>(num_bookings));
+    for (int64_t i = 0; i < num_bookings; ++i) {
+      days.push_back(static_cast<int64_t>(rng.NextUint64(
+          static_cast<uint64_t>(horizon))));
+    }
+    std::sort(days.begin(), days.end());
+    for (int64_t day : days) {
+      OdPair od = SampleBooking(u, day, &rng, &pending);
+      h.long_term.push_back(Booking{od, day});
+    }
+
+    // The label: the next booking after the history window.
+    h.decision_day =
+        horizon + 1 + static_cast<int64_t>(
+                          rng.NextUint64(static_cast<uint64_t>(
+                              config_.label_window_days)));
+    h.next_booking = SampleBooking(u, h.decision_day, &rng, &pending);
+
+    // Short-term clicks: noisy previews of the label plus comparison
+    // clicks. Only some users click what they end up booking (~55%), so
+    // the short-term window is informative but never deterministic.
+    const int64_t click_start = h.decision_day - config_.short_term_days;
+    if (rng.Bernoulli(0.55)) {
+      int64_t label_clicks = 1 + static_cast<int64_t>(rng.NextUint64(2));
+      for (int64_t i = 0; i < label_clicks; ++i) {
+        h.short_term.push_back(
+            Click{h.next_booking,
+                  click_start + static_cast<int64_t>(rng.NextUint64(
+                                    static_cast<uint64_t>(
+                                        config_.short_term_days)))});
+      }
+    }
+    int64_t noise_clicks = 1 + static_cast<int64_t>(rng.NextUint64(4));
+    for (int64_t i = 0; i < noise_clicks; ++i) {
+      std::vector<PendingReturn> no_pending;
+      OdPair alt = SampleBooking(u, h.decision_day, &rng, &no_pending);
+      h.short_term.push_back(
+          Click{alt, click_start + static_cast<int64_t>(rng.NextUint64(
+                                       static_cast<uint64_t>(
+                                           config_.short_term_days)))});
+    }
+    std::sort(h.short_term.begin(), h.short_term.end(),
+              [](const Click& a, const Click& b) { return a.day < b.day; });
+  }
+
+  // Negative sampling per the paper: for each positive (O+, D+), two of
+  // each partially-negative form and two fully-negative samples.
+  util::Rng neg_rng = master_rng_.Fork();
+  // Popularity-weighted negative sampling: distractor cities are plausible
+  // busy airports, not uniform noise, so separating them requires real
+  // personalization signal.
+  std::vector<double> neg_weights;
+  neg_weights.reserve(static_cast<size_t>(atlas_.size()));
+  for (int64_t c = 0; c < atlas_.size(); ++c) {
+    neg_weights.push_back(atlas_.city(c).popularity);
+  }
+  auto emit_samples = [&](int64_t u, std::vector<Sample>* out) {
+    const UserHistory& h = dataset.histories[static_cast<size_t>(u)];
+    const OdPair& pos = h.next_booking;
+    auto random_other_city = [&](int64_t avoid) {
+      int64_t c;
+      do {
+        c = neg_rng.Categorical(neg_weights);
+      } while (c == avoid);
+      return c;
+    };
+    out->push_back(Sample{u, pos, 1.0f, 1.0f, SampleKind::kPosPos,
+                          h.decision_day});
+    for (int64_t i = 0; i < config_.partial_negatives_per_form; ++i) {
+      out->push_back(Sample{
+          u, OdPair{pos.origin, random_other_city(pos.destination)}, 1.0f,
+          0.0f, SampleKind::kPosNeg, h.decision_day});
+      out->push_back(Sample{
+          u, OdPair{random_other_city(pos.origin), pos.destination}, 0.0f,
+          1.0f, SampleKind::kNegPos, h.decision_day});
+    }
+    for (int64_t i = 0; i < config_.full_negatives; ++i) {
+      out->push_back(Sample{u,
+                            OdPair{random_other_city(pos.origin),
+                                   random_other_city(pos.destination)},
+                            0.0f, 0.0f, SampleKind::kNegNeg, h.decision_day});
+    }
+  };
+
+  for (int64_t u = 0; u < config_.num_users; ++u) {
+    if (split_rng.Bernoulli(config_.train_fraction)) {
+      emit_samples(u, &dataset.train_samples);
+    } else {
+      emit_samples(u, &dataset.test_samples);
+      dataset.test_users.push_back(u);
+    }
+  }
+  ODNET_LOG_DEBUG << "FliggySimulator generated " << dataset.train_samples.size()
+                  << " train and " << dataset.test_samples.size()
+                  << " test samples";
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace odnet

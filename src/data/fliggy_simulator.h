@@ -1,0 +1,137 @@
+#ifndef ODNET_DATA_FLIGGY_SIMULATOR_H_
+#define ODNET_DATA_FLIGGY_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/city_atlas.h"
+#include "src/data/types.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace data {
+
+/// Configuration of the synthetic Fliggy workload. Defaults are sized for a
+/// single-core machine; the paper's production scale (2.6M users, 200
+/// cities) is reachable by scaling num_users/num_cities.
+struct FliggyConfig {
+  int64_t num_users = 2000;
+  int64_t num_cities = 60;
+  uint64_t seed = 42;
+
+  /// History window lengths (paper: 2 years of bookings, 7 days of clicks).
+  int64_t long_term_days = 730;
+  int64_t short_term_days = 7;
+  /// The label booking falls within this many days after the history window.
+  int64_t label_window_days = 30;
+
+  /// Mean bookings per user over the long-term window (Poisson-ish).
+  double mean_bookings = 8.0;
+
+  /// Negative sampling per positive (paper Sec. V-A-1): two samples of each
+  /// partially-negative form and two fully-negative samples.
+  int64_t partial_negatives_per_form = 2;
+  int64_t full_negatives = 2;
+
+  /// Fraction of users assigned to the training split (Table I is ~78/22).
+  double train_fraction = 0.78;
+
+  // --- behavioural knobs (the planted signals) -----------------------
+
+  /// Probability that a vacationer books a same-pattern unseen destination
+  /// when it is cheaper (the "explore D" signal).
+  double explore_destination_prob = 0.45;
+  /// Probability scale for departing from a cheaper nearby city instead of
+  /// home (the "explore O" signal).
+  double explore_origin_prob = 0.5;
+  /// Probability that a booking A->B queues a return booking B->A (the
+  /// "unity of O&D" signal).
+  double return_ticket_prob = 0.35;
+};
+
+/// User archetype driving the behavioural model.
+enum class UserArchetype {
+  kBusinessCommuter = 0,  // shuttles home <-> work city, buys returns
+  kSeasonalVacationer = 1,  // pattern-affine trips, seasonal peaks
+  kExplorer = 2,            // price-driven, tries new Os and Ds
+};
+
+/// Latent profile of a simulated user (ground truth; models never see it).
+struct UserProfile {
+  int64_t home_city = -1;
+  UserArchetype archetype = UserArchetype::kExplorer;
+  int64_t work_city = -1;             // business commuters only
+  CityPattern preferred_pattern = CityPattern::kSeaside;
+  double price_sensitivity = 0.5;     // in [0, 1]
+  int64_t vacation_month = 9;         // 0..11
+};
+
+/// \brief Generative stand-in for the proprietary Fliggy logs.
+///
+/// Builds a synthetic airline network over a CityAtlas (route existence +
+/// prices with hub discounts), populates users with latent archetypes, and
+/// rolls out a two-year booking timeline per user. The two challenges the
+/// paper identifies are *planted*:
+///
+///  - Exploration of O&D: users depart from cheaper nearby cities and fly
+///    to unseen same-pattern destinations when prices favour them, so a
+///    model that only exploits feedback cities underfits.
+///  - Unity of O&D: return tickets and commuter round-trips make the next
+///    (O, D) jointly — not marginally — predictable.
+///
+/// All randomness flows from the config seed: generation is deterministic.
+class FliggySimulator {
+ public:
+  explicit FliggySimulator(const FliggyConfig& config);
+
+  /// Generates the full dataset: per-user histories, label bookings, and
+  /// the 1:4:2 positive/partial/full-negative training & test samples.
+  OdDataset Generate();
+
+  // -- Ground-truth accessors (for serving simulation & case studies) ----
+
+  const CityAtlas& atlas() const { return atlas_; }
+  const FliggyConfig& config() const { return config_; }
+  const UserProfile& profile(int64_t user) const;
+
+  /// True iff a direct flight o -> d exists in the synthetic network.
+  bool RouteExists(int64_t origin, int64_t destination) const;
+
+  /// Ticket price (CNY-ish scale) of o -> d; +inf when no route.
+  double Price(int64_t origin, int64_t destination) const;
+
+  /// Ground-truth attractiveness of an OD pair for a user on `day` —
+  /// the same utility the behavioural model maximizes. Used by the A/B
+  /// simulator as the click propensity and by case studies as the oracle.
+  double TrueUtility(int64_t user, const OdPair& od, int64_t day) const;
+
+ private:
+  void BuildNetwork();
+  void BuildUsers();
+
+  struct PendingReturn {
+    OdPair od;
+    int64_t due_day = 0;
+  };
+
+  /// Samples the user's next booking on/after `day` (the behavioural core).
+  OdPair SampleBooking(int64_t user, int64_t day, util::Rng* rng,
+                       std::vector<PendingReturn>* pending) const;
+
+  /// Candidate origins for a user: home + nearby cities (explore-O set).
+  std::vector<int64_t> CandidateOrigins(int64_t user) const;
+  /// Candidate destinations given an intent.
+  std::vector<int64_t> CandidateDestinations(int64_t user, int64_t day,
+                                             util::Rng* rng) const;
+
+  FliggyConfig config_;
+  CityAtlas atlas_;
+  std::vector<UserProfile> profiles_;
+  std::vector<double> price_;       // [n*n], <0 means no route
+  util::Rng master_rng_;
+};
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_FLIGGY_SIMULATOR_H_

@@ -1,0 +1,71 @@
+#include "src/data/lbsn_adapter.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace data {
+
+OdDataset LbsnToOdDataset(const LbsnDataset& lbsn,
+                          const LbsnAdapterOptions& options) {
+  OdDataset out;
+  out.num_users = lbsn.num_users;
+  out.num_cities = lbsn.num_pois;
+  out.histories.resize(static_cast<size_t>(lbsn.num_users));
+
+  util::Rng rng(options.seed);
+  for (int64_t u = 0; u < lbsn.num_users; ++u) {
+    const std::vector<CheckIn>& seq = lbsn.sequences[static_cast<size_t>(u)];
+    ODNET_CHECK_GE(seq.size(), 2u) << "user " << u << " sequence too short";
+    UserHistory& h = out.histories[static_cast<size_t>(u)];
+    h.user = u;
+
+    const CheckIn& target = seq.back();
+    h.next_booking = OdPair{target.poi, target.poi};
+    h.decision_day = target.day + 1;
+    // All but the final check-in: long-term behaviour.
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      h.long_term.push_back(
+          Booking{OdPair{seq[i].poi, seq[i].poi}, seq[i].day});
+    }
+    // The most recent few also act as the short-term window.
+    size_t recent = std::min<size_t>(3, h.long_term.size());
+    for (size_t i = h.long_term.size() - recent; i < h.long_term.size(); ++i) {
+      h.short_term.push_back(
+          Click{h.long_term[i].od, h.long_term[i].day});
+    }
+    h.current_city = h.long_term.back().od.destination;
+  }
+
+  util::Rng split_rng(options.seed ^ 0xABCD);
+  util::Rng neg_rng(options.seed ^ 0x1234);
+  auto emit = [&](int64_t u, std::vector<Sample>* dst) {
+    const UserHistory& h = out.histories[static_cast<size_t>(u)];
+    const OdPair& pos = h.next_booking;
+    dst->push_back(
+        Sample{u, pos, 1.0f, 1.0f, SampleKind::kPosPos, h.decision_day});
+    for (int64_t i = 0; i < options.negatives_per_positive; ++i) {
+      int64_t other;
+      do {
+        other = static_cast<int64_t>(
+            neg_rng.NextUint64(static_cast<uint64_t>(lbsn.num_pois)));
+      } while (other == pos.destination);
+      dst->push_back(Sample{u, OdPair{other, other}, 0.0f, 0.0f,
+                            SampleKind::kNegNeg, h.decision_day});
+    }
+  };
+  for (int64_t u = 0; u < lbsn.num_users; ++u) {
+    if (split_rng.Bernoulli(options.train_fraction)) {
+      emit(u, &out.train_samples);
+    } else {
+      emit(u, &out.test_samples);
+      out.test_users.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace odnet

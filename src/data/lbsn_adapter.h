@@ -1,0 +1,30 @@
+#ifndef ODNET_DATA_LBSN_ADAPTER_H_
+#define ODNET_DATA_LBSN_ADAPTER_H_
+
+#include "src/data/types.h"
+
+namespace odnet {
+namespace data {
+
+/// Options for converting an LBSN dataset to the OD evaluation schema.
+struct LbsnAdapterOptions {
+  double train_fraction = 0.78;
+  int64_t negatives_per_positive = 6;
+  uint64_t seed = 31;
+};
+
+/// \brief Casts a next-POI dataset into the OdDataset schema so the Table
+/// IV harness can reuse the single-task machinery.
+///
+/// Check-in data has no origin information, so each event becomes a
+/// degenerate OD pair (poi, poi) — the origin view mirrors the destination
+/// view and models must run in d_only mode. The user's final check-in is
+/// held out as the prediction target; earlier check-ins form the long-term
+/// sequence and the most recent few double as the short-term window.
+OdDataset LbsnToOdDataset(const LbsnDataset& lbsn,
+                          const LbsnAdapterOptions& options);
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_LBSN_ADAPTER_H_

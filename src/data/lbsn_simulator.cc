@@ -1,0 +1,155 @@
+#include "src/data/lbsn_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace data {
+
+LbsnConfig LbsnConfig::FoursquarePreset(uint64_t seed) {
+  LbsnConfig c;
+  c.name = "Foursquare";
+  c.num_users = 1600;
+  c.num_pois = 360;
+  c.mean_checkins = 22.0;
+  c.seed = seed;
+  return c;
+}
+
+LbsnConfig LbsnConfig::GowallaPreset(uint64_t seed) {
+  LbsnConfig c;
+  c.name = "Gowalla";
+  c.num_users = 1300;
+  c.num_pois = 520;
+  c.mean_checkins = 18.0;
+  c.locality = 0.65;  // Gowalla users roam more
+  c.seed = seed;
+  return c;
+}
+
+LbsnSimulator::LbsnSimulator(const LbsnConfig& config)
+    : config_(config), master_rng_(config.seed) {
+  ODNET_CHECK_GT(config_.num_users, 0);
+  ODNET_CHECK_GT(config_.num_pois, 1);
+  ODNET_CHECK_GT(config_.num_regions, 0);
+  ODNET_CHECK_GT(config_.num_categories, 0);
+}
+
+LbsnDataset LbsnSimulator::Generate() {
+  LbsnDataset out;
+  out.name = config_.name;
+  out.num_users = config_.num_users;
+  out.num_pois = config_.num_pois;
+
+  util::Rng rng = master_rng_.Fork();
+
+  // Region centers scattered on a synthetic map.
+  std::vector<double> region_lat(static_cast<size_t>(config_.num_regions));
+  std::vector<double> region_lon(static_cast<size_t>(config_.num_regions));
+  for (int64_t r = 0; r < config_.num_regions; ++r) {
+    region_lat[static_cast<size_t>(r)] = rng.UniformDouble(20.0, 50.0);
+    region_lon[static_cast<size_t>(r)] = rng.UniformDouble(-120.0, 120.0);
+  }
+
+  // POIs: region, category, popularity (Zipf by id).
+  std::vector<int64_t> poi_region(static_cast<size_t>(config_.num_pois));
+  std::vector<int64_t> poi_category(static_cast<size_t>(config_.num_pois));
+  std::vector<double> poi_pop(static_cast<size_t>(config_.num_pois));
+  out.poi_lat.resize(static_cast<size_t>(config_.num_pois));
+  out.poi_lon.resize(static_cast<size_t>(config_.num_pois));
+  for (int64_t p = 0; p < config_.num_pois; ++p) {
+    size_t up = static_cast<size_t>(p);
+    poi_region[up] = static_cast<int64_t>(
+        rng.NextUint64(static_cast<uint64_t>(config_.num_regions)));
+    poi_category[up] = static_cast<int64_t>(
+        rng.NextUint64(static_cast<uint64_t>(config_.num_categories)));
+    poi_pop[up] = 1.0 / std::pow(static_cast<double>(p + 1), 0.8);
+    out.poi_lat[up] =
+        region_lat[static_cast<size_t>(poi_region[up])] + rng.Normal(0, 0.2);
+    out.poi_lon[up] =
+        region_lon[static_cast<size_t>(poi_region[up])] + rng.Normal(0, 0.2);
+  }
+
+  // Per-region POI lists for locality-constrained sampling.
+  std::vector<std::vector<int64_t>> region_pois(
+      static_cast<size_t>(config_.num_regions));
+  for (int64_t p = 0; p < config_.num_pois; ++p) {
+    region_pois[static_cast<size_t>(poi_region[static_cast<size_t>(p)])]
+        .push_back(p);
+  }
+
+  auto sample_poi = [&](util::Rng* user_rng, int64_t region,
+                        int64_t preferred_category) -> int64_t {
+    // Candidate pool: stay local or roam globally.
+    const std::vector<int64_t>* pool = nullptr;
+    std::vector<int64_t> global_fallback;
+    if (region >= 0 && user_rng->Bernoulli(config_.locality) &&
+        !region_pois[static_cast<size_t>(region)].empty()) {
+      pool = &region_pois[static_cast<size_t>(region)];
+    } else {
+      global_fallback.resize(static_cast<size_t>(config_.num_pois));
+      for (int64_t p = 0; p < config_.num_pois; ++p) {
+        global_fallback[static_cast<size_t>(p)] = p;
+      }
+      pool = &global_fallback;
+    }
+    bool want_taste = user_rng->Bernoulli(config_.taste_strength);
+    std::vector<double> weights;
+    weights.reserve(pool->size());
+    for (int64_t p : *pool) {
+      double w = poi_pop[static_cast<size_t>(p)];
+      if (want_taste && poi_category[static_cast<size_t>(p)] ==
+                            preferred_category) {
+        w *= 6.0;
+      }
+      weights.push_back(w);
+    }
+    return (*pool)[static_cast<size_t>(user_rng->Categorical(weights))];
+  };
+
+  out.sequences.resize(static_cast<size_t>(config_.num_users));
+  int64_t total_checkins = 0;
+  util::Rng user_seed_rng = master_rng_.Fork();
+  for (int64_t u = 0; u < config_.num_users; ++u) {
+    util::Rng user_rng = user_seed_rng.Fork();
+    int64_t home_region = static_cast<int64_t>(
+        user_rng.NextUint64(static_cast<uint64_t>(config_.num_regions)));
+    int64_t preferred_category = static_cast<int64_t>(
+        user_rng.NextUint64(static_cast<uint64_t>(config_.num_categories)));
+    int64_t n = std::max<int64_t>(
+        4, static_cast<int64_t>(std::llround(user_rng.Normal(
+               config_.mean_checkins, config_.mean_checkins / 3))));
+    std::vector<int64_t> days;
+    days.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      days.push_back(static_cast<int64_t>(user_rng.NextUint64(
+          static_cast<uint64_t>(config_.horizon_days))));
+    }
+    std::sort(days.begin(), days.end());
+
+    std::vector<CheckIn>& seq = out.sequences[static_cast<size_t>(u)];
+    int64_t current_region = home_region;
+    std::vector<int64_t> visited;
+    for (int64_t day : days) {
+      int64_t poi;
+      // Revisit tendency: users return to familiar POIs.
+      if (!visited.empty() && user_rng.Bernoulli(0.3)) {
+        poi = visited[static_cast<size_t>(
+            user_rng.NextUint64(visited.size()))];
+      } else {
+        poi = sample_poi(&user_rng, current_region, preferred_category);
+      }
+      visited.push_back(poi);
+      current_region = poi_region[static_cast<size_t>(poi)];
+      seq.push_back(CheckIn{poi, day});
+    }
+    total_checkins += static_cast<int64_t>(seq.size());
+  }
+  out.num_checkins = total_checkins;
+  return out;
+}
+
+}  // namespace data
+}  // namespace odnet

@@ -1,0 +1,58 @@
+#ifndef ODNET_DATA_LBSN_SIMULATOR_H_
+#define ODNET_DATA_LBSN_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/types.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace data {
+
+/// Configuration for the LBSN check-in generator (Foursquare / Gowalla
+/// stand-ins, Table II). Two presets match the papers' relative shapes:
+/// Foursquare has fewer POIs than Gowalla but denser check-ins per POI.
+struct LbsnConfig {
+  std::string name = "foursquare";
+  int64_t num_users = 1500;
+  int64_t num_pois = 400;
+  uint64_t seed = 7;
+  int64_t horizon_days = 365;
+  double mean_checkins = 20.0;
+  /// Number of spatial clusters POIs are organized into (city districts).
+  int64_t num_regions = 12;
+  /// Number of latent POI categories (user taste dimensions).
+  int64_t num_categories = 8;
+  /// Locality: probability the next check-in stays in the current region.
+  double locality = 0.75;
+  /// Taste: probability the next POI matches one of the user's preferred
+  /// categories.
+  double taste_strength = 0.6;
+
+  static LbsnConfig FoursquarePreset(uint64_t seed);
+  static LbsnConfig GowallaPreset(uint64_t seed);
+};
+
+/// \brief Generates sequential check-in data with the regularities the
+/// next-POI literature models: Zipf POI popularity, user home-region
+/// locality, category affinity, and revisit tendency. Contains no origin
+/// information — exactly the property that restricts these datasets to
+/// single-task models (paper Sec. V-C).
+class LbsnSimulator {
+ public:
+  explicit LbsnSimulator(const LbsnConfig& config);
+
+  LbsnDataset Generate();
+
+  const LbsnConfig& config() const { return config_; }
+
+ private:
+  LbsnConfig config_;
+  util::Rng master_rng_;
+};
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_LBSN_SIMULATOR_H_

@@ -1,0 +1,111 @@
+#include "src/data/temporal_features.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace data {
+
+TemporalFeatureIndex::TemporalFeatureIndex(const OdDataset& dataset,
+                                           int64_t num_cities,
+                                           int64_t horizon_days)
+    : num_cities_(num_cities), horizon_days_(horizon_days) {
+  ODNET_CHECK_GT(num_cities, 0);
+  ODNET_CHECK_GT(horizon_days, 0);
+  const size_t stride = static_cast<size_t>(horizon_days_ + 1);
+  std::vector<int64_t> dep_count(static_cast<size_t>(num_cities_) * stride, 0);
+  std::vector<int64_t> arr_count(static_cast<size_t>(num_cities_) * stride, 0);
+  for (const UserHistory& h : dataset.histories) {
+    for (const Booking& b : h.long_term) {
+      int64_t day = std::min(std::max<int64_t>(b.day, 0), horizon_days_ - 1);
+      dep_count[static_cast<size_t>(b.od.origin) * stride +
+                static_cast<size_t>(day)] += 1;
+      arr_count[static_cast<size_t>(b.od.destination) * stride +
+                static_cast<size_t>(day)] += 1;
+    }
+  }
+  departures_prefix_.assign(dep_count.size(), 0);
+  arrivals_prefix_.assign(arr_count.size(), 0);
+  for (int64_t c = 0; c < num_cities_; ++c) {
+    int64_t dep_acc = 0;
+    int64_t arr_acc = 0;
+    for (int64_t d = 0; d <= horizon_days_; ++d) {
+      size_t idx = static_cast<size_t>(c) * stride + static_cast<size_t>(d);
+      if (d > 0) {
+        dep_acc += dep_count[idx - 1];
+        arr_acc += arr_count[idx - 1];
+      }
+      departures_prefix_[idx] = dep_acc;
+      arrivals_prefix_[idx] = arr_acc;
+    }
+  }
+}
+
+int64_t TemporalFeatureIndex::RangeCount(const std::vector<int64_t>& prefix,
+                                         int64_t city, int64_t lo,
+                                         int64_t hi) const {
+  lo = std::max<int64_t>(lo, 0);
+  hi = std::min(hi, horizon_days_ - 1);
+  if (lo > hi) return 0;
+  const size_t stride = static_cast<size_t>(horizon_days_ + 1);
+  size_t base = static_cast<size_t>(city) * stride;
+  // prefix[d] = count of events in days [0, d).
+  return prefix[base + static_cast<size_t>(hi + 1)] -
+         prefix[base + static_cast<size_t>(lo)];
+}
+
+std::array<float, TemporalFeatureIndex::kDim> TemporalFeatureIndex::Features(
+    const UserHistory& h, int64_t city, bool origin_role) const {
+  ODNET_CHECK_GE(city, 0);
+  ODNET_CHECK_LT(city, num_cities_);
+  const std::vector<int64_t>& prefix =
+      origin_role ? departures_prefix_ : arrivals_prefix_;
+  const int64_t day = h.decision_day;
+
+  // [0] Global traffic in the trailing month.
+  int64_t last_month = RangeCount(prefix, city, day - 30, day - 1);
+
+  // [1] Global traffic in the same calendar month of prior years.
+  int64_t month = (day / 30) % 12;
+  int64_t same_period = 0;
+  for (int64_t year_start = 0; year_start < horizon_days_;
+       year_start += 360) {
+    int64_t lo = year_start + month * 30;
+    same_period += RangeCount(prefix, city, lo, lo + 29);
+  }
+
+  // [2] The user's own lifetime interactions with this city in this role.
+  int64_t own = 0;
+  for (const Booking& b : h.long_term) {
+    int64_t c = origin_role ? b.od.origin : b.od.destination;
+    if (c == city) ++own;
+  }
+
+  // [3] The user's short-term clicks touching this city in this role.
+  int64_t clicks = 0;
+  for (const Click& c : h.short_term) {
+    int64_t cc = origin_role ? c.od.origin : c.od.destination;
+    if (cc == city) ++clicks;
+  }
+
+  return {static_cast<float>(std::log1p(static_cast<double>(last_month))),
+          static_cast<float>(std::log1p(static_cast<double>(same_period))),
+          static_cast<float>(std::log1p(static_cast<double>(own))),
+          static_cast<float>(std::log1p(static_cast<double>(clicks)))};
+}
+
+std::array<float, TemporalFeatureIndex::kDim>
+TemporalFeatureIndex::OriginFeatures(const UserHistory& h,
+                                     int64_t city) const {
+  return Features(h, city, /*origin_role=*/true);
+}
+
+std::array<float, TemporalFeatureIndex::kDim>
+TemporalFeatureIndex::DestinationFeatures(const UserHistory& h,
+                                          int64_t city) const {
+  return Features(h, city, /*origin_role=*/false);
+}
+
+}  // namespace data
+}  // namespace odnet

@@ -1,0 +1,64 @@
+#ifndef ODNET_DATA_TEMPORAL_FEATURES_H_
+#define ODNET_DATA_TEMPORAL_FEATURES_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/types.h"
+
+namespace odnet {
+namespace data {
+
+/// \brief Computes the x_st temporal-statistics vector of the paper's PEC
+/// ("such as the number of visits to a city in the last month or in the
+/// same period of history", Sec. IV-B).
+///
+/// Features are role-specific: a candidate origin city is described by
+/// departure statistics, a candidate destination by arrival statistics.
+/// All counts come from training histories only (no label leakage).
+class TemporalFeatureIndex {
+ public:
+  /// Per-city feature dimension (for one role).
+  static constexpr int64_t kDim = 4;
+
+  /// Builds prefix-sum day indexes over all long-term bookings.
+  /// `horizon_days` bounds the timeline (decision days may exceed the
+  /// history window; they are clamped).
+  TemporalFeatureIndex(const OdDataset& dataset, int64_t num_cities,
+                       int64_t horizon_days);
+
+  /// x_st for `city` acting as an origin of `h`'s next booking:
+  ///  [0] global departures from city in the 30 days before decision
+  ///  [1] global departures from city in the same month across history
+  ///  [2] the user's own lifetime departures from city
+  ///  [3] the user's short-term clicks with this origin
+  /// All log1p-compressed.
+  std::array<float, kDim> OriginFeatures(const UserHistory& h,
+                                         int64_t city) const;
+
+  /// Arrival-role analogue of OriginFeatures.
+  std::array<float, kDim> DestinationFeatures(const UserHistory& h,
+                                              int64_t city) const;
+
+  int64_t num_cities() const { return num_cities_; }
+
+ private:
+  /// Count of events for `city` in day range [lo, hi] from a prefix array.
+  int64_t RangeCount(const std::vector<int64_t>& prefix, int64_t city,
+                     int64_t lo, int64_t hi) const;
+
+  std::array<float, kDim> Features(const UserHistory& h, int64_t city,
+                                   bool origin_role) const;
+
+  int64_t num_cities_;
+  int64_t horizon_days_;
+  // Prefix sums over days, laid out [city * (horizon+1) + day].
+  std::vector<int64_t> departures_prefix_;
+  std::vector<int64_t> arrivals_prefix_;
+};
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_TEMPORAL_FEATURES_H_

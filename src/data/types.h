@@ -1,0 +1,99 @@
+#ifndef ODNET_DATA_TYPES_H_
+#define ODNET_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odnet {
+namespace data {
+
+/// One "Origin city - Destination city" pair (paper Sec. III).
+struct OdPair {
+  int64_t origin = -1;
+  int64_t destination = -1;
+
+  bool operator==(const OdPair& other) const {
+    return origin == other.origin && destination == other.destination;
+  }
+};
+
+/// A historical flight booking event (long-term behavior element).
+struct Booking {
+  OdPair od;
+  int64_t day = 0;  // days since epoch of the simulation timeline
+};
+
+/// A flight click event (short-term behavior element).
+struct Click {
+  OdPair od;
+  int64_t day = 0;
+};
+
+/// Which of the paper's four sample forms a training sample takes
+/// (Sec. V-A-1): positive, the two partially-negative forms, or negative.
+enum class SampleKind {
+  kPosPos = 0,  // (O+, D+)
+  kPosNeg = 1,  // (O+, D-)
+  kNegPos = 2,  // (O-, D+)
+  kNegNeg = 3,  // (O-, D-)
+};
+
+/// One ranking sample: a (user, candidate OD) pair with per-task labels.
+/// label_o = 1 iff the candidate origin is the user's true next origin;
+/// label_d likewise for the destination.
+struct Sample {
+  int64_t user = -1;
+  OdPair candidate;
+  float label_o = 0.0f;
+  float label_d = 0.0f;
+  SampleKind kind = SampleKind::kNegNeg;
+  int64_t day = 0;  // decision day (the day the next booking happens)
+};
+
+/// Everything known about one user at decision time.
+struct UserHistory {
+  int64_t user = -1;
+  int64_t current_city = -1;        // the user's LBS city
+  std::vector<Booking> long_term;   // 2-year booking window, time-ordered
+  std::vector<Click> short_term;    // last-7-day click window, time-ordered
+  OdPair next_booking;              // ground-truth label (test target)
+  int64_t decision_day = 0;
+};
+
+/// A complete OD-recommendation dataset (Fliggy analogue).
+struct OdDataset {
+  int64_t num_users = 0;
+  int64_t num_cities = 0;
+  std::vector<UserHistory> histories;  // one per user, indexed by user id
+  std::vector<Sample> train_samples;
+  std::vector<Sample> test_samples;
+  /// Test users (subset of all users) whose next booking is to be ranked.
+  std::vector<int64_t> test_users;
+};
+
+/// A check-in event for the LBSN datasets (Foursquare/Gowalla analogues).
+struct CheckIn {
+  int64_t poi = -1;
+  int64_t day = 0;
+};
+
+/// A next-POI dataset: destination-only sequences, no origin information
+/// (which is exactly why multi-task ODNET cannot run on it — Sec. V-C).
+struct LbsnDataset {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_pois = 0;
+  int64_t num_checkins = 0;
+  /// Per-user time-ordered check-in history; the last element is held out
+  /// as the prediction target.
+  std::vector<std::vector<CheckIn>> sequences;
+  /// POI coordinates (for spatial models).
+  std::vector<double> poi_lat;
+  std::vector<double> poi_lon;
+};
+
+}  // namespace data
+}  // namespace odnet
+
+#endif  // ODNET_DATA_TYPES_H_

@@ -1,0 +1,238 @@
+#include "src/graph/hsg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/check.h"
+#include "src/util/math_util.h"
+#include "src/util/string_util.h"
+
+namespace odnet {
+namespace graph {
+
+HeterogeneousSpatialGraph::HeterogeneousSpatialGraph(
+    int64_t num_users, std::vector<CityLocation> locations,
+    DistanceMetric metric)
+    : num_users_(num_users), locations_(std::move(locations)), metric_(metric) {
+  ODNET_CHECK_GT(num_users_, 0);
+  ODNET_CHECK_GT(num_cities(), 0);
+  for (TypedAdjacency& adj : adjacency_) {
+    adj.user_to_cities.resize(static_cast<size_t>(num_users_));
+    adj.user_to_cities_weight.resize(static_cast<size_t>(num_users_));
+    adj.city_to_users.resize(static_cast<size_t>(num_cities()));
+    adj.city_to_cities.resize(static_cast<size_t>(num_cities()));
+  }
+}
+
+int64_t HeterogeneousSpatialGraph::num_edges(EdgeType type) const {
+  return adjacency(type).num_edges;
+}
+
+util::Status HeterogeneousSpatialGraph::AddInteraction(int64_t user,
+                                                       int64_t city,
+                                                       EdgeType type) {
+  if (finalized_) {
+    return util::Status::FailedPrecondition(
+        "AddInteraction after Finalize()");
+  }
+  if (user < 0 || user >= num_users_) {
+    return util::Status::OutOfRange("user id " + std::to_string(user));
+  }
+  if (city < 0 || city >= num_cities()) {
+    return util::Status::OutOfRange("city id " + std::to_string(city));
+  }
+  TypedAdjacency& adj = adjacency(type);
+  std::vector<int64_t>& cities = adj.user_to_cities[static_cast<size_t>(user)];
+  std::vector<int64_t>& weights =
+      adj.user_to_cities_weight[static_cast<size_t>(user)];
+  auto it = std::find(cities.begin(), cities.end(), city);
+  if (it != cities.end()) {
+    // Repeated interaction: bump multiplicity only.
+    weights[static_cast<size_t>(it - cities.begin())] += 1;
+    return util::Status::OK();
+  }
+  cities.push_back(city);
+  weights.push_back(1);
+  adj.city_to_users[static_cast<size_t>(city)].push_back(user);
+  adj.num_edges += 1;
+  return util::Status::OK();
+}
+
+util::Status HeterogeneousSpatialGraph::AddBooking(int64_t user, int64_t origin,
+                                                   int64_t destination) {
+  ODNET_RETURN_NOT_OK(AddInteraction(user, origin, EdgeType::kDeparture));
+  return AddInteraction(user, destination, EdgeType::kArrive);
+}
+
+void HeterogeneousSpatialGraph::Finalize() {
+  ODNET_CHECK(!finalized_) << "Finalize called twice";
+  const int64_t n = num_cities();
+
+  // Distance matrix (Definition 1's D).
+  distance_.assign(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const CityLocation& a = locations_[static_cast<size_t>(i)];
+      const CityLocation& b = locations_[static_cast<size_t>(j)];
+      double d = metric_ == DistanceMetric::kHaversineKm
+                     ? util::HaversineKm(a.lat, a.lon, b.lat, b.lon)
+                     : util::LatLonL2(a.lat, a.lon, b.lat, b.lon);
+      distance_[static_cast<size_t>(i * n + j)] = d;
+      distance_[static_cast<size_t>(j * n + i)] = d;
+    }
+  }
+
+  // Spatial weights (Eq. 2): w_ii = 0, else (1/d_ij) / sum_p(1/d_ip).
+  spatial_weight_.assign(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double denom = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      if (p == i) continue;
+      double d = distance_[static_cast<size_t>(i * n + p)];
+      denom += 1.0 / std::max(d, 1e-9);
+    }
+    if (denom <= 0.0) continue;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d = distance_[static_cast<size_t>(i * n + j)];
+      spatial_weight_[static_cast<size_t>(i * n + j)] =
+          (1.0 / std::max(d, 1e-9)) / denom;
+    }
+  }
+
+  // Precompute each city's metapath neighbors: the two-step
+  // city -> user -> city walk, excluding the city itself, sorted for
+  // determinism.
+  for (TypedAdjacency& adj : adjacency_) {
+    for (int64_t c = 0; c < n; ++c) {
+      std::set<int64_t> nbrs;
+      for (int64_t u : adj.city_to_users[static_cast<size_t>(c)]) {
+        for (int64_t other : adj.user_to_cities[static_cast<size_t>(u)]) {
+          if (other != c) nbrs.insert(other);
+        }
+      }
+      adj.city_to_cities[static_cast<size_t>(c)].assign(nbrs.begin(),
+                                                        nbrs.end());
+    }
+    // Sort user adjacency for deterministic sampling, keeping the weight
+    // array aligned.
+    for (int64_t u = 0; u < num_users_; ++u) {
+      std::vector<int64_t>& cities =
+          adj.user_to_cities[static_cast<size_t>(u)];
+      std::vector<int64_t>& weights =
+          adj.user_to_cities_weight[static_cast<size_t>(u)];
+      std::vector<size_t> order(cities.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&cities](size_t a, size_t b) { return cities[a] < cities[b]; });
+      std::vector<int64_t> sorted_cities(cities.size());
+      std::vector<int64_t> sorted_weights(cities.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        sorted_cities[i] = cities[order[i]];
+        sorted_weights[i] = weights[order[i]];
+      }
+      cities = std::move(sorted_cities);
+      weights = std::move(sorted_weights);
+    }
+  }
+  finalized_ = true;
+}
+
+const std::vector<int64_t>& HeterogeneousSpatialGraph::UserNeighborCities(
+    int64_t user, Metapath rho) const {
+  ODNET_CHECK(finalized_);
+  ODNET_CHECK_GE(user, 0);
+  ODNET_CHECK_LT(user, num_users_);
+  return adjacency(rho).user_to_cities[static_cast<size_t>(user)];
+}
+
+const std::vector<int64_t>& HeterogeneousSpatialGraph::CityNeighborCities(
+    int64_t city, Metapath rho) const {
+  ODNET_CHECK(finalized_);
+  ODNET_CHECK_GE(city, 0);
+  ODNET_CHECK_LT(city, num_cities());
+  return adjacency(rho).city_to_cities[static_cast<size_t>(city)];
+}
+
+namespace {
+
+std::vector<int64_t> SampleCapped(const std::vector<int64_t>& all, int64_t cap,
+                                  util::Rng* rng) {
+  ODNET_CHECK_GT(cap, 0);
+  if (static_cast<int64_t>(all.size()) <= cap) return all;
+  ODNET_CHECK(rng != nullptr);
+  std::vector<int64_t> picks =
+      rng->SampleWithoutReplacement(static_cast<int64_t>(all.size()), cap);
+  std::sort(picks.begin(), picks.end());
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(cap));
+  for (int64_t idx : picks) out.push_back(all[static_cast<size_t>(idx)]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<int64_t> HeterogeneousSpatialGraph::SampleUserNeighborCities(
+    int64_t user, Metapath rho, int64_t cap, util::Rng* rng) const {
+  return SampleCapped(UserNeighborCities(user, rho), cap, rng);
+}
+
+std::vector<int64_t> HeterogeneousSpatialGraph::SampleCityNeighborCities(
+    int64_t city, Metapath rho, int64_t cap, util::Rng* rng) const {
+  return SampleCapped(CityNeighborCities(city, rho), cap, rng);
+}
+
+double HeterogeneousSpatialGraph::Distance(int64_t city_i,
+                                           int64_t city_j) const {
+  ODNET_CHECK(finalized_);
+  const int64_t n = num_cities();
+  ODNET_CHECK_GE(city_i, 0);
+  ODNET_CHECK_LT(city_i, n);
+  ODNET_CHECK_GE(city_j, 0);
+  ODNET_CHECK_LT(city_j, n);
+  return distance_[static_cast<size_t>(city_i * n + city_j)];
+}
+
+double HeterogeneousSpatialGraph::SpatialWeight(int64_t city_i,
+                                                int64_t city_j) const {
+  ODNET_CHECK(finalized_);
+  const int64_t n = num_cities();
+  ODNET_CHECK_GE(city_i, 0);
+  ODNET_CHECK_LT(city_i, n);
+  ODNET_CHECK_GE(city_j, 0);
+  ODNET_CHECK_LT(city_j, n);
+  return spatial_weight_[static_cast<size_t>(city_i * n + city_j)];
+}
+
+const CityLocation& HeterogeneousSpatialGraph::location(int64_t city) const {
+  ODNET_CHECK_GE(city, 0);
+  ODNET_CHECK_LT(city, num_cities());
+  return locations_[static_cast<size_t>(city)];
+}
+
+int64_t HeterogeneousSpatialGraph::EdgeWeight(int64_t user, int64_t city,
+                                              EdgeType type) const {
+  ODNET_CHECK_GE(user, 0);
+  ODNET_CHECK_LT(user, num_users_);
+  const TypedAdjacency& adj = adjacency(type);
+  const std::vector<int64_t>& cities =
+      adj.user_to_cities[static_cast<size_t>(user)];
+  for (size_t i = 0; i < cities.size(); ++i) {
+    if (cities[i] == city) {
+      return adj.user_to_cities_weight[static_cast<size_t>(user)][i];
+    }
+  }
+  return 0;
+}
+
+std::string HeterogeneousSpatialGraph::DebugSummary() const {
+  return util::StrFormat(
+      "HSG{users=%lld cities=%lld departure_edges=%lld arrive_edges=%lld}",
+      static_cast<long long>(num_users_),
+      static_cast<long long>(num_cities()),
+      static_cast<long long>(num_edges(EdgeType::kDeparture)),
+      static_cast<long long>(num_edges(EdgeType::kArrive)));
+}
+
+}  // namespace graph
+}  // namespace odnet

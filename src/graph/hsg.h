@@ -1,0 +1,144 @@
+#ifndef ODNET_GRAPH_HSG_H_
+#define ODNET_GRAPH_HSG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace odnet {
+namespace graph {
+
+/// Edge types of the HSG (paper Definition 1): a `departure` edge links a
+/// user to a city they flew out of; an `arrive` edge links a user to a city
+/// they flew into.
+enum class EdgeType { kDeparture = 0, kArrive = 1 };
+
+/// Metapaths of the paper (Definition 2): rho_1 alternates user/city nodes
+/// over departure edges (origin semantics); rho_2 over arrive edges
+/// (destination semantics). A metapath is identified by its edge type.
+using Metapath = EdgeType;
+
+/// Geographic position of a city node.
+struct CityLocation {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// How city-city distances are computed for the spatial weights of Eq. 2.
+enum class DistanceMetric {
+  kLatLonL2,    // the paper's literal L2 over (lat, lon)
+  kHaversineKm  // physically meaningful great-circle distance
+};
+
+/// \brief The Heterogeneous Spatial Graph (paper Definition 1).
+///
+/// Two node types (user, city), two edge types (departure, arrive), and a
+/// dense city-city distance matrix derived from coordinates. The graph is
+/// built once from historical booking interactions and then queried for
+/// metapath-based neighbor cities (Definition 3) during HSGC aggregation
+/// (Algorithm 1).
+///
+/// User and city ids live in separate spaces: users in [0, num_users),
+/// cities in [0, num_cities).
+class HeterogeneousSpatialGraph {
+ public:
+  /// `locations[i]` is the position of city i.
+  HeterogeneousSpatialGraph(int64_t num_users,
+                            std::vector<CityLocation> locations,
+                            DistanceMetric metric = DistanceMetric::kLatLonL2);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_cities() const {
+    return static_cast<int64_t>(locations_.size());
+  }
+  int64_t num_edges(EdgeType type) const;
+
+  /// Records one historical interaction of `user` with `city` (idempotent
+  /// per (user, city, type); multiplicity is tracked as an edge weight).
+  util::Status AddInteraction(int64_t user, int64_t city, EdgeType type);
+
+  /// Adds both edges of one booked flight: departure(user, origin) and
+  /// arrive(user, destination).
+  util::Status AddBooking(int64_t user, int64_t origin, int64_t destination);
+
+  /// Must be called after all interactions are added and before neighbor
+  /// queries; finalizes adjacency and precomputes Eq. 2 spatial weights.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // -- Metapath neighbor queries (Definition 3) -------------------------
+
+  /// 1st-order neighbor cities of a user under `rho`: the cities directly
+  /// linked by rho-typed edges (e.g. all historical departure cities).
+  const std::vector<int64_t>& UserNeighborCities(int64_t user,
+                                                 Metapath rho) const;
+
+  /// 1st-order neighbor cities of a city under `rho`: all *other* cities
+  /// visited (via rho-typed edges) by users who visited this city —
+  /// the two-step city -> user -> city walk of the metapath.
+  const std::vector<int64_t>& CityNeighborCities(int64_t city,
+                                                 Metapath rho) const;
+
+  /// Deterministically samples at most `cap` neighbors (paper restricts a
+  /// node's neighborhood cardinality to 5 following [37]). With more than
+  /// `cap` neighbors present, picks a uniform subset using `rng`.
+  std::vector<int64_t> SampleUserNeighborCities(int64_t user, Metapath rho,
+                                                int64_t cap,
+                                                util::Rng* rng) const;
+  std::vector<int64_t> SampleCityNeighborCities(int64_t city, Metapath rho,
+                                                int64_t cap,
+                                                util::Rng* rng) const;
+
+  // -- Spatial structure --------------------------------------------------
+
+  /// Distance d_ij between two cities under the configured metric.
+  double Distance(int64_t city_i, int64_t city_j) const;
+
+  /// Spatial weight w_ij of Eq. 2: row-normalized inverse distance with
+  /// w_ii = 0.
+  double SpatialWeight(int64_t city_i, int64_t city_j) const;
+
+  const CityLocation& location(int64_t city) const;
+
+  /// Interaction multiplicity of a (user, city, type) edge; 0 when absent.
+  int64_t EdgeWeight(int64_t user, int64_t city, EdgeType type) const;
+
+  /// Human-readable summary (node/edge counts) for logs.
+  std::string DebugSummary() const;
+
+ private:
+  struct TypedAdjacency {
+    // user -> sorted city neighbor list (and parallel multiplicities).
+    std::vector<std::vector<int64_t>> user_to_cities;
+    std::vector<std::vector<int64_t>> user_to_cities_weight;
+    // city -> users who interacted with it.
+    std::vector<std::vector<int64_t>> city_to_users;
+    // city -> 1st-order metapath neighbor cities (two-step, precomputed
+    // at Finalize).
+    std::vector<std::vector<int64_t>> city_to_cities;
+    int64_t num_edges = 0;
+  };
+
+  const TypedAdjacency& adjacency(EdgeType type) const {
+    return adjacency_[static_cast<size_t>(type)];
+  }
+  TypedAdjacency& adjacency(EdgeType type) {
+    return adjacency_[static_cast<size_t>(type)];
+  }
+
+  int64_t num_users_;
+  std::vector<CityLocation> locations_;
+  DistanceMetric metric_;
+  TypedAdjacency adjacency_[2];
+  std::vector<double> distance_;        // [n*n]
+  std::vector<double> spatial_weight_;  // [n*n], Eq. 2
+  bool finalized_ = false;
+};
+
+}  // namespace graph
+}  // namespace odnet
+
+#endif  // ODNET_GRAPH_HSG_H_

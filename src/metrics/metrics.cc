@@ -1,0 +1,120 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace metrics {
+
+util::Result<double> Auc(const std::vector<double>& scores,
+                         const std::vector<float>& labels) {
+  if (scores.size() != labels.size()) {
+    return util::Status::InvalidArgument("scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    return util::Status::InvalidArgument("empty inputs");
+  }
+  // Sort indices by score; assign average ranks to ties.
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  int64_t num_pos = 0;
+  int64_t num_neg = 0;
+  for (float l : labels) {
+    if (l > 0.5f) {
+      ++num_pos;
+    } else {
+      ++num_neg;
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) {
+    return util::Status::FailedPrecondition(
+        "AUC undefined: single-class labels");
+  }
+
+  double pos_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Average 1-based rank of the tie group [i, j).
+    double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) pos_rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  double auc = (pos_rank_sum -
+                static_cast<double>(num_pos) * (num_pos + 1) / 2.0) /
+               (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+  return auc;
+}
+
+int64_t RankOfRelevant(const RankedQuery& query) {
+  ODNET_CHECK(!query.scores.empty());
+  ODNET_CHECK_GE(query.relevant_index, 0);
+  ODNET_CHECK_LT(query.relevant_index,
+                 static_cast<int64_t>(query.scores.size()));
+  const double relevant_score =
+      query.scores[static_cast<size_t>(query.relevant_index)];
+  int64_t rank = 1;
+  for (size_t i = 0; i < query.scores.size(); ++i) {
+    if (static_cast<int64_t>(i) == query.relevant_index) continue;
+    if (query.scores[i] >= relevant_score) ++rank;  // pessimistic ties
+  }
+  return rank;
+}
+
+double HitRatioAtK(const std::vector<RankedQuery>& queries, int64_t k) {
+  ODNET_CHECK_GT(k, 0);
+  if (queries.empty()) return 0.0;
+  int64_t hits = 0;
+  for (const RankedQuery& q : queries) {
+    if (RankOfRelevant(q) <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries.size());
+}
+
+double MrrAtK(const std::vector<RankedQuery>& queries, int64_t k) {
+  ODNET_CHECK_GT(k, 0);
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  for (const RankedQuery& q : queries) {
+    int64_t rank = RankOfRelevant(q);
+    if (rank <= k) total += 1.0 / static_cast<double>(rank);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+double Ctr(int64_t clicks, int64_t impressions) {
+  ODNET_CHECK_GE(clicks, 0);
+  ODNET_CHECK_GE(impressions, 0);
+  if (impressions == 0) return 0.0;
+  return static_cast<double>(clicks) / static_cast<double>(impressions);
+}
+
+void FillRankingMetrics(const std::vector<RankedQuery>& queries,
+                        OdMetrics* out) {
+  ODNET_CHECK(out != nullptr);
+  out->hr1 = HitRatioAtK(queries, 1);
+  out->hr5 = HitRatioAtK(queries, 5);
+  out->hr10 = HitRatioAtK(queries, 10);
+  out->mrr5 = MrrAtK(queries, 5);
+  out->mrr10 = MrrAtK(queries, 10);
+}
+
+void FillRankingMetrics(const std::vector<RankedQuery>& queries,
+                        PoiMetrics* out) {
+  ODNET_CHECK(out != nullptr);
+  out->hr1 = HitRatioAtK(queries, 1);
+  out->hr5 = HitRatioAtK(queries, 5);
+  out->hr10 = HitRatioAtK(queries, 10);
+  out->mrr5 = MrrAtK(queries, 5);
+  out->mrr10 = MrrAtK(queries, 10);
+}
+
+}  // namespace metrics
+}  // namespace odnet

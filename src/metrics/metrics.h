@@ -1,0 +1,73 @@
+#ifndef ODNET_METRICS_METRICS_H_
+#define ODNET_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace odnet {
+namespace metrics {
+
+/// \brief Area under the ROC curve via the rank-sum (Mann-Whitney)
+/// estimator, with tie handling. `labels` in {0,1}.
+/// Returns an error when either class is absent.
+util::Result<double> Auc(const std::vector<double>& scores,
+                         const std::vector<float>& labels);
+
+/// \brief One user's ranked-list evaluation: the scores of all candidates
+/// and the index of the relevant one.
+struct RankedQuery {
+  std::vector<double> scores;
+  int64_t relevant_index = 0;
+};
+
+/// Rank (1-based) of the relevant candidate; ties resolved pessimistically
+/// (a tied competitor ranks ahead), so metrics never benefit from degenerate
+/// constant scores.
+int64_t RankOfRelevant(const RankedQuery& query);
+
+/// Hit Ratio at k (paper Eq. 12): fraction of queries whose relevant
+/// candidate ranks within the top k.
+double HitRatioAtK(const std::vector<RankedQuery>& queries, int64_t k);
+
+/// Mean Reciprocal Rank at k (paper Eq. 13): mean of 1/rank for queries
+/// whose relevant candidate is within top k, 0 contribution otherwise.
+/// MRR@1 == HR@1 by construction.
+double MrrAtK(const std::vector<RankedQuery>& queries, int64_t k);
+
+/// Click-through rate (paper Eq. 14).
+double Ctr(int64_t clicks, int64_t impressions);
+
+/// \brief Accumulates the full metric block one method produces on the
+/// Fliggy-style evaluation (Table III row).
+struct OdMetrics {
+  double auc_o = 0.0;
+  double auc_d = 0.0;
+  double hr1 = 0.0;
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double mrr5 = 0.0;
+  double mrr10 = 0.0;
+};
+
+/// \brief Metric block for the LBSN (single-task) evaluation (Table IV row).
+struct PoiMetrics {
+  double auc = 0.0;
+  double hr1 = 0.0;
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double mrr5 = 0.0;
+  double mrr10 = 0.0;
+};
+
+/// Computes HR/MRR at the paper's cutoffs from ranked queries.
+void FillRankingMetrics(const std::vector<RankedQuery>& queries,
+                        OdMetrics* out);
+void FillRankingMetrics(const std::vector<RankedQuery>& queries,
+                        PoiMetrics* out);
+
+}  // namespace metrics
+}  // namespace odnet
+
+#endif  // ODNET_METRICS_METRICS_H_

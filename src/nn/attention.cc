@@ -1,0 +1,97 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace nn {
+
+using tensor::Tensor;
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads,
+                                       util::Rng* rng)
+    : dim_(dim), num_heads_(num_heads) {
+  ODNET_CHECK_GT(num_heads, 0);
+  ODNET_CHECK_EQ(dim % num_heads, 0)
+      << "dim " << dim << " not divisible by heads " << num_heads;
+  head_dim_ = dim / num_heads;
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    wq_.push_back(RegisterParameter("wq" + std::to_string(h),
+                                    PaperGaussianInit({dim_, head_dim_}, rng)));
+    wk_.push_back(RegisterParameter("wk" + std::to_string(h),
+                                    PaperGaussianInit({dim_, head_dim_}, rng)));
+    wv_.push_back(RegisterParameter("wv" + std::to_string(h),
+                                    PaperGaussianInit({dim_, head_dim_}, rng)));
+  }
+  wo_ = RegisterParameter("wo",
+                          PaperGaussianInit({num_heads_ * head_dim_, dim_}, rng));
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) const {
+  return Forward(x, Tensor());
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x,
+                                   const Tensor& key_mask) const {
+  ODNET_CHECK_EQ(x.rank(), 3);
+  ODNET_CHECK_EQ(x.dim(2), dim_);
+  const int64_t batch = x.dim(0);
+  const int64_t t = x.dim(1);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    size_t uh = static_cast<size_t>(h);
+    Tensor q = tensor::MatMul(x, wq_[uh]);  // [B, T, dk]
+    Tensor k = tensor::MatMul(x, wk_[uh]);
+    Tensor v = tensor::MatMul(x, wv_[uh]);
+    Tensor scores =
+        tensor::MulScalar(tensor::MatMul(q, tensor::TransposeLast2(k)), scale);
+    if (key_mask.defined()) {
+      // Broadcast [B, T] additive mask over the query axis: [B, 1, T].
+      Tensor mask3 = tensor::Reshape(key_mask, {batch, 1, t});
+      scores = tensor::Add(scores, mask3);
+    }
+    Tensor attn = tensor::Softmax(scores);  // [B, T, T]
+    heads.push_back(tensor::MatMul(attn, v));
+  }
+  Tensor concat = tensor::Concat(heads, /*axis=*/-1);  // [B, T, h*dk]
+  return tensor::MatMul(concat, wo_);                  // [B, T, d]
+}
+
+DotProductAttention::DotProductAttention(int64_t dim, util::Rng* rng)
+    : dim_(dim) {
+  w_star_ = RegisterParameter("w_star", PaperGaussianInit({dim_, dim_}, rng));
+}
+
+Tensor DotProductAttention::Forward(const Tensor& query,
+                                    const Tensor& keys_values) const {
+  return Forward(query, keys_values, Tensor());
+}
+
+Tensor DotProductAttention::Forward(const Tensor& query,
+                                    const Tensor& keys_values,
+                                    const Tensor& key_mask) const {
+  ODNET_CHECK_EQ(query.rank(), 2);
+  ODNET_CHECK_EQ(keys_values.rank(), 3);
+  ODNET_CHECK_EQ(query.dim(1), dim_);
+  ODNET_CHECK_EQ(keys_values.dim(2), dim_);
+  ODNET_CHECK_EQ(query.dim(0), keys_values.dim(0));
+  const int64_t batch = query.dim(0);
+  const int64_t t = keys_values.dim(1);
+
+  // e_i* = (v_s^T W*) . e_L^i  computed batched:
+  Tensor projected = tensor::MatMul(query, w_star_);        // [B, d]
+  Tensor q3 = tensor::Reshape(projected, {batch, 1, dim_});  // [B, 1, d]
+  Tensor scores = tensor::SumAxis(tensor::Mul(q3, keys_values), -1);  // [B, T]
+  if (key_mask.defined()) scores = tensor::Add(scores, key_mask);
+  Tensor weights = tensor::Softmax(scores);                 // Eq. 5 weights
+  Tensor w3 = tensor::Reshape(weights, {batch, t, 1});
+  return tensor::SumAxis(tensor::Mul(w3, keys_values), 1);  // [B, d]
+}
+
+}  // namespace nn
+}  // namespace odnet

@@ -1,0 +1,20 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace nn {
+
+tensor::Tensor XavierUniformInit(const tensor::Shape& shape, util::Rng* rng) {
+  ODNET_CHECK_GE(shape.size(), 1u);
+  int64_t fan_in = shape.size() >= 2 ? shape[shape.size() - 2] : shape[0];
+  int64_t fan_out = shape[shape.size() - 1];
+  float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::Uniform(shape, rng, -bound, bound);
+}
+
+}  // namespace nn
+}  // namespace odnet

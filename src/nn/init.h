@@ -1,0 +1,22 @@
+#ifndef ODNET_NN_INIT_H_
+#define ODNET_NN_INIT_H_
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace nn {
+
+/// Paper's initialization: Gaussian with mu=0, sigma=0.05 (Sec. V-A-5).
+inline tensor::Tensor PaperGaussianInit(const tensor::Shape& shape,
+                                        util::Rng* rng) {
+  return tensor::Tensor::Randn(shape, rng, /*stddev=*/0.05f);
+}
+
+/// Xavier/Glorot uniform, available for ablations against the paper init.
+tensor::Tensor XavierUniformInit(const tensor::Shape& shape, util::Rng* rng);
+
+}  // namespace nn
+}  // namespace odnet
+
+#endif  // ODNET_NN_INIT_H_

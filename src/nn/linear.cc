@@ -1,0 +1,64 @@
+#include "src/nn/linear.h"
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+               bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  ODNET_CHECK_GT(in_features, 0);
+  ODNET_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", PaperGaussianInit({in_features, out_features}, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", tensor::Tensor::Zeros({out_features}));
+  }
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  ODNET_CHECK_EQ(x.dim(-1), in_features_)
+      << "Linear expects last dim " << in_features_;
+  tensor::Tensor out = tensor::MatMul(x, weight_);
+  if (bias_.defined()) out = tensor::Add(out, bias_);
+  return out;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng) {
+  ODNET_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+tensor::Tensor Mlp::Forward(const tensor::Tensor& x) const {
+  tensor::Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = tensor::Relu(h);
+  }
+  return h;
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  ODNET_CHECK_GT(vocab_size, 0);
+  ODNET_CHECK_GT(dim, 0);
+  table_ =
+      RegisterParameter("table", PaperGaussianInit({vocab_size, dim}, rng));
+}
+
+tensor::Tensor Embedding::Forward(const std::vector<int64_t>& indices,
+                                  const tensor::Shape& index_shape) const {
+  return tensor::EmbeddingLookup(table_, indices, index_shape);
+}
+
+tensor::Tensor Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return Forward(indices, {static_cast<int64_t>(indices.size())});
+}
+
+}  // namespace nn
+}  // namespace odnet

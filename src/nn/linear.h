@@ -1,0 +1,74 @@
+#ifndef ODNET_NN_LINEAR_H_
+#define ODNET_NN_LINEAR_H_
+
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace nn {
+
+/// \brief Affine map y = x W + b (bias optional).
+///
+/// Accepts [N, in] or [B, T, in] inputs (the weight broadcasts over the
+/// batch dimension of a 3-D input).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+         bool bias = true);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const tensor::Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  tensor::Tensor weight_;  // [in, out]
+  tensor::Tensor bias_;    // [out] or undefined
+};
+
+/// \brief Multi-layer perceptron: Linear -> ReLU -> ... -> Linear.
+///
+/// `dims` gives every layer width including input and output, e.g.
+/// {64, 32, 1}. The final layer has no activation.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& dims, util::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+/// \brief Learnable id -> vector table.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng);
+
+  /// indices laid out as `index_shape`; output shape = index_shape + [dim].
+  tensor::Tensor Forward(const std::vector<int64_t>& indices,
+                         const tensor::Shape& index_shape) const;
+
+  /// Convenience for a flat batch of ids -> [N, dim].
+  tensor::Tensor Forward(const std::vector<int64_t>& indices) const;
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+  const tensor::Tensor& table() const { return table_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  tensor::Tensor table_;  // [vocab, dim]
+};
+
+}  // namespace nn
+}  // namespace odnet
+
+#endif  // ODNET_NN_LINEAR_H_

@@ -1,0 +1,142 @@
+#include "src/nn/lstm.h"
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace nn {
+
+using tensor::Tensor;
+
+namespace {
+
+// Forget-gate bias starts at 1 so early training does not wash out state.
+Tensor MakeLstmBias(int64_t hidden_dim) {
+  std::vector<float> bias(static_cast<size_t>(4 * hidden_dim), 0.0f);
+  for (int64_t i = hidden_dim; i < 2 * hidden_dim; ++i) {
+    bias[static_cast<size_t>(i)] = 1.0f;
+  }
+  return Tensor::FromVector({4 * hidden_dim}, std::move(bias));
+}
+
+}  // namespace
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  ODNET_CHECK_GT(input_dim, 0);
+  ODNET_CHECK_GT(hidden_dim, 0);
+  w_ih_ = RegisterParameter(
+      "w_ih", PaperGaussianInit({input_dim, 4 * hidden_dim}, rng));
+  w_hh_ = RegisterParameter(
+      "w_hh", PaperGaussianInit({hidden_dim, 4 * hidden_dim}, rng));
+  bias_ = RegisterParameter("bias", MakeLstmBias(hidden_dim));
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& state) const {
+  ODNET_CHECK_EQ(x.dim(-1), input_dim_);
+  Tensor gates = tensor::Add(
+      tensor::Add(tensor::MatMul(x, w_ih_), tensor::MatMul(state.h, w_hh_)),
+      bias_);
+  const int64_t h = hidden_dim_;
+  Tensor i = tensor::Sigmoid(tensor::Slice(gates, -1, 0, h));
+  Tensor f = tensor::Sigmoid(tensor::Slice(gates, -1, h, h));
+  Tensor g = tensor::Tanh(tensor::Slice(gates, -1, 2 * h, h));
+  Tensor o = tensor::Sigmoid(tensor::Slice(gates, -1, 3 * h, h));
+  Tensor c_next = tensor::Add(tensor::Mul(f, state.c), tensor::Mul(i, g));
+  Tensor h_next = tensor::Mul(o, tensor::Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return State{Tensor::Zeros({batch, hidden_dim_}),
+               Tensor::Zeros({batch, hidden_dim_})};
+}
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : cell_(input_dim, hidden_dim, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+Tensor Lstm::Forward(const Tensor& x) const {
+  ODNET_CHECK_EQ(x.rank(), 3);
+  const int64_t batch = x.dim(0);
+  const int64_t t = x.dim(1);
+  LstmCell::State state = cell_.InitialState(batch);
+  std::vector<Tensor> hiddens;
+  hiddens.reserve(static_cast<size_t>(t));
+  for (int64_t step = 0; step < t; ++step) {
+    Tensor xt = tensor::Reshape(tensor::Slice(x, 1, step, 1),
+                                {batch, x.dim(2)});
+    state = cell_.Forward(xt, state);
+    hiddens.push_back(
+        tensor::Reshape(state.h, {batch, 1, cell_.hidden_dim()}));
+  }
+  return tensor::Concat(hiddens, 1);
+}
+
+Tensor Lstm::ForwardLast(const Tensor& x) const {
+  ODNET_CHECK_EQ(x.rank(), 3);
+  const int64_t batch = x.dim(0);
+  const int64_t t = x.dim(1);
+  LstmCell::State state = cell_.InitialState(batch);
+  for (int64_t step = 0; step < t; ++step) {
+    Tensor xt = tensor::Reshape(tensor::Slice(x, 1, step, 1),
+                                {batch, x.dim(2)});
+    state = cell_.Forward(xt, state);
+  }
+  return state.h;
+}
+
+StgnCell::StgnCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_ih_ = RegisterParameter(
+      "w_ih", PaperGaussianInit({input_dim, 4 * hidden_dim}, rng));
+  w_hh_ = RegisterParameter(
+      "w_hh", PaperGaussianInit({hidden_dim, 4 * hidden_dim}, rng));
+  bias_ = RegisterParameter("bias", MakeLstmBias(hidden_dim));
+  w_xt_ = RegisterParameter("w_xt",
+                            PaperGaussianInit({input_dim, hidden_dim}, rng));
+  w_t_ = RegisterParameter("w_t", PaperGaussianInit({1, hidden_dim}, rng));
+  b_t_ = RegisterParameter("b_t", Tensor::Zeros({hidden_dim}));
+  w_xd_ = RegisterParameter("w_xd",
+                            PaperGaussianInit({input_dim, hidden_dim}, rng));
+  w_d_ = RegisterParameter("w_d", PaperGaussianInit({1, hidden_dim}, rng));
+  b_d_ = RegisterParameter("b_d", Tensor::Zeros({hidden_dim}));
+}
+
+StgnCell::State StgnCell::Forward(const Tensor& x, const Tensor& dt,
+                                  const Tensor& dd, const State& state) const {
+  ODNET_CHECK_EQ(x.dim(-1), input_dim_);
+  ODNET_CHECK_EQ(dt.dim(-1), 1);
+  ODNET_CHECK_EQ(dd.dim(-1), 1);
+  Tensor gates = tensor::Add(
+      tensor::Add(tensor::MatMul(x, w_ih_), tensor::MatMul(state.h, w_hh_)),
+      bias_);
+  const int64_t h = hidden_dim_;
+  Tensor i = tensor::Sigmoid(tensor::Slice(gates, -1, 0, h));
+  Tensor f = tensor::Sigmoid(tensor::Slice(gates, -1, h, h));
+  Tensor g = tensor::Tanh(tensor::Slice(gates, -1, 2 * h, h));
+  Tensor o = tensor::Sigmoid(tensor::Slice(gates, -1, 3 * h, h));
+
+  Tensor t_gate = tensor::Sigmoid(tensor::Add(
+      tensor::Add(tensor::MatMul(x, w_xt_),
+                  tensor::Sigmoid(tensor::MatMul(dt, w_t_))),
+      b_t_));
+  Tensor d_gate = tensor::Sigmoid(tensor::Add(
+      tensor::Add(tensor::MatMul(x, w_xd_),
+                  tensor::Sigmoid(tensor::MatMul(dd, w_d_))),
+      b_d_));
+
+  Tensor update = tensor::Mul(tensor::Mul(i, t_gate), tensor::Mul(d_gate, g));
+  Tensor c_next = tensor::Add(tensor::Mul(f, state.c), update);
+  Tensor h_next = tensor::Mul(o, tensor::Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+StgnCell::State StgnCell::InitialState(int64_t batch) const {
+  return State{Tensor::Zeros({batch, hidden_dim_}),
+               Tensor::Zeros({batch, hidden_dim_})};
+}
+
+}  // namespace nn
+}  // namespace odnet

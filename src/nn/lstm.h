@@ -1,0 +1,102 @@
+#ifndef ODNET_NN_LSTM_H_
+#define ODNET_NN_LSTM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace nn {
+
+/// \brief Classic LSTM cell (Hochreiter & Schmidhuber), the substrate of
+/// the LSTM / STGN / LSTPM / STOD-PPA baselines.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  struct State {
+    tensor::Tensor h;  // [B, hidden]
+    tensor::Tensor c;  // [B, hidden]
+  };
+
+  /// One step: x [B, input_dim], prior state -> next state.
+  State Forward(const tensor::Tensor& x, const State& state) const;
+
+  /// Zero state for a batch.
+  State InitialState(int64_t batch) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  // Packed gate weights: [in, 4h] and [h, 4h]; gate order i, f, g, o.
+  tensor::Tensor w_ih_;
+  tensor::Tensor w_hh_;
+  tensor::Tensor bias_;  // [4h], forget-gate slice initialized to 1
+};
+
+/// \brief Unrolled LSTM over a [B, T, input_dim] sequence.
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  /// Returns all hidden states stacked: [B, T, hidden].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// Returns only the final hidden state: [B, hidden].
+  tensor::Tensor ForwardLast(const tensor::Tensor& x) const;
+
+  const LstmCell& cell() const { return cell_; }
+
+ private:
+  LstmCell cell_;
+};
+
+/// \brief STGN-style spatio-temporal gated cell (Zhao et al., AAAI'19).
+///
+/// Extends LSTM with a time gate and a distance gate that modulate how
+/// much of the candidate update enters the cell, driven by the time
+/// interval and travel distance between consecutive visits:
+///   t_gate = sigmoid(x W_xt + sigma(dt w_t) + b_t)
+///   d_gate = sigmoid(x W_xd + sigma(dd w_d) + b_d)
+///   c' = f * c + i * t_gate * d_gate * g
+/// This keeps the paper's central mechanism (interval-aware gating) in a
+/// single-cell form; the original's second time gate for long-term state
+/// is represented by the learned forget-gate path.
+class StgnCell : public Module {
+ public:
+  StgnCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  using State = LstmCell::State;
+
+  /// dt, dd: [B, 1] nonnegative interval features (scaled by caller).
+  State Forward(const tensor::Tensor& x, const tensor::Tensor& dt,
+                const tensor::Tensor& dd, const State& state) const;
+
+  State InitialState(int64_t batch) const;
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  tensor::Tensor w_ih_;
+  tensor::Tensor w_hh_;
+  tensor::Tensor bias_;
+  tensor::Tensor w_xt_;  // [in, h] time-gate input weight
+  tensor::Tensor w_t_;   // [1, h]  time-interval weight
+  tensor::Tensor b_t_;   // [h]
+  tensor::Tensor w_xd_;  // [in, h] distance-gate input weight
+  tensor::Tensor w_d_;   // [1, h]  distance weight
+  tensor::Tensor b_d_;   // [h]
+};
+
+}  // namespace nn
+}  // namespace odnet
+
+#endif  // ODNET_NN_LSTM_H_

@@ -1,0 +1,64 @@
+#include "src/nn/module.h"
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace nn {
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<std::pair<std::string, tensor::Tensor>> named = NamedParameters();
+  std::vector<tensor::Tensor> out;
+  out.reserve(named.size());
+  for (auto& [name, t] : named) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const tensor::Tensor& t : Parameters()) total += t.numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (tensor::Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+tensor::Tensor Module::RegisterParameter(const std::string& name,
+                                         tensor::Tensor t) {
+  ODNET_CHECK(t.defined());
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  ODNET_CHECK(child != nullptr);
+  ODNET_CHECK_NE(child, this);
+  children_.emplace_back(name, child);
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, tensor::Tensor>>* out) const {
+  for (const auto& [name, t] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+}  // namespace nn
+}  // namespace odnet

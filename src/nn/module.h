@@ -1,0 +1,61 @@
+#ifndef ODNET_NN_MODULE_H_
+#define ODNET_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace odnet {
+namespace nn {
+
+/// \brief Base class for neural network building blocks.
+///
+/// A Module owns named parameter tensors and child modules; Parameters()
+/// walks the tree so optimizers can update everything a model registers.
+/// Train()/Eval() toggles dropout-style behaviour recursively.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All learnable tensors of this module and its children, depth-first.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  /// Named variants, e.g. ("pec.w_star", tensor) — used by tests and
+  /// checkpointing.
+  std::vector<std::pair<std::string, tensor::Tensor>> NamedParameters() const;
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  void Train() { SetTraining(true); }
+  void Eval() { SetTraining(false); }
+  bool training() const { return training_; }
+
+  /// Zeroes the gradient buffers of every parameter in the tree.
+  void ZeroGrad();
+
+ protected:
+  /// Registers a leaf parameter; returns it (requires_grad is forced on).
+  tensor::Tensor RegisterParameter(const std::string& name, tensor::Tensor t);
+
+  /// Registers a child whose parameters are folded into this module's.
+  /// The child must outlive this module (typically a member field).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void SetTraining(bool training);
+  void CollectNamed(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, tensor::Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace odnet
+
+#endif  // ODNET_NN_MODULE_H_

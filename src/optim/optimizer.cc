@@ -1,0 +1,143 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<tensor::Tensor> params)
+    : params_(std::move(params)) {
+  for (const tensor::Tensor& p : params_) {
+    ODNET_CHECK(p.defined());
+    ODNET_CHECK(p.requires_grad()) << "optimizer parameter without grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (tensor::Tensor& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  ODNET_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (tensor::Tensor& p : params_) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (tensor::Tensor& p : params_) {
+      for (float& g : *p.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<tensor::Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = lr;
+  if (momentum_ != 0.0) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(learning_rate_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor& p = params_[i];
+    const std::vector<float>& g = p.grad();
+    float* data = p.mutable_data();
+    if (momentum_ == 0.0) {
+      for (size_t j = 0; j < g.size(); ++j) data[j] -= lr * g[j];
+    } else {
+      const float mu = static_cast<float>(momentum_);
+      std::vector<float>& vel = velocity_[i];
+      for (size_t j = 0; j < g.size(); ++j) {
+        vel[j] = mu * vel[j] + g[j];
+        data[j] -= lr * vel[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<tensor::Tensor> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  learning_rate_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float lr_t =
+      static_cast<float>(learning_rate_ * std::sqrt(bias2) / bias1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor& p = params_[i];
+    const std::vector<float>& g = p.grad();
+    float* data = p.mutable_data();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (size_t j = 0; j < g.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      data[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+AdaGrad::AdaGrad(std::vector<tensor::Tensor> params, double lr, double eps)
+    : Optimizer(std::move(params)), eps_(eps) {
+  learning_rate_ = lr;
+  accum_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    accum_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void AdaGrad::Step() {
+  const float lr = static_cast<float>(learning_rate_);
+  const float eps = static_cast<float>(eps_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor& p = params_[i];
+    const std::vector<float>& g = p.grad();
+    float* data = p.mutable_data();
+    std::vector<float>& acc = accum_[i];
+    for (size_t j = 0; j < g.size(); ++j) {
+      acc[j] += g[j] * g[j];
+      data[j] -= lr * g[j] / (std::sqrt(acc[j]) + eps);
+    }
+  }
+}
+
+ExponentialDecay::ExponentialDecay(double initial_lr, double decay_rate,
+                                   int64_t decay_steps)
+    : initial_lr_(initial_lr),
+      decay_rate_(decay_rate),
+      decay_steps_(decay_steps) {
+  ODNET_CHECK_GT(decay_steps, 0);
+  ODNET_CHECK_GT(decay_rate, 0.0);
+}
+
+double ExponentialDecay::At(int64_t step) const {
+  return initial_lr_ *
+         std::pow(decay_rate_, static_cast<double>(step) /
+                                   static_cast<double>(decay_steps_));
+}
+
+}  // namespace optim
+}  // namespace odnet

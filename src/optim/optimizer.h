@@ -1,0 +1,94 @@
+#ifndef ODNET_OPTIM_OPTIMIZER_H_
+#define ODNET_OPTIM_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace odnet {
+namespace optim {
+
+/// \brief Base interface for first-order optimizers over a fixed parameter
+/// list. Step() consumes the accumulated gradients; callers zero grads
+/// between steps (Module::ZeroGrad).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's current grad buffer.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clipping norm.
+  double ClipGradNorm(double max_norm);
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+  int64_t num_params() const { return static_cast<int64_t>(params_.size()); }
+
+ protected:
+  std::vector<tensor::Tensor> params_;
+  double learning_rate_ = 0.01;  // paper's setting (Sec. V-A-5)
+};
+
+/// \brief Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba). The paper trains every model with Adam,
+/// batch size 128, lr 0.01.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// \brief AdaGrad, kept for optimizer ablations.
+class AdaGrad : public Optimizer {
+ public:
+  AdaGrad(std::vector<tensor::Tensor> params, double lr, double eps = 1e-10);
+  void Step() override;
+
+ private:
+  double eps_;
+  std::vector<std::vector<float>> accum_;
+};
+
+/// \brief Exponential learning-rate decay helper: lr_t = lr0 * rate^(t/steps).
+class ExponentialDecay {
+ public:
+  ExponentialDecay(double initial_lr, double decay_rate, int64_t decay_steps);
+  /// Learning rate after `step` updates.
+  double At(int64_t step) const;
+
+ private:
+  double initial_lr_;
+  double decay_rate_;
+  int64_t decay_steps_;
+};
+
+}  // namespace optim
+}  // namespace odnet
+
+#endif  // ODNET_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,54 @@
+#ifndef ODNET_SERVING_AB_TEST_H_
+#define ODNET_SERVING_AB_TEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/recommender.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/serving/ranking_service.h"
+
+namespace odnet {
+namespace serving {
+
+/// Online A/B experiment shape (paper Sec. V-E: one week, equal traffic
+/// split across methods, CTR per Eq. 14).
+struct AbTestOptions {
+  int64_t days = 7;
+  /// Test users served per method per day.
+  int64_t users_per_method_per_day = 120;
+  /// Impressions per served request (list length, Fig. 8 shows ~8 cards).
+  int64_t top_k = 8;
+  uint64_t seed = 417;
+};
+
+/// Per-method outcome of the simulated A/B test.
+struct AbMethodResult {
+  std::string method;
+  std::vector<double> daily_ctr;  // one per day
+  double overall_ctr = 0.0;
+  int64_t clicks = 0;
+  int64_t impressions = 0;
+};
+
+struct AbTestResult {
+  std::vector<AbMethodResult> methods;
+};
+
+/// \brief Simulated online A/B test (Fig. 7 analogue).
+///
+/// Each day, each method serves its share of test users through the full
+/// recall -> rank -> top-k path. Click feedback comes from the simulator's
+/// ground-truth utility: the probability a user clicks an impression is a
+/// logistic function of its true utility, damped by a position bias — so
+/// a method earns CTR exactly insofar as it ranks genuinely attractive
+/// flights highly. Methods must already be fitted.
+AbTestResult RunAbTest(const std::vector<baselines::OdRecommender*>& methods,
+                       const data::FliggySimulator& simulator,
+                       const data::OdDataset& dataset,
+                       const AbTestOptions& options);
+
+}  // namespace serving
+}  // namespace odnet
+
+#endif  // ODNET_SERVING_AB_TEST_H_

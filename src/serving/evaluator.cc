@@ -1,0 +1,151 @@
+#include "src/serving/evaluator.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace serving {
+
+std::vector<data::OdPair> BuildCandidates(const data::UserHistory& history,
+                                          int64_t num_cities,
+                                          int64_t num_candidates,
+                                          uint64_t seed,
+                                          const std::vector<double>* weights) {
+  ODNET_CHECK_GE(num_candidates, 2);
+  ODNET_CHECK_GT(num_cities, 2);
+  util::Rng rng(seed ^ (static_cast<uint64_t>(history.user) * 0x9e3779b9ULL));
+  const data::OdPair& pos = history.next_booking;
+  auto other_city = [&](int64_t avoid) {
+    int64_t c;
+    do {
+      c = (weights != nullptr && !weights->empty())
+              ? rng.Categorical(*weights)
+              : static_cast<int64_t>(
+                    rng.NextUint64(static_cast<uint64_t>(num_cities)));
+    } while (c == avoid);
+    return c;
+  };
+
+  std::vector<data::OdPair> candidates;
+  candidates.push_back(pos);
+  auto contains = [&candidates](const data::OdPair& od) {
+    return std::find(candidates.begin(), candidates.end(), od) !=
+           candidates.end();
+  };
+  int64_t guard = 0;
+  if (pos.origin == pos.destination) {
+    // Degenerate (next-POI) dataset: the ranked list compares POIs, so
+    // distractors are degenerate pairs over other POIs.
+    while (static_cast<int64_t>(candidates.size()) < num_candidates &&
+           guard++ < num_candidates * 50) {
+      int64_t c = other_city(pos.destination);
+      data::OdPair od{c, c};
+      if (contains(od)) continue;
+      candidates.push_back(od);
+    }
+    return candidates;
+  }
+  // Distractor mix mirroring the training sample forms: ~1/3 (O+, D-),
+  // ~1/3 (O-, D+), ~1/3 (O-, D-). Duplicates are avoided.
+  while (static_cast<int64_t>(candidates.size()) < num_candidates &&
+         guard++ < num_candidates * 50) {
+    data::OdPair od;
+    switch (rng.NextUint64(3)) {
+      case 0:
+        od = data::OdPair{pos.origin, other_city(pos.destination)};
+        break;
+      case 1:
+        od = data::OdPair{other_city(pos.origin), pos.destination};
+        break;
+      default:
+        od = data::OdPair{other_city(pos.origin), other_city(pos.destination)};
+        break;
+    }
+    if (od.origin == od.destination || contains(od)) continue;
+    candidates.push_back(od);
+  }
+  return candidates;
+}
+
+metrics::OdMetrics EvaluateOdRecommender(baselines::OdRecommender* method,
+                                         const data::OdDataset& dataset,
+                                         const EvalOptions& options) {
+  ODNET_CHECK(method != nullptr);
+  metrics::OdMetrics result;
+
+  // --- AUC over the labelled test samples ------------------------------
+  std::vector<baselines::OdScore> scores =
+      method->Score(dataset, dataset.test_samples);
+  ODNET_CHECK_EQ(scores.size(), dataset.test_samples.size());
+  std::vector<double> so;
+  std::vector<double> sd;
+  std::vector<float> lo;
+  std::vector<float> ld;
+  so.reserve(scores.size());
+  sd.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    so.push_back(scores[i].p_o);
+    sd.push_back(scores[i].p_d);
+    lo.push_back(dataset.test_samples[i].label_o);
+    ld.push_back(dataset.test_samples[i].label_d);
+  }
+  result.auc_o = metrics::Auc(so, lo).ValueOr(0.0);
+  result.auc_d = metrics::Auc(sd, ld).ValueOr(0.0);
+
+  // --- HR@k / MRR@k over per-user ranked candidate lists ----------------
+  std::vector<int64_t> users = dataset.test_users;
+  if (options.max_test_users > 0 &&
+      static_cast<int64_t>(users.size()) > options.max_test_users) {
+    users.resize(static_cast<size_t>(options.max_test_users));
+  }
+  std::vector<metrics::RankedQuery> queries;
+  queries.reserve(users.size());
+
+  // Distractor cities follow observed traffic popularity (hard negatives).
+  std::vector<double> popularity(static_cast<size_t>(dataset.num_cities),
+                                 1.0);
+  for (const data::UserHistory& h : dataset.histories) {
+    for (const data::Booking& b : h.long_term) {
+      popularity[static_cast<size_t>(b.od.origin)] += 1.0;
+      popularity[static_cast<size_t>(b.od.destination)] += 1.0;
+    }
+  }
+
+  // Batch all candidate scoring into one Score() call for efficiency.
+  std::vector<data::Sample> rows;
+  std::vector<size_t> row_offsets;
+  for (int64_t u : users) {
+    const data::UserHistory& h = dataset.histories[static_cast<size_t>(u)];
+    std::vector<data::OdPair> candidates =
+        BuildCandidates(h, dataset.num_cities, options.num_candidates,
+                        options.seed, &popularity);
+    row_offsets.push_back(rows.size());
+    for (const data::OdPair& od : candidates) {
+      data::Sample s;
+      s.user = u;
+      s.candidate = od;
+      s.day = h.decision_day;
+      rows.push_back(s);
+    }
+  }
+  row_offsets.push_back(rows.size());
+
+  std::vector<baselines::OdScore> ranked_scores = method->Score(dataset, rows);
+  ODNET_CHECK_EQ(ranked_scores.size(), rows.size());
+  for (size_t qi = 0; qi + 1 < row_offsets.size(); ++qi) {
+    metrics::RankedQuery q;
+    q.relevant_index = 0;  // BuildCandidates puts the true OD first
+    for (size_t r = row_offsets[qi]; r < row_offsets[qi + 1]; ++r) {
+      q.scores.push_back(method->CombinedScore(ranked_scores[r]));
+    }
+    queries.push_back(std::move(q));
+  }
+  metrics::FillRankingMetrics(queries, &result);
+  return result;
+}
+
+}  // namespace serving
+}  // namespace odnet

@@ -1,0 +1,43 @@
+#ifndef ODNET_SERVING_EVALUATOR_H_
+#define ODNET_SERVING_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "src/baselines/recommender.h"
+#include "src/data/types.h"
+#include "src/metrics/metrics.h"
+
+namespace odnet {
+namespace serving {
+
+/// Offline evaluation protocol matching the paper's Table III setup.
+struct EvalOptions {
+  /// Ranked-list size per test user: the true OD plus this-many-minus-one
+  /// distractors (a mix of partially- and fully-negative OD pairs).
+  int64_t num_candidates = 30;
+  uint64_t seed = 2023;
+  /// Cap on evaluated test users (0 = all) to bound harness runtime.
+  int64_t max_test_users = 0;
+};
+
+/// \brief Runs the full offline evaluation of one method: AUC-O / AUC-D
+/// over the labelled test samples, HR@k / MRR@k over per-user ranked
+/// candidate lists scored with Eq. 11.
+metrics::OdMetrics EvaluateOdRecommender(baselines::OdRecommender* method,
+                                         const data::OdDataset& dataset,
+                                         const EvalOptions& options);
+
+/// Builds the deterministic candidate OD list for one test user: index 0 is
+/// the relevant pair, followed by partial and full negatives. Distractor
+/// cities are drawn from `weights` when given (typically traffic
+/// popularity, making distractors plausible), else uniformly. Exposed for
+/// tests and the A/B simulator.
+std::vector<data::OdPair> BuildCandidates(
+    const data::UserHistory& history, int64_t num_cities,
+    int64_t num_candidates, uint64_t seed,
+    const std::vector<double>* weights = nullptr);
+
+}  // namespace serving
+}  // namespace odnet
+
+#endif  // ODNET_SERVING_EVALUATOR_H_

@@ -1,0 +1,62 @@
+#include "src/serving/ranking_service.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace serving {
+
+RankingService::RankingService(baselines::OdRecommender* model,
+                               const data::OdDataset* dataset,
+                               const CandidateRecall* recall)
+    : model_(model), dataset_(dataset), recall_(recall) {
+  ODNET_CHECK(model_ != nullptr);
+  ODNET_CHECK(dataset_ != nullptr);
+  ODNET_CHECK(recall_ != nullptr);
+}
+
+std::vector<RankedFlight> RankingService::RankCandidates(
+    int64_t user, const std::vector<data::OdPair>& candidates) const {
+  ODNET_CHECK_GE(user, 0);
+  ODNET_CHECK_LT(user, dataset_->num_users);
+  const data::UserHistory& history =
+      dataset_->histories[static_cast<size_t>(user)];
+  std::vector<data::Sample> rows;
+  rows.reserve(candidates.size());
+  for (const data::OdPair& od : candidates) {
+    data::Sample s;
+    s.user = user;
+    s.candidate = od;
+    s.day = history.decision_day;
+    rows.push_back(s);
+  }
+  std::vector<baselines::OdScore> scores = model_->Score(*dataset_, rows);
+  std::vector<RankedFlight> ranked;
+  ranked.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked.push_back(
+        RankedFlight{candidates[i], model_->CombinedScore(scores[i])});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedFlight& a, const RankedFlight& b) {
+                     return a.score > b.score;
+                   });
+  return ranked;
+}
+
+std::vector<RankedFlight> RankingService::RecommendTopK(int64_t user,
+                                                        int64_t k) const {
+  ODNET_CHECK_GT(k, 0);
+  const data::UserHistory& history =
+      dataset_->histories[static_cast<size_t>(user)];
+  std::vector<RankedFlight> ranked =
+      RankCandidates(user, recall_->RecallPairs(history));
+  if (static_cast<int64_t>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+}  // namespace serving
+}  // namespace odnet

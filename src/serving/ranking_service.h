@@ -1,0 +1,46 @@
+#ifndef ODNET_SERVING_RANKING_SERVICE_H_
+#define ODNET_SERVING_RANKING_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/baselines/recommender.h"
+#include "src/serving/recall.h"
+
+namespace odnet {
+namespace serving {
+
+/// One entry of a served flight recommendation list.
+struct RankedFlight {
+  data::OdPair od;
+  double score = 0.0;  // Eq. 11 blended probability
+};
+
+/// \brief In-process analogue of the paper's Ranking Service System (RSS,
+/// Sec. VI-B): recalls candidate OD pairs for a user, scores them with the
+/// trained model, and returns the top-k flights — the full online request
+/// path of Fig. 9 minus the RPC plumbing.
+class RankingService {
+ public:
+  /// All pointers must outlive the service. `model` must be fitted.
+  RankingService(baselines::OdRecommender* model,
+                 const data::OdDataset* dataset,
+                 const CandidateRecall* recall);
+
+  /// Serves one request: the top-k recommended flights for `user`.
+  std::vector<RankedFlight> RecommendTopK(int64_t user, int64_t k) const;
+
+  /// Scores a caller-supplied candidate list (used by the A/B simulator).
+  std::vector<RankedFlight> RankCandidates(
+      int64_t user, const std::vector<data::OdPair>& candidates) const;
+
+ private:
+  baselines::OdRecommender* model_;
+  const data::OdDataset* dataset_;
+  const CandidateRecall* recall_;
+};
+
+}  // namespace serving
+}  // namespace odnet
+
+#endif  // ODNET_SERVING_RANKING_SERVICE_H_

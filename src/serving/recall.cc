@@ -1,0 +1,110 @@
+#include "src/serving/recall.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace serving {
+
+namespace {
+
+void PushUnique(std::vector<int64_t>* v, int64_t value, int64_t cap) {
+  if (static_cast<int64_t>(v->size()) >= cap) return;
+  if (std::find(v->begin(), v->end(), value) == v->end()) {
+    v->push_back(value);
+  }
+}
+
+}  // namespace
+
+CandidateRecall::CandidateRecall(const data::OdDataset* dataset,
+                                 const data::CityAtlas* atlas,
+                                 const RecallOptions& options)
+    : dataset_(dataset), atlas_(atlas), options_(options) {
+  ODNET_CHECK(dataset_ != nullptr);
+  ODNET_CHECK(atlas_ != nullptr);
+  // Global arrival counts -> popular destination list.
+  std::vector<std::pair<int64_t, int64_t>> counts(
+      static_cast<size_t>(dataset_->num_cities));
+  for (int64_t c = 0; c < dataset_->num_cities; ++c) {
+    counts[static_cast<size_t>(c)] = {0, c};
+  }
+  for (const data::UserHistory& h : dataset_->histories) {
+    for (const data::Booking& b : h.long_term) {
+      counts[static_cast<size_t>(b.od.destination)].first += 1;
+    }
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  for (int64_t i = 0;
+       i < options_.popular_destinations &&
+       i < static_cast<int64_t>(counts.size());
+       ++i) {
+    popular_destinations_.push_back(counts[static_cast<size_t>(i)].second);
+  }
+}
+
+std::vector<int64_t> CandidateRecall::RecallOrigins(
+    const data::UserHistory& history) const {
+  std::vector<int64_t> origins;
+  // Strategy 1: the user's current (LBS) city.
+  PushUnique(&origins, history.current_city, options_.max_origins);
+  // Strategy 2: adjacent cities of the current city.
+  for (int64_t adj : atlas_->NearestCities(history.current_city, 3)) {
+    PushUnique(&origins, adj, options_.max_origins);
+  }
+  // Strategy 3: origins of historical bookings (most recent first).
+  for (auto it = history.long_term.rbegin(); it != history.long_term.rend();
+       ++it) {
+    PushUnique(&origins, it->od.origin, options_.max_origins);
+  }
+  return origins;
+}
+
+std::vector<int64_t> CandidateRecall::RecallDestinations(
+    const data::UserHistory& history) const {
+  std::vector<int64_t> dests;
+  // Strategy 1: destinations of recently clicked flights.
+  for (auto it = history.short_term.rbegin(); it != history.short_term.rend();
+       ++it) {
+    PushUnique(&dests, it->od.destination, options_.max_destinations);
+  }
+  // Strategy 2: destinations of historical bookings.
+  for (auto it = history.long_term.rbegin(); it != history.long_term.rend();
+       ++it) {
+    PushUnique(&dests, it->od.destination, options_.max_destinations);
+  }
+  // Strategy 3: origins of historical bookings as destinations — this is
+  // the return-ticket recall path (Case 2 of the paper's Fig. 8).
+  for (auto it = history.long_term.rbegin(); it != history.long_term.rend();
+       ++it) {
+    PushUnique(&dests, it->od.origin, options_.max_destinations);
+  }
+  // Strategy 4: destinations of popular air lines.
+  for (int64_t popular : popular_destinations_) {
+    PushUnique(&dests, popular, options_.max_destinations);
+  }
+  return dests;
+}
+
+std::vector<data::OdPair> CandidateRecall::RecallPairs(
+    const data::UserHistory& history) const {
+  std::vector<data::OdPair> pairs;
+  for (int64_t o : RecallOrigins(history)) {
+    for (int64_t d : RecallDestinations(history)) {
+      if (o == d) continue;
+      if (options_.route_exists && !options_.route_exists(o, d)) continue;
+      data::OdPair od{o, d};
+      if (std::find(pairs.begin(), pairs.end(), od) == pairs.end()) {
+        pairs.push_back(od);
+        if (static_cast<int64_t>(pairs.size()) >= options_.max_pairs) {
+          return pairs;
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace serving
+}  // namespace odnet

@@ -1,0 +1,62 @@
+#ifndef ODNET_SERVING_RECALL_H_
+#define ODNET_SERVING_RECALL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/data/city_atlas.h"
+#include "src/data/types.h"
+
+namespace odnet {
+namespace serving {
+
+/// Limits on the candidate-generation stage.
+struct RecallOptions {
+  int64_t max_origins = 5;
+  int64_t max_destinations = 12;
+  int64_t max_pairs = 40;
+  int64_t popular_destinations = 6;
+  /// Flight-network feasibility filter: recall only proposes OD pairs for
+  /// which a bookable flight exists (the RTFS would never surface a
+  /// nonexistent route). Defaults to accepting everything.
+  std::function<bool(int64_t origin, int64_t destination)> route_exists;
+};
+
+/// \brief Multi-strategy candidate generation, mirroring the paper's
+/// online serving description (Sec. VI-B):
+///
+/// Candidate origins: the user's current city, adjacent (nearby) cities,
+/// the resident city, and origins of historical bookings. Candidate
+/// destinations: historical booking destinations, destinations of popular
+/// air lines, and destinations of recently clicked flights. Origins and
+/// destinations are assembled into OD pairs and passed to ranking.
+class CandidateRecall {
+ public:
+  /// `dataset` supplies global popularity; `atlas` supplies adjacency.
+  /// Both must outlive the recall instance.
+  CandidateRecall(const data::OdDataset* dataset,
+                  const data::CityAtlas* atlas, const RecallOptions& options);
+
+  /// Candidate origins for one user, deduplicated, priority-ordered.
+  std::vector<int64_t> RecallOrigins(const data::UserHistory& history) const;
+
+  /// Candidate destinations for one user.
+  std::vector<int64_t> RecallDestinations(
+      const data::UserHistory& history) const;
+
+  /// Assembled OD pairs (o != d), capped at max_pairs.
+  std::vector<data::OdPair> RecallPairs(
+      const data::UserHistory& history) const;
+
+ private:
+  const data::OdDataset* dataset_;
+  const data::CityAtlas* atlas_;
+  RecallOptions options_;
+  std::vector<int64_t> popular_destinations_;  // by global arrival count
+};
+
+}  // namespace serving
+}  // namespace odnet
+
+#endif  // ODNET_SERVING_RECALL_H_

@@ -1,0 +1,767 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace odnet {
+namespace tensor {
+
+namespace {
+
+using internal::TensorImpl;
+
+// Effective strides of `shape` when broadcast to `out_shape`: right-aligned,
+// 0 on broadcast/missing dims.
+std::vector<int64_t> EffectiveStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  std::vector<int64_t> natural = ContiguousStrides(shape);
+  std::vector<int64_t> eff(out_shape.size(), 0);
+  for (size_t i = 0; i < shape.size(); ++i) {
+    size_t out_dim = out_shape.size() - shape.size() + i;
+    eff[out_dim] = (shape[i] == 1) ? 0 : natural[i];
+  }
+  return eff;
+}
+
+// Calls fn(out_idx, a_off, b_off) for every output element, with operand
+// offsets following broadcast semantics.
+template <typename Fn>
+void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
+                      const Shape& b_shape, Fn&& fn) {
+  const int64_t n = Numel(out_shape);
+  const size_t rank = out_shape.size();
+  if (rank == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> a_str = EffectiveStrides(a_shape, out_shape);
+  std::vector<int64_t> b_str = EffectiveStrides(b_shape, out_shape);
+  std::vector<int64_t> counter(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    fn(i, a_off, b_off);
+    // Odometer increment, updating offsets incrementally.
+    for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
+      size_t ud = static_cast<size_t>(d);
+      ++counter[ud];
+      a_off += a_str[ud];
+      b_off += b_str[ud];
+      if (counter[ud] < out_shape[ud]) break;
+      a_off -= a_str[ud] * out_shape[ud];
+      b_off -= b_str[ud] * out_shape[ud];
+      counter[ud] = 0;
+    }
+  }
+}
+
+// Accumulates `grad` (laid out as `from` shape) into `accum` (laid out as
+// `to`, which `to` broadcasts to `from`).
+void ReduceGradToShape(const std::vector<float>& grad, const Shape& from,
+                       const Shape& to, std::vector<float>* accum) {
+  if (SameShape(from, to)) {
+    for (size_t i = 0; i < grad.size(); ++i) (*accum)[i] += grad[i];
+    return;
+  }
+  std::vector<int64_t> to_str = EffectiveStrides(to, from);
+  const size_t rank = from.size();
+  if (rank == 0) {
+    (*accum)[0] += grad[0];
+    return;
+  }
+  std::vector<int64_t> counter(rank, 0);
+  int64_t t_off = 0;
+  const int64_t n = Numel(from);
+  for (int64_t i = 0; i < n; ++i) {
+    (*accum)[static_cast<size_t>(t_off)] += grad[static_cast<size_t>(i)];
+    for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
+      size_t ud = static_cast<size_t>(d);
+      ++counter[ud];
+      t_off += to_str[ud];
+      if (counter[ud] < from[ud]) break;
+      t_off -= to_str[ud] * from[ud];
+      counter[ud] = 0;
+    }
+  }
+}
+
+Shape BroadcastOrDie(const Shape& a, const Shape& b) {
+  auto result = BroadcastShapes(a, b);
+  ODNET_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+enum class BinaryKind { kAdd, kSub, kMul, kDiv };
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
+  ODNET_CHECK(a.defined() && b.defined());
+  Shape out_shape = BroadcastOrDie(a.shape(), b.shape());
+  std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
+  const float* pa = a.data();
+  const float* pb = b.data();
+
+  if (SameShape(a.shape(), b.shape())) {
+    // Fast path: no broadcasting.
+    const size_t n = out.size();
+    switch (kind) {
+      case BinaryKind::kAdd:
+        for (size_t i = 0; i < n; ++i) out[i] = pa[i] + pb[i];
+        break;
+      case BinaryKind::kSub:
+        for (size_t i = 0; i < n; ++i) out[i] = pa[i] - pb[i];
+        break;
+      case BinaryKind::kMul:
+        for (size_t i = 0; i < n; ++i) out[i] = pa[i] * pb[i];
+        break;
+      case BinaryKind::kDiv:
+        for (size_t i = 0; i < n; ++i) out[i] = pa[i] / pb[i];
+        break;
+    }
+  } else {
+    BroadcastIterate(out_shape, a.shape(), b.shape(),
+                     [&](int64_t i, int64_t ia, int64_t ib) {
+                       float x = pa[ia];
+                       float y = pb[ib];
+                       float r = 0.0f;
+                       switch (kind) {
+                         case BinaryKind::kAdd:
+                           r = x + y;
+                           break;
+                         case BinaryKind::kSub:
+                           r = x - y;
+                           break;
+                         case BinaryKind::kMul:
+                           r = x * y;
+                           break;
+                         case BinaryKind::kDiv:
+                           r = x / y;
+                           break;
+                       }
+                       out[static_cast<size_t>(i)] = r;
+                     });
+  }
+
+  Shape a_shape = a.shape();
+  Shape b_shape = b.shape();
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), {a, b},
+      [kind, out_shape, a_shape, b_shape](TensorImpl* self) {
+        TensorImpl* ia = self->parents[0].get();
+        TensorImpl* ib = self->parents[1].get();
+        const std::vector<float>& g = self->grad;
+        const int64_t n = Numel(out_shape);
+        // d/da and d/db computed in output layout, then reduced.
+        std::vector<float> ga;
+        std::vector<float> gb;
+        if (ia->requires_grad) ga.resize(static_cast<size_t>(n));
+        if (ib->requires_grad) gb.resize(static_cast<size_t>(n));
+        BroadcastIterate(
+            out_shape, a_shape, b_shape,
+            [&](int64_t i, int64_t oa, int64_t ob) {
+              size_t ui = static_cast<size_t>(i);
+              float go = g[ui];
+              switch (kind) {
+                case BinaryKind::kAdd:
+                  if (!ga.empty()) ga[ui] = go;
+                  if (!gb.empty()) gb[ui] = go;
+                  break;
+                case BinaryKind::kSub:
+                  if (!ga.empty()) ga[ui] = go;
+                  if (!gb.empty()) gb[ui] = -go;
+                  break;
+                case BinaryKind::kMul:
+                  if (!ga.empty()) ga[ui] = go * ib->data[static_cast<size_t>(ob)];
+                  if (!gb.empty()) gb[ui] = go * ia->data[static_cast<size_t>(oa)];
+                  break;
+                case BinaryKind::kDiv: {
+                  float y = ib->data[static_cast<size_t>(ob)];
+                  if (!ga.empty()) ga[ui] = go / y;
+                  if (!gb.empty()) {
+                    float x = ia->data[static_cast<size_t>(oa)];
+                    gb[ui] = -go * x / (y * y);
+                  }
+                  break;
+                }
+              }
+            });
+        if (ia->requires_grad) {
+          ReduceGradToShape(ga, out_shape, a_shape, &ia->grad);
+        }
+        if (ib->requires_grad) {
+          ReduceGradToShape(gb, out_shape, b_shape, &ib->grad);
+        }
+      });
+}
+
+template <typename FwdFn, typename BwdFn>
+Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
+  ODNET_CHECK(a.defined());
+  std::vector<float> out(a.vec().size());
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(pa[i]);
+  return Tensor::MakeForOp(
+      a.shape(), std::move(out), {a}, [bwd](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        for (size_t i = 0; i < self->grad.size(); ++i) {
+          parent->grad[i] += self->grad[i] * bwd(parent->data[i], self->data[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kAdd);
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kSub);
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kMul);
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kDiv);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+        float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ODNET_CHECK(a.defined() && b.defined());
+  const int ra = a.rank();
+  const int rb = b.rank();
+  ODNET_CHECK(ra == 2 || ra == 3) << "MatMul lhs rank " << ra;
+  ODNET_CHECK(rb == 2 || rb == 3) << "MatMul rhs rank " << rb;
+  ODNET_CHECK(!(ra == 2 && rb == 3)) << "MatMul: 2-D lhs with 3-D rhs";
+
+  const int64_t batch = ra == 3 ? a.dim(0) : 1;
+  const int64_t m = a.dim(ra - 2);
+  const int64_t k = a.dim(ra - 1);
+  ODNET_CHECK_EQ(k, b.dim(rb - 2))
+      << "MatMul inner dims: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int64_t n = b.dim(rb - 1);
+  const bool b_batched = rb == 3;
+  if (b_batched && ra == 3) {
+    ODNET_CHECK_EQ(a.dim(0), b.dim(0)) << "MatMul batch dims";
+  }
+
+  Shape out_shape = ra == 3 ? Shape{batch, m, n} : Shape{m, n};
+  std::vector<float> out(static_cast<size_t>(batch * m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+
+  for (int64_t bt = 0; bt < batch; ++bt) {
+    const float* A = pa + bt * m * k;
+    const float* B = pb + (b_batched ? bt * k * n : 0);
+    float* C = out.data() + bt * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = A[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = B + p * n;
+        float* crow = C + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), {a, b},
+      [batch, m, k, n, b_batched](TensorImpl* self) {
+        TensorImpl* ia = self->parents[0].get();
+        TensorImpl* ib = self->parents[1].get();
+        const float* G = self->grad.data();
+        // dA[b] = G[b] * B[b]^T ; dB[b] += A[b]^T * G[b].
+        for (int64_t bt = 0; bt < batch; ++bt) {
+          const float* Gb = G + bt * m * n;
+          const float* A = ia->data.data() + bt * m * k;
+          const float* B = ib->data.data() + (b_batched ? bt * k * n : 0);
+          if (ia->requires_grad) {
+            float* dA = ia->grad.data() + bt * m * k;
+            for (int64_t i = 0; i < m; ++i) {
+              for (int64_t j = 0; j < n; ++j) {
+                const float gv = Gb[i * n + j];
+                if (gv == 0.0f) continue;
+                const float* bcol = B + j;  // stride n over p
+                float* darow = dA + i * k;
+                for (int64_t p = 0; p < k; ++p) {
+                  darow[p] += gv * bcol[p * n];
+                }
+              }
+            }
+          }
+          if (ib->requires_grad) {
+            float* dB = ib->grad.data() + (b_batched ? bt * k * n : 0);
+            for (int64_t p = 0; p < k; ++p) {
+              for (int64_t i = 0; i < m; ++i) {
+                const float av = A[i * k + p];
+                if (av == 0.0f) continue;
+                const float* grow = Gb + i * n;
+                float* dbrow = dB + p * n;
+                for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  ODNET_CHECK(a.defined());
+  ODNET_CHECK_GE(a.rank(), 2);
+  Shape in_shape = a.shape();
+  Shape out_shape = in_shape;
+  std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
+  const int64_t rows = in_shape[in_shape.size() - 2];
+  const int64_t cols = in_shape[in_shape.size() - 1];
+  const int64_t batch = Numel(in_shape) / (rows * cols);
+  std::vector<float> out(a.vec().size());
+  const float* pa = a.data();
+  for (int64_t bt = 0; bt < batch; ++bt) {
+    const float* src = pa + bt * rows * cols;
+    float* dst = out.data() + bt * rows * cols;
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        dst[j * rows + i] = src[i * cols + j];
+      }
+    }
+  }
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), {a}, [rows, cols, batch](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        // Transposing the gradient back: grad layout is [.., cols, rows].
+        for (int64_t bt = 0; bt < batch; ++bt) {
+          const float* g = self->grad.data() + bt * rows * cols;
+          float* dst = parent->grad.data() + bt * rows * cols;
+          for (int64_t j = 0; j < cols; ++j) {
+            for (int64_t i = 0; i < rows; ++i) {
+              dst[i * cols + j] += g[j * rows + i];
+            }
+          }
+        }
+      });
+}
+
+Tensor Reshape(const Tensor& a, const Shape& new_shape) {
+  ODNET_CHECK(a.defined());
+  ODNET_CHECK_EQ(Numel(a.shape()), Numel(new_shape))
+      << ShapeToString(a.shape()) << " -> " << ShapeToString(new_shape);
+  std::vector<float> out = a.vec();
+  return Tensor::MakeForOp(new_shape, std::move(out), {a},
+                           [](TensorImpl* self) {
+                             TensorImpl* parent = self->parents[0].get();
+                             if (!parent->requires_grad) return;
+                             for (size_t i = 0; i < self->grad.size(); ++i) {
+                               parent->grad[i] += self->grad[i];
+                             }
+                           });
+}
+
+Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
+  ODNET_CHECK(!inputs.empty());
+  const Shape& first = inputs[0].shape();
+  int rank = inputs[0].rank();
+  if (axis < 0) axis += rank;
+  ODNET_CHECK_GE(axis, 0);
+  ODNET_CHECK_LT(axis, rank);
+
+  int64_t concat_dim = 0;
+  for (const Tensor& t : inputs) {
+    ODNET_CHECK_EQ(t.rank(), rank);
+    for (int d = 0; d < rank; ++d) {
+      if (d != axis) {
+        ODNET_CHECK_EQ(t.shape()[static_cast<size_t>(d)],
+                       first[static_cast<size_t>(d)])
+            << "Concat mismatch on axis " << d;
+      }
+    }
+    concat_dim += t.dim(axis);
+  }
+  Shape out_shape = first;
+  out_shape[static_cast<size_t>(axis)] = concat_dim;
+
+  // Views as [outer, axis_dim, inner].
+  int64_t outer = 1;
+  for (int d = 0; d < axis; ++d) outer *= first[static_cast<size_t>(d)];
+  int64_t inner = 1;
+  for (int d = axis + 1; d < rank; ++d) inner *= first[static_cast<size_t>(d)];
+
+  std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
+  std::vector<int64_t> axis_dims;
+  axis_dims.reserve(inputs.size());
+  for (const Tensor& t : inputs) axis_dims.push_back(t.dim(axis));
+
+  int64_t offset = 0;
+  for (size_t idx = 0; idx < inputs.size(); ++idx) {
+    const float* src = inputs[idx].data();
+    const int64_t ad = axis_dims[idx];
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(out.data() + (o * concat_dim + offset) * inner,
+                  src + o * ad * inner,
+                  static_cast<size_t>(ad * inner) * sizeof(float));
+    }
+    offset += ad;
+  }
+
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), inputs,
+      [outer, inner, concat_dim, axis_dims](TensorImpl* self) {
+        int64_t offset = 0;
+        for (size_t idx = 0; idx < self->parents.size(); ++idx) {
+          TensorImpl* parent = self->parents[idx].get();
+          const int64_t ad = axis_dims[idx];
+          if (parent->requires_grad) {
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* g =
+                  self->grad.data() + (o * concat_dim + offset) * inner;
+              float* dst = parent->grad.data() + o * ad * inner;
+              for (int64_t i = 0; i < ad * inner; ++i) dst[i] += g[i];
+            }
+          }
+          offset += ad;
+        }
+      });
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
+  ODNET_CHECK(a.defined());
+  int rank = a.rank();
+  if (axis < 0) axis += rank;
+  ODNET_CHECK_GE(axis, 0);
+  ODNET_CHECK_LT(axis, rank);
+  const Shape& in_shape = a.shape();
+  ODNET_CHECK_GE(start, 0);
+  ODNET_CHECK_GE(length, 0);
+  ODNET_CHECK_LE(start + length, in_shape[static_cast<size_t>(axis)]);
+
+  Shape out_shape = in_shape;
+  out_shape[static_cast<size_t>(axis)] = length;
+  int64_t outer = 1;
+  for (int d = 0; d < axis; ++d) outer *= in_shape[static_cast<size_t>(d)];
+  int64_t inner = 1;
+  for (int d = axis + 1; d < rank; ++d) inner *= in_shape[static_cast<size_t>(d)];
+  const int64_t in_axis = in_shape[static_cast<size_t>(axis)];
+
+  std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
+  const float* src = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(out.data() + o * length * inner,
+                src + (o * in_axis + start) * inner,
+                static_cast<size_t>(length * inner) * sizeof(float));
+  }
+
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), {a},
+      [outer, inner, in_axis, start, length](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* g = self->grad.data() + o * length * inner;
+          float* dst = parent->grad.data() + (o * in_axis + start) * inner;
+          for (int64_t i = 0; i < length * inner; ++i) dst[i] += g[i];
+        }
+      });
+}
+
+Tensor Stack(const std::vector<Tensor>& inputs) {
+  ODNET_CHECK(!inputs.empty());
+  const Shape& unit = inputs[0].shape();
+  for (const Tensor& t : inputs) {
+    ODNET_CHECK(SameShape(t.shape(), unit)) << "Stack shape mismatch";
+  }
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(inputs.size()));
+  out_shape.insert(out_shape.end(), unit.begin(), unit.end());
+  const int64_t unit_n = Numel(unit);
+  std::vector<float> out(static_cast<size_t>(unit_n * inputs.size()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    std::memcpy(out.data() + static_cast<int64_t>(i) * unit_n,
+                inputs[i].data(), static_cast<size_t>(unit_n) * sizeof(float));
+  }
+  return Tensor::MakeForOp(out_shape, std::move(out), inputs,
+                           [unit_n](TensorImpl* self) {
+                             for (size_t i = 0; i < self->parents.size(); ++i) {
+                               TensorImpl* parent = self->parents[i].get();
+                               if (!parent->requires_grad) continue;
+                               const float* g = self->grad.data() +
+                                                static_cast<int64_t>(i) * unit_n;
+                               for (int64_t j = 0; j < unit_n; ++j) {
+                                 parent->grad[static_cast<size_t>(j)] += g[j];
+                               }
+                             }
+                           });
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
+                       const Shape& index_shape) {
+  ODNET_CHECK(table.defined());
+  ODNET_CHECK_EQ(table.rank(), 2);
+  ODNET_CHECK_EQ(static_cast<int64_t>(indices.size()), Numel(index_shape));
+  const int64_t vocab = table.dim(0);
+  const int64_t dim = table.dim(1);
+
+  Shape out_shape = index_shape;
+  out_shape.push_back(dim);
+  std::vector<float> out(static_cast<size_t>(indices.size()) *
+                         static_cast<size_t>(dim));
+  const float* src = table.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t row = indices[i];
+    ODNET_CHECK_GE(row, 0);
+    ODNET_CHECK_LT(row, vocab) << "embedding index out of range";
+    std::memcpy(out.data() + static_cast<int64_t>(i) * dim, src + row * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+
+  std::vector<int64_t> idx_copy = indices;
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), {table},
+      [idx_copy, dim](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        for (size_t i = 0; i < idx_copy.size(); ++i) {
+          const float* g = self->grad.data() + static_cast<int64_t>(i) * dim;
+          float* dst = parent->grad.data() + idx_copy[i] * dim;
+          for (int64_t j = 0; j < dim; ++j) dst[j] += g[j];
+        }
+      });
+}
+
+Tensor Sum(const Tensor& a) {
+  ODNET_CHECK(a.defined());
+  double total = 0.0;
+  for (float x : a.vec()) total += x;
+  return Tensor::MakeForOp({}, {static_cast<float>(total)}, {a},
+                           [](TensorImpl* self) {
+                             TensorImpl* parent = self->parents[0].get();
+                             if (!parent->requires_grad) return;
+                             const float g = self->grad[0];
+                             for (float& pg : parent->grad) pg += g;
+                           });
+}
+
+Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
+  ODNET_CHECK(a.defined());
+  int rank = a.rank();
+  if (axis < 0) axis += rank;
+  ODNET_CHECK_GE(axis, 0);
+  ODNET_CHECK_LT(axis, rank);
+  const Shape& in_shape = a.shape();
+  int64_t outer = 1;
+  for (int d = 0; d < axis; ++d) outer *= in_shape[static_cast<size_t>(d)];
+  int64_t inner = 1;
+  for (int d = axis + 1; d < rank; ++d) inner *= in_shape[static_cast<size_t>(d)];
+  const int64_t axis_dim = in_shape[static_cast<size_t>(axis)];
+
+  Shape out_shape;
+  for (int d = 0; d < rank; ++d) {
+    if (d == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(in_shape[static_cast<size_t>(d)]);
+    }
+  }
+
+  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  const float* src = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t k = 0; k < axis_dim; ++k) {
+      const float* row = src + (o * axis_dim + k) * inner;
+      float* dst = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
+    }
+  }
+
+  return Tensor::MakeForOp(
+      out_shape, std::move(out), {a},
+      [outer, inner, axis_dim](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* g = self->grad.data() + o * inner;
+          for (int64_t k = 0; k < axis_dim; ++k) {
+            float* dst = parent->grad.data() + (o * axis_dim + k) * inner;
+            for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+          }
+        }
+      });
+}
+
+Tensor Mean(const Tensor& a) {
+  ODNET_CHECK(a.defined());
+  ODNET_CHECK_GT(a.numel(), 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdim) {
+  int rank = a.rank();
+  int resolved = axis < 0 ? axis + rank : axis;
+  int64_t axis_dim = a.dim(resolved);
+  return MulScalar(SumAxis(a, axis, keepdim),
+                   1.0f / static_cast<float>(axis_dim));
+}
+
+Tensor Softmax(const Tensor& a) {
+  ODNET_CHECK(a.defined());
+  ODNET_CHECK_GE(a.rank(), 1);
+  const int64_t cols = a.dim(-1);
+  const int64_t rows = a.numel() / cols;
+  std::vector<float> out(a.vec().size());
+  const float* src = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = src + r * cols;
+    float* y = out.data() + r * cols;
+    float max_val = x[0];
+    for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
+    float total = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - max_val);
+      total += y[c];
+    }
+    const float inv = 1.0f / total;
+    for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+  return Tensor::MakeForOp(
+      a.shape(), std::move(out), {a}, [rows, cols](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        // dx = (dy - sum(dy * y)) * y, per row.
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* y = self->data.data() + r * cols;
+          const float* dy = self->grad.data() + r * cols;
+          float dot = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) dot += dy[c] * y[c];
+          float* dx = parent->grad.data() + r * cols;
+          for (int64_t c = 0; c < cols; ++c) {
+            dx[c] += (dy[c] - dot) * y[c];
+          }
+        }
+      });
+}
+
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
+  ODNET_CHECK(a.defined());
+  ODNET_CHECK_GE(p, 0.0f);
+  ODNET_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return MulScalar(a, 1.0f);  // identity on tape
+  ODNET_CHECK(rng != nullptr);
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(a.vec().size());
+  for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  std::vector<float> out(a.vec().size());
+  const float* src = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = src[i] * mask[i];
+  return Tensor::MakeForOp(a.shape(), std::move(out), {a},
+                           [mask](TensorImpl* self) {
+                             TensorImpl* parent = self->parents[0].get();
+                             if (!parent->requires_grad) return;
+                             for (size_t i = 0; i < mask.size(); ++i) {
+                               parent->grad[i] += self->grad[i] * mask[i];
+                             }
+                           });
+}
+
+Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
+  ODNET_CHECK(logits.defined() && targets.defined());
+  ODNET_CHECK(SameShape(logits.shape(), targets.shape()))
+      << ShapeToString(logits.shape()) << " vs "
+      << ShapeToString(targets.shape());
+  const int64_t n = logits.numel();
+  ODNET_CHECK_GT(n, 0);
+  const float* x = logits.data();
+  const float* t = targets.data();
+  // loss_i = max(x,0) - x*t + log(1 + exp(-|x|))  (stable)
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    float xi = x[i];
+    total += std::max(xi, 0.0f) - xi * t[i] +
+             std::log1p(std::exp(-std::fabs(xi)));
+  }
+  float mean = static_cast<float>(total / static_cast<double>(n));
+  return Tensor::MakeForOp(
+      {}, {mean}, {logits, targets}, [n](TensorImpl* self) {
+        TensorImpl* xl = self->parents[0].get();
+        TensorImpl* tg = self->parents[1].get();
+        const float g = self->grad[0] / static_cast<float>(n);
+        if (xl->requires_grad) {
+          for (int64_t i = 0; i < n; ++i) {
+            float xi = xl->data[static_cast<size_t>(i)];
+            float sig = xi >= 0.0f ? 1.0f / (1.0f + std::exp(-xi))
+                                   : std::exp(xi) / (1.0f + std::exp(xi));
+            xl->grad[static_cast<size_t>(i)] +=
+                g * (sig - tg->data[static_cast<size_t>(i)]);
+          }
+        }
+        // Gradient w.r.t. soft targets: d/dt = -x / n.
+        if (tg->requires_grad) {
+          for (int64_t i = 0; i < n; ++i) {
+            tg->grad[static_cast<size_t>(i)] +=
+                -g * xl->data[static_cast<size_t>(i)];
+          }
+        }
+      });
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  Tensor diff = Sub(pred, target);
+  return Mean(Mul(diff, diff));
+}
+
+}  // namespace tensor
+}  // namespace odnet

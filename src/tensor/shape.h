@@ -1,0 +1,36 @@
+#ifndef ODNET_TENSOR_SHAPE_H_
+#define ODNET_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace odnet {
+namespace tensor {
+
+/// Dimension sizes, outermost first. Rank 0 (empty) denotes a scalar.
+using Shape = std::vector<int64_t>;
+
+/// Total number of elements (1 for scalars).
+int64_t Numel(const Shape& shape);
+
+/// Row-major strides for a contiguous layout.
+std::vector<int64_t> ContiguousStrides(const Shape& shape);
+
+/// Renders like "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+bool SameShape(const Shape& a, const Shape& b);
+
+/// NumPy-style broadcast of two shapes; error when incompatible.
+util::Result<Shape> BroadcastShapes(const Shape& a, const Shape& b);
+
+/// True when `from` broadcasts to `to` without transposition.
+bool IsBroadcastableTo(const Shape& from, const Shape& to);
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_SHAPE_H_

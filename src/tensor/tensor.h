@@ -1,0 +1,162 @@
+#ifndef ODNET_TENSOR_TENSOR_H_
+#define ODNET_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/shape.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace tensor {
+
+class Tensor;
+
+namespace internal {
+
+/// Reference-counted tensor storage plus the autograd tape hooks.
+///
+/// A TensorImpl created by a differentiable op records its parents and a
+/// backward closure; Tensor::Backward() walks the resulting DAG in reverse
+/// topological order. Leaf tensors (parameters) have no parents.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // same size as data once touched by backward
+  bool requires_grad = false;
+  uint64_t id = 0;  // creation order; used for deterministic topo sort
+
+  // Autograd tape. `backward_fn` distributes `grad` into parents' grads.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl*)> backward_fn;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// \brief Scoped guard disabling tape construction (inference mode).
+///
+/// Inside the guard, ops do not record parents or backward closures, so
+/// forward passes are cheaper and produce detached tensors.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Returns true when ops should build the autograd tape.
+bool GradModeEnabled();
+
+/// \brief Value-semantic handle to a float32, contiguous, row-major
+/// n-dimensional array with reverse-mode autodiff.
+///
+/// Copying a Tensor aliases the underlying storage (shared_ptr semantics);
+/// use Clone() for a deep copy. All shapes are fixed at construction.
+class Tensor {
+ public:
+  /// Null tensor; most operations on it CHECK-fail. Use factories below.
+  Tensor() = default;
+
+  // -- Factories -------------------------------------------------------
+
+  /// Zero-filled tensor of the given shape.
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+
+  /// One-filled tensor.
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+
+  /// Constant-filled tensor.
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+
+  /// Rank-0 scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// Takes ownership of `values` (size must equal Numel(shape)).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+
+  /// Gaussian init (mean 0, given stddev) from a deterministic Rng.
+  static Tensor Randn(const Shape& shape, util::Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+
+  /// Uniform init on [lo, hi).
+  static Tensor Uniform(const Shape& shape, util::Rng* rng, float lo, float hi,
+                        bool requires_grad = false);
+
+  // -- Introspection ---------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim(int axis) const;
+  int rank() const { return static_cast<int>(shape().size()); }
+  int64_t numel() const { return Numel(shape()); }
+
+  const float* data() const;
+  float* mutable_data();
+  const std::vector<float>& vec() const;
+
+  /// Value of a rank-0 or single-element tensor.
+  float item() const;
+
+  /// Element access by multi-index (rank must match index arity).
+  float at(std::initializer_list<int64_t> idx) const;
+
+  bool requires_grad() const;
+  /// Marks this tensor as a leaf requiring gradient accumulation.
+  void set_requires_grad(bool value);
+
+  /// Gradient buffer (zeros until Backward touches it).
+  const std::vector<float>& grad() const;
+  std::vector<float>* mutable_grad();
+  void ZeroGrad();
+
+  /// Deep copy with no autograd history.
+  Tensor Clone() const;
+
+  /// Same storage, detached from the tape (no parents, no grad flow).
+  Tensor Detach() const;
+
+  /// Debug rendering: shape plus (truncated) values.
+  std::string ToString(int64_t max_values = 16) const;
+
+  // -- Autograd --------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this tensor. If it is not a scalar,
+  /// the seed gradient is all-ones. Gradients accumulate into leaves'
+  /// grad buffers (call ZeroGrad between steps).
+  void Backward();
+
+  /// Identity comparison (same storage).
+  bool IsSameAs(const Tensor& other) const { return impl_ == other.impl_; }
+
+  // Internal: used by ops to construct results with tape entries.
+  static Tensor MakeForOp(Shape shape, std::vector<float> data,
+                          std::vector<Tensor> parents,
+                          std::function<void(internal::TensorImpl*)> backward);
+  internal::TensorImpl* impl() const { return impl_.get(); }
+  std::shared_ptr<internal::TensorImpl> impl_ptr() const { return impl_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_TENSOR_H_

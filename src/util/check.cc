@@ -1,0 +1,17 @@
+#include "src/util/check.h"
+
+namespace odnet {
+namespace util {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "ODNET_CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace util
+}  // namespace odnet

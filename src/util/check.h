@@ -1,0 +1,63 @@
+#ifndef ODNET_UTIL_CHECK_H_
+#define ODNET_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace odnet {
+namespace util {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream sink used by ODNET_CHECK's `<<` tail; aborts on destruction.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace odnet
+
+/// Aborts with a diagnostic when `cond` is false. For programmer errors
+/// (precondition violations) only; recoverable failures use Status.
+#define ODNET_CHECK(cond)                                                \
+  if (cond) {                                                            \
+  } else /* NOLINT */                                                    \
+    ::odnet::util::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define ODNET_CHECK_EQ(a, b) ODNET_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ODNET_CHECK_NE(a, b) ODNET_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ODNET_CHECK_LT(a, b) ODNET_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ODNET_CHECK_LE(a, b) ODNET_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ODNET_CHECK_GT(a, b) ODNET_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ODNET_CHECK_GE(a, b) ODNET_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define ODNET_DCHECK(cond) ODNET_CHECK(true)
+#else
+#define ODNET_DCHECK(cond) ODNET_CHECK(cond)
+#endif
+
+#endif  // ODNET_UTIL_CHECK_H_

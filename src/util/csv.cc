@@ -1,0 +1,143 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace odnet {
+namespace util {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return CsvWriter(file);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += NeedsQuoting(fields[i]) ? QuoteField(fields[i]) : fields[i];
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("fclose failed");
+  return Status::OK();
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+CsvWriter::CsvWriter(CsvWriter&& other) noexcept : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+CsvWriter& CsvWriter::operator=(CsvWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return Status::InvalidArgument("quote inside unquoted field");
+      }
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+      row_has_content = true;
+    } else if (c == '\n') {
+      if (row_has_content || !field.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        row_has_content = false;
+      }
+    } else if (c != '\r') {
+      field += c;
+      row_has_content = true;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote");
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return Status::IoError("cannot open: " + path);
+  std::string content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(file);
+  return ParseCsv(content);
+}
+
+}  // namespace util
+}  // namespace odnet

@@ -1,0 +1,46 @@
+#ifndef ODNET_UTIL_CSV_H_
+#define ODNET_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace odnet {
+namespace util {
+
+/// \brief Minimal RFC-4180-ish CSV writer for exporting experiment results.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  /// Appends one row; fields containing commas/quotes/newlines are quoted.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; further writes fail.
+  Status Close();
+
+  ~CsvWriter();
+  CsvWriter(CsvWriter&& other) noexcept;
+  CsvWriter& operator=(CsvWriter&& other) noexcept;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  explicit CsvWriter(FILE* file) : file_(file) {}
+  FILE* file_ = nullptr;
+};
+
+/// \brief Parses CSV content into rows of fields (handles quoting).
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content);
+
+/// Reads and parses an entire CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_CSV_H_

@@ -1,0 +1,122 @@
+#include "src/util/flags.h"
+
+#include "src/util/check.h"
+#include "src/util/string_util.h"
+
+namespace odnet {
+namespace util {
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kString, default_value, help};
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(default_value), help};
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, std::to_string(default_value), help};
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Type::kBool, default_value ? "true" : "false", help};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  switch (it->second.type) {
+    case Type::kInt: {
+      auto parsed = ParseInt64(value);
+      if (!parsed.ok()) return parsed.status();
+      break;
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      break;
+    }
+    case Type::kBool:
+      if (value != "true" && value != "false") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got " + value);
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  it->second.value = value;
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      ODNET_RETURN_NOT_OK(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + body + " missing value");
+      }
+      ODNET_RETURN_NOT_OK(SetValue(body, argv[++i]));
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  ODNET_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  ODNET_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return ParseInt64(it->second.value).value();
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  ODNET_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return ParseDouble(it->second.value).value();
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  ODNET_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.value == "true";
+}
+
+std::string FlagParser::Help() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.value + ")  " + flag.help +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace odnet

@@ -1,0 +1,60 @@
+#ifndef ODNET_UTIL_FLAGS_H_
+#define ODNET_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace odnet {
+namespace util {
+
+/// \brief Tiny command-line flag parser for examples and bench binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Unknown flags are an error so typos surface immediately; positional
+/// arguments are collected in order.
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and help text.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  Status Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage/help block.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_FLAGS_H_

@@ -1,0 +1,66 @@
+#ifndef ODNET_UTIL_LOGGING_H_
+#define ODNET_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace odnet {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes the formatted line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace odnet
+
+#define ODNET_LOG(level)                                                    \
+  (::odnet::util::LogLevel::k##level < ::odnet::util::GetLogLevel())        \
+      ? (void)0                                                             \
+      : (void)(::odnet::util::internal::LogMessage(                         \
+                   ::odnet::util::LogLevel::k##level, __FILE__, __LINE__)   \
+               << "")
+
+// Streaming form: ODNET_LOG_INFO << "x=" << x;
+#define ODNET_LOG_STREAM(level)                                             \
+  ::odnet::util::internal::LogMessage(::odnet::util::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)
+
+#define ODNET_LOG_DEBUG ODNET_LOG_STREAM(Debug)
+#define ODNET_LOG_INFO ODNET_LOG_STREAM(Info)
+#define ODNET_LOG_WARNING ODNET_LOG_STREAM(Warning)
+#define ODNET_LOG_ERROR ODNET_LOG_STREAM(Error)
+
+#endif  // ODNET_UTIL_LOGGING_H_

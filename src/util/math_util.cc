@@ -1,0 +1,21 @@
+#include "src/util/math_util.h"
+
+namespace odnet {
+namespace util {
+
+double HaversineKm(double lat1, double lon1, double lat2, double lon2) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  double phi1 = lat1 * kDegToRad;
+  double phi2 = lat2 * kDegToRad;
+  double dphi = (lat2 - lat1) * kDegToRad;
+  double dlambda = (lon2 - lon1) * kDegToRad;
+  double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+             std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                 std::sin(dlambda / 2);
+  double c = 2 * std::atan2(std::sqrt(a), std::sqrt(1 - a));
+  return kEarthRadiusKm * c;
+}
+
+}  // namespace util
+}  // namespace odnet

@@ -1,0 +1,65 @@
+#ifndef ODNET_UTIL_MATH_UTIL_H_
+#define ODNET_UTIL_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace odnet {
+namespace util {
+
+/// Numerically-stable logistic sigmoid.
+inline double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// In-place stable softmax over `v`. No-op on empty input.
+inline void SoftmaxInPlace(std::vector<double>* v) {
+  if (v->empty()) return;
+  double max_val = (*v)[0];
+  for (double x : *v) max_val = std::max(max_val, x);
+  double total = 0.0;
+  for (double& x : *v) {
+    x = std::exp(x - max_val);
+    total += x;
+  }
+  for (double& x : *v) x /= total;
+}
+
+/// log(sum(exp(v))) computed stably.
+inline double LogSumExp(const std::vector<double>& v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  double max_val = v[0];
+  for (double x : v) max_val = std::max(max_val, x);
+  double total = 0.0;
+  for (double x : v) total += std::exp(x - max_val);
+  return max_val + std::log(total);
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Great-circle distance (km) between two (lat, lon) points in degrees.
+/// The paper describes the city distance matrix as an L2 norm over
+/// longitude/latitude; we expose both and default to haversine, which is
+/// monotone in the L2 surrogate at city scales and physically meaningful.
+double HaversineKm(double lat1, double lon1, double lat2, double lon2);
+
+/// Paper's literal formulation: Euclidean distance in (lat, lon) space.
+inline double LatLonL2(double lat1, double lon1, double lat2, double lon2) {
+  double dlat = lat1 - lat2;
+  double dlon = lon1 - lon2;
+  return std::sqrt(dlat * dlat + dlon * dlon);
+}
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_MATH_UTIL_H_

@@ -1,0 +1,139 @@
+#ifndef ODNET_UTIL_STATUS_H_
+#define ODNET_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace odnet {
+namespace util {
+
+/// \brief Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome: either OK or a code plus message.
+///
+/// The library's public API never throws across module boundaries; fallible
+/// operations return Status (or Result<T> when they also produce a value).
+/// This mirrors the Arrow/RocksDB error-handling idiom.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "<CodeName>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Accessors CHECK-fail on misuse (taking the value of an error result), so
+/// callers must test ok() first or use ValueOr().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::InvalidArgument(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status (OK if this result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace util
+}  // namespace odnet
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define ODNET_RETURN_NOT_OK(expr)                      \
+  do {                                                 \
+    ::odnet::util::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// propagating the error.
+#define ODNET_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto ODNET_CONCAT_(_result_, __LINE__) = (expr);     \
+  if (!ODNET_CONCAT_(_result_, __LINE__).ok())         \
+    return ODNET_CONCAT_(_result_, __LINE__).status(); \
+  lhs = std::move(ODNET_CONCAT_(_result_, __LINE__)).value()
+
+#define ODNET_CONCAT_IMPL_(a, b) a##b
+#define ODNET_CONCAT_(a, b) ODNET_CONCAT_IMPL_(a, b)
+
+#endif  // ODNET_UTIL_STATUS_H_

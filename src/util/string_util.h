@@ -1,0 +1,40 @@
+#ifndef ODNET_UTIL_STRING_UTIL_H_
+#define ODNET_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace odnet {
+namespace util {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a decimal integer / float, rejecting trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with fixed precision (e.g. "0.9432").
+std::string FormatFixed(double value, int precision);
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_STRING_UTIL_H_

@@ -1,0 +1,71 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ODNET_CHECK(!header_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  ODNET_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += ' ';
+      line += cell;
+      line += std::string(widths[c] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += render_row(header_);
+  out += rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+void AsciiTable::Print() const {
+  std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace util
+}  // namespace odnet

@@ -1,0 +1,38 @@
+#ifndef ODNET_UTIL_TABLE_H_
+#define ODNET_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace odnet {
+namespace util {
+
+/// \brief ASCII table renderer used by the benchmark harness to print
+/// paper-style result tables (Table I/II/III/IV/V analogues).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void AddSeparator();
+
+  /// Renders with box-drawing ASCII, columns padded to content width.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_TABLE_H_

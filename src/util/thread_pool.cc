@@ -1,0 +1,72 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  ODNET_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ODNET_CHECK(!shutdown_) << "submit after shutdown";
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  std::atomic<int64_t> next{0};
+  std::vector<std::future<void>> futures;
+  int shards = num_threads();
+  futures.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    futures.push_back(Submit([&next, n, &fn] {
+      for (;;) {
+        int64_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace util
+}  // namespace odnet

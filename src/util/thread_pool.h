@@ -1,0 +1,50 @@
+#ifndef ODNET_UTIL_THREAD_POOL_H_
+#define ODNET_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace odnet {
+namespace util {
+
+/// \brief Fixed-size worker pool used for data-parallel evaluation sweeps.
+///
+/// The trainer itself is single-threaded (determinism), but metric
+/// computation and simulator sweeps can be fanned out safely.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_THREAD_POOL_H_

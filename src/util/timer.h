@@ -1,0 +1,37 @@
+#ifndef ODNET_UTIL_TIMER_H_
+#define ODNET_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace odnet {
+namespace util {
+
+/// \brief Monotonic wall-clock stopwatch for coarse timing of training and
+/// inference phases (Table V, Fig. 6(b)).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace odnet
+
+#endif  // ODNET_UTIL_TIMER_H_

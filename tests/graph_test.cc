@@ -1,0 +1,231 @@
+#include "src/graph/hsg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace graph {
+namespace {
+
+std::vector<CityLocation> GridCities(int64_t n) {
+  std::vector<CityLocation> locations;
+  for (int64_t i = 0; i < n; ++i) {
+    locations.push_back(
+        CityLocation{20.0 + static_cast<double>(i), 100.0 +
+                         0.5 * static_cast<double>(i)});
+  }
+  return locations;
+}
+
+HeterogeneousSpatialGraph MakePaperExampleGraph() {
+  // Mirrors the structure of paper Fig. 2: users interacting with cities
+  // through departure and arrive edges.
+  HeterogeneousSpatialGraph hsg(/*num_users=*/3, GridCities(10));
+  // u0 departs from c0, c1; arrives at c5, c6.
+  EXPECT_TRUE(hsg.AddInteraction(0, 0, EdgeType::kDeparture).ok());
+  EXPECT_TRUE(hsg.AddInteraction(0, 1, EdgeType::kDeparture).ok());
+  EXPECT_TRUE(hsg.AddInteraction(0, 5, EdgeType::kArrive).ok());
+  EXPECT_TRUE(hsg.AddInteraction(0, 6, EdgeType::kArrive).ok());
+  // u1 departs from c1; arrives at c6, c7.
+  EXPECT_TRUE(hsg.AddInteraction(1, 1, EdgeType::kDeparture).ok());
+  EXPECT_TRUE(hsg.AddInteraction(1, 6, EdgeType::kArrive).ok());
+  EXPECT_TRUE(hsg.AddInteraction(1, 7, EdgeType::kArrive).ok());
+  // u2 arrives at c6, c8, c9.
+  EXPECT_TRUE(hsg.AddInteraction(2, 6, EdgeType::kArrive).ok());
+  EXPECT_TRUE(hsg.AddInteraction(2, 8, EdgeType::kArrive).ok());
+  EXPECT_TRUE(hsg.AddInteraction(2, 9, EdgeType::kArrive).ok());
+  hsg.Finalize();
+  return hsg;
+}
+
+TEST(HsgTest, CountsNodesAndEdges) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  EXPECT_EQ(hsg.num_users(), 3);
+  EXPECT_EQ(hsg.num_cities(), 10);
+  EXPECT_EQ(hsg.num_edges(EdgeType::kDeparture), 3);
+  EXPECT_EQ(hsg.num_edges(EdgeType::kArrive), 7);
+}
+
+TEST(HsgTest, UserNeighborCitiesFollowMetapath) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  // N^1_rho1(u0) = departure cities of u0 = {c0, c1}.
+  EXPECT_EQ(hsg.UserNeighborCities(0, Metapath::kDeparture),
+            (std::vector<int64_t>{0, 1}));
+  // N^1_rho2(u0) = arrival cities = {c5, c6}.
+  EXPECT_EQ(hsg.UserNeighborCities(0, Metapath::kArrive),
+            (std::vector<int64_t>{5, 6}));
+}
+
+TEST(HsgTest, CityNeighborCitiesAreTwoStepWalk) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  // Paper Fig. 2(d): neighbors of c6 under rho2 = all other arrive-cities
+  // of users who arrived at c6 (u0 -> c5; u1 -> c7; u2 -> c8, c9).
+  EXPECT_EQ(hsg.CityNeighborCities(6, Metapath::kArrive),
+            (std::vector<int64_t>{5, 7, 8, 9}));
+  // c6 itself is excluded ("all OTHER visited cities").
+  for (int64_t c : hsg.CityNeighborCities(6, Metapath::kArrive)) {
+    EXPECT_NE(c, 6);
+  }
+}
+
+TEST(HsgTest, IsolatedCityHasNoNeighbors) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  EXPECT_TRUE(hsg.CityNeighborCities(3, Metapath::kArrive).empty());
+  EXPECT_TRUE(hsg.CityNeighborCities(3, Metapath::kDeparture).empty());
+}
+
+TEST(HsgTest, MetapathsAreTypeIsolated) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  // c0 has departure interactions only: no arrive-metapath neighbors.
+  EXPECT_TRUE(hsg.CityNeighborCities(0, Metapath::kArrive).empty());
+  // Departure neighbors of c0: u0's other departure city c1.
+  EXPECT_EQ(hsg.CityNeighborCities(0, Metapath::kDeparture),
+            (std::vector<int64_t>{1}));
+}
+
+TEST(HsgTest, RepeatInteractionBumpsWeightNotEdgeCount) {
+  HeterogeneousSpatialGraph hsg(2, GridCities(4));
+  EXPECT_TRUE(hsg.AddInteraction(0, 1, EdgeType::kDeparture).ok());
+  EXPECT_TRUE(hsg.AddInteraction(0, 1, EdgeType::kDeparture).ok());
+  EXPECT_TRUE(hsg.AddInteraction(0, 1, EdgeType::kDeparture).ok());
+  hsg.Finalize();
+  EXPECT_EQ(hsg.num_edges(EdgeType::kDeparture), 1);
+  EXPECT_EQ(hsg.EdgeWeight(0, 1, EdgeType::kDeparture), 3);
+  EXPECT_EQ(hsg.EdgeWeight(0, 2, EdgeType::kDeparture), 0);
+}
+
+TEST(HsgTest, AddBookingAddsBothEdgeTypes) {
+  HeterogeneousSpatialGraph hsg(1, GridCities(4));
+  EXPECT_TRUE(hsg.AddBooking(0, 1, 3).ok());
+  hsg.Finalize();
+  EXPECT_EQ(hsg.EdgeWeight(0, 1, EdgeType::kDeparture), 1);
+  EXPECT_EQ(hsg.EdgeWeight(0, 3, EdgeType::kArrive), 1);
+}
+
+TEST(HsgTest, RejectsOutOfRangeIds) {
+  HeterogeneousSpatialGraph hsg(2, GridCities(4));
+  EXPECT_FALSE(hsg.AddInteraction(5, 0, EdgeType::kDeparture).ok());
+  EXPECT_FALSE(hsg.AddInteraction(0, 9, EdgeType::kDeparture).ok());
+  EXPECT_FALSE(hsg.AddInteraction(-1, 0, EdgeType::kArrive).ok());
+}
+
+TEST(HsgTest, RejectsInteractionAfterFinalize) {
+  HeterogeneousSpatialGraph hsg(2, GridCities(4));
+  hsg.Finalize();
+  EXPECT_EQ(hsg.AddInteraction(0, 0, EdgeType::kDeparture).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(HsgTest, DistanceIsSymmetricAndZeroOnDiagonal) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  for (int64_t i = 0; i < hsg.num_cities(); ++i) {
+    EXPECT_DOUBLE_EQ(hsg.Distance(i, i), 0.0);
+    for (int64_t j = 0; j < hsg.num_cities(); ++j) {
+      EXPECT_DOUBLE_EQ(hsg.Distance(i, j), hsg.Distance(j, i));
+    }
+  }
+}
+
+TEST(HsgTest, SpatialWeightsRowNormalized) {
+  // Eq. 2: w_ii = 0 and each row sums to 1.
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  for (int64_t i = 0; i < hsg.num_cities(); ++i) {
+    EXPECT_DOUBLE_EQ(hsg.SpatialWeight(i, i), 0.0);
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < hsg.num_cities(); ++j) {
+      row_sum += hsg.SpatialWeight(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);
+  }
+}
+
+TEST(HsgTest, SpatialWeightFavorsNearerCity) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  // Grid cities: city 1 is nearer to city 0 than city 5 is.
+  EXPECT_GT(hsg.SpatialWeight(0, 1), hsg.SpatialWeight(0, 5));
+}
+
+TEST(HsgTest, HaversineMetricOption) {
+  HeterogeneousSpatialGraph hsg(1, GridCities(3),
+                                DistanceMetric::kHaversineKm);
+  EXPECT_TRUE(hsg.AddBooking(0, 0, 1).ok());
+  hsg.Finalize();
+  // ~111 km per degree of latitude.
+  EXPECT_NEAR(hsg.Distance(0, 1), 122.0, 15.0);
+}
+
+TEST(HsgTest, SamplingRespectsCapAndReturnsSubset) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  util::Rng rng(5);
+  const std::vector<int64_t>& full =
+      hsg.CityNeighborCities(6, Metapath::kArrive);
+  ASSERT_EQ(full.size(), 4u);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> sample =
+        hsg.SampleCityNeighborCities(6, Metapath::kArrive, 2, &rng);
+    EXPECT_EQ(sample.size(), 2u);
+    std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 2u);
+    for (int64_t c : sample) {
+      EXPECT_NE(std::find(full.begin(), full.end(), c), full.end());
+    }
+  }
+}
+
+TEST(HsgTest, SamplingBelowCapReturnsAll) {
+  HeterogeneousSpatialGraph hsg = MakePaperExampleGraph();
+  util::Rng rng(5);
+  EXPECT_EQ(hsg.SampleUserNeighborCities(0, Metapath::kDeparture, 10, &rng),
+            (std::vector<int64_t>{0, 1}));
+}
+
+// Property sweep: on random graphs, every city-metapath neighborhood is
+// consistent with the definition (shares at least one user, never self).
+class HsgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HsgPropertyTest, NeighborhoodsMatchDefinition) {
+  util::Rng rng(GetParam());
+  const int64_t users = 20;
+  const int64_t cities = 12;
+  HeterogeneousSpatialGraph hsg(users, GridCities(cities));
+  for (int64_t u = 0; u < users; ++u) {
+    int64_t bookings = 1 + static_cast<int64_t>(rng.NextUint64(4));
+    for (int64_t b = 0; b < bookings; ++b) {
+      int64_t o = static_cast<int64_t>(rng.NextUint64(cities));
+      int64_t d = static_cast<int64_t>(rng.NextUint64(cities));
+      if (o == d) d = (d + 1) % cities;
+      ASSERT_TRUE(hsg.AddBooking(u, o, d).ok());
+    }
+  }
+  hsg.Finalize();
+
+  for (Metapath rho : {Metapath::kDeparture, Metapath::kArrive}) {
+    for (int64_t c = 0; c < cities; ++c) {
+      for (int64_t nbr : hsg.CityNeighborCities(c, rho)) {
+        EXPECT_NE(nbr, c);
+        // There must exist a user connected to both c and nbr via rho.
+        bool found = false;
+        for (int64_t u = 0; u < users && !found; ++u) {
+          const std::vector<int64_t>& ucities =
+              hsg.UserNeighborCities(u, rho);
+          bool has_c = std::find(ucities.begin(), ucities.end(), c) !=
+                       ucities.end();
+          bool has_n = std::find(ucities.begin(), ucities.end(), nbr) !=
+                       ucities.end();
+          found = has_c && has_n;
+        }
+        EXPECT_TRUE(found) << "city " << c << " neighbor " << nbr;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsgPropertyTest,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+}  // namespace
+}  // namespace graph
+}  // namespace odnet

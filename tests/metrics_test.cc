@@ -1,0 +1,175 @@
+#include "src/metrics/metrics.h"
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace metrics {
+namespace {
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  auto auc = Auc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 1.0);
+}
+
+TEST(AucTest, InvertedSeparationIsZero) {
+  auto auc = Auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.0);
+}
+
+TEST(AucTest, ConstantScoresGiveHalf) {
+  auto auc = Auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.5);
+}
+
+TEST(AucTest, TiesHandledByAverageRank) {
+  // pos: {0.8, 0.5}, neg: {0.5, 0.2}. Tie at 0.5.
+  // Pairs: (0.8 vs 0.5)=1, (0.8 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.2)=1
+  // AUC = 3.5/4.
+  auto auc = Auc({0.8, 0.5, 0.5, 0.2}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.875);
+}
+
+TEST(AucTest, SingleClassIsError) {
+  EXPECT_FALSE(Auc({0.1, 0.9}, {1, 1}).ok());
+  EXPECT_FALSE(Auc({0.1, 0.9}, {0, 0}).ok());
+}
+
+TEST(AucTest, SizeMismatchIsError) {
+  EXPECT_FALSE(Auc({0.1}, {1, 0}).ok());
+}
+
+TEST(AucTest, AgreesWithBruteForcePairCount) {
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+    scores.push_back(rng.UniformDouble() + 0.3 * labels.back());
+  }
+  auto auc = Auc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[i] > 0.5f && labels[j] < 0.5f) {
+        ++pairs;
+        if (scores[i] > scores[j]) {
+          wins += 1.0;
+        } else if (scores[i] == scores[j]) {
+          wins += 0.5;
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(auc.value(), wins / static_cast<double>(pairs), 1e-12);
+}
+
+TEST(RankTest, RelevantFirst) {
+  RankedQuery q{{0.9, 0.5, 0.1}, 0};
+  EXPECT_EQ(RankOfRelevant(q), 1);
+}
+
+TEST(RankTest, RelevantLast) {
+  RankedQuery q{{0.9, 0.5, 0.1}, 2};
+  EXPECT_EQ(RankOfRelevant(q), 3);
+}
+
+TEST(RankTest, TiesArePessimistic) {
+  // Constant scores: the relevant item ranks behind every tied competitor.
+  RankedQuery q{{0.5, 0.5, 0.5}, 1};
+  EXPECT_EQ(RankOfRelevant(q), 3);
+}
+
+TEST(HitRatioTest, CutoffBehaviour) {
+  std::vector<RankedQuery> queries = {
+      {{0.9, 0.1, 0.2}, 0},  // rank 1
+      {{0.5, 0.9, 0.1}, 0},  // rank 2
+      {{0.1, 0.5, 0.9}, 0},  // rank 3
+  };
+  EXPECT_DOUBLE_EQ(HitRatioAtK(queries, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(queries, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(queries, 3), 1.0);
+}
+
+TEST(MrrTest, ReciprocalRanks) {
+  std::vector<RankedQuery> queries = {
+      {{0.9, 0.1}, 0},       // rank 1 -> 1.0
+      {{0.5, 0.9, 0.1}, 0},  // rank 2 -> 0.5
+  };
+  EXPECT_DOUBLE_EQ(MrrAtK(queries, 5), 0.75);
+  // Rank beyond cutoff contributes zero.
+  std::vector<RankedQuery> far = {{{0.1, 0.2, 0.3, 0.9}, 0}};  // rank 4
+  EXPECT_DOUBLE_EQ(MrrAtK(far, 3), 0.0);
+}
+
+TEST(MrrTest, Mrr1EqualsHr1) {
+  // Paper note: MRR@k == HR@k when k = 1.
+  util::Rng rng(5);
+  std::vector<RankedQuery> queries;
+  for (int i = 0; i < 50; ++i) {
+    RankedQuery q;
+    for (int c = 0; c < 10; ++c) q.scores.push_back(rng.UniformDouble());
+    q.relevant_index = static_cast<int64_t>(rng.NextUint64(10));
+    queries.push_back(q);
+  }
+  EXPECT_DOUBLE_EQ(MrrAtK(queries, 1), HitRatioAtK(queries, 1));
+}
+
+TEST(CtrTest, Eq14) {
+  EXPECT_DOUBLE_EQ(Ctr(30, 100), 0.3);
+  EXPECT_DOUBLE_EQ(Ctr(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(Ctr(0, 0), 0.0);
+}
+
+TEST(FillRankingMetricsTest, PopulatesAllCutoffs) {
+  std::vector<RankedQuery> queries = {{{0.9, 0.1}, 0}};
+  OdMetrics od;
+  FillRankingMetrics(queries, &od);
+  EXPECT_DOUBLE_EQ(od.hr1, 1.0);
+  EXPECT_DOUBLE_EQ(od.hr10, 1.0);
+  EXPECT_DOUBLE_EQ(od.mrr5, 1.0);
+  PoiMetrics poi;
+  FillRankingMetrics(queries, &poi);
+  EXPECT_DOUBLE_EQ(poi.hr5, 1.0);
+}
+
+// Property: HR@k and MRR@k are monotone nondecreasing in k, and
+// MRR@k <= HR@k always.
+class RankingMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankingMonotoneTest, MonotoneInK) {
+  util::Rng rng(GetParam());
+  std::vector<RankedQuery> queries;
+  for (int i = 0; i < 40; ++i) {
+    RankedQuery q;
+    int64_t n = 5 + static_cast<int64_t>(rng.NextUint64(20));
+    for (int64_t c = 0; c < n; ++c) q.scores.push_back(rng.UniformDouble());
+    q.relevant_index = static_cast<int64_t>(rng.NextUint64(
+        static_cast<uint64_t>(n)));
+    queries.push_back(q);
+  }
+  double prev_hr = 0.0;
+  double prev_mrr = 0.0;
+  for (int64_t k = 1; k <= 25; ++k) {
+    double hr = HitRatioAtK(queries, k);
+    double mrr = MrrAtK(queries, k);
+    EXPECT_GE(hr, prev_hr);
+    EXPECT_GE(mrr, prev_mrr);
+    EXPECT_LE(mrr, hr + 1e-12);
+    prev_hr = hr;
+    prev_mrr = mrr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace metrics
+}  // namespace odnet

@@ -1,0 +1,153 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+
+namespace odnet {
+namespace optim {
+namespace {
+
+using tensor::Tensor;
+
+// Minimizes f(x) = sum((x - target)^2) and returns the final x values.
+template <typename OptimizerT, typename... Args>
+std::vector<float> MinimizeQuadratic(int steps, Args&&... args) {
+  Tensor x = Tensor::FromVector({3}, {5.0f, -4.0f, 2.0f},
+                                /*requires_grad=*/true);
+  Tensor target = Tensor::FromVector({3}, {1.0f, 2.0f, -1.0f});
+  OptimizerT opt({x}, std::forward<Args>(args)...);
+  for (int i = 0; i < steps; ++i) {
+    Tensor diff = tensor::Sub(x, target);
+    Tensor loss = tensor::Sum(tensor::Mul(diff, diff));
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  return x.vec();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  auto x = MinimizeQuadratic<Sgd>(200, 0.05);
+  EXPECT_NEAR(x[0], 1.0f, 1e-3f);
+  EXPECT_NEAR(x[1], 2.0f, 1e-3f);
+  EXPECT_NEAR(x[2], -1.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumConvergesFaster) {
+  auto plain = MinimizeQuadratic<Sgd>(30, 0.02);
+  auto momentum = MinimizeQuadratic<Sgd>(30, 0.02, 0.9);
+  double err_plain = std::fabs(plain[0] - 1.0f);
+  double err_momentum = std::fabs(momentum[0] - 1.0f);
+  EXPECT_LT(err_momentum, err_plain);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  auto x = MinimizeQuadratic<Adam>(400, 0.05);
+  EXPECT_NEAR(x[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(x[1], 2.0f, 1e-2f);
+  EXPECT_NEAR(x[2], -1.0f, 1e-2f);
+}
+
+TEST(AdaGradTest, ConvergesOnQuadratic) {
+  auto x = MinimizeQuadratic<AdaGrad>(800, 0.5);
+  EXPECT_NEAR(x[0], 1.0f, 5e-2f);
+  EXPECT_NEAR(x[1], 2.0f, 5e-2f);
+}
+
+TEST(SgdTest, ExactSingleStep) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  Sgd opt({x}, 0.1);
+  Tensor loss = tensor::Sum(tensor::Mul(x, x));  // grad = 2x = 4
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(x.vec()[0], 2.0f - 0.1f * 4.0f, 1e-6f);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // Bias correction makes the very first Adam update ~= lr * sign(grad).
+  Tensor x = Tensor::FromVector({1}, {1.0f}, true);
+  Adam opt({x}, 0.01);
+  Tensor loss = tensor::Sum(tensor::MulScalar(x, 3.0f));
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(x.vec()[0], 1.0f - 0.01f, 1e-4f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, 0.0f}, true);
+  Sgd opt({x}, 0.1);
+  Tensor grad_source = Tensor::FromVector({2}, {3.0f, 4.0f});
+  Tensor loss = tensor::Sum(tensor::Mul(x, grad_source));
+  opt.ZeroGrad();
+  loss.Backward();
+  double norm = opt.ClipGradNorm(1.0);  // pre-clip norm = 5
+  EXPECT_NEAR(norm, 5.0, 1e-5);
+  double post = std::sqrt(x.grad()[0] * x.grad()[0] +
+                          x.grad()[1] * x.grad()[1]);
+  EXPECT_NEAR(post, 1.0, 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
+  Tensor x = Tensor::FromVector({1}, {0.0f}, true);
+  Sgd opt({x}, 0.1);
+  Tensor loss = tensor::Sum(tensor::MulScalar(x, 0.5f));
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.ClipGradNorm(10.0);
+  EXPECT_NEAR(x.grad()[0], 0.5f, 1e-6f);
+}
+
+TEST(ExponentialDecayTest, DecaySchedule) {
+  ExponentialDecay decay(0.1, 0.5, 100);
+  EXPECT_DOUBLE_EQ(decay.At(0), 0.1);
+  EXPECT_NEAR(decay.At(100), 0.05, 1e-9);
+  EXPECT_NEAR(decay.At(200), 0.025, 1e-9);
+}
+
+// All optimizers decrease the loss on a small random regression problem.
+class OptimizerFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerFamilyTest, LossDecreasesOnRegression) {
+  util::Rng rng(21);
+  Tensor w = Tensor::Randn({4, 1}, &rng, 0.5f, true);
+  Tensor x = Tensor::Randn({32, 4}, &rng);
+  Tensor y = Tensor::Randn({32, 1}, &rng);
+
+  std::unique_ptr<Optimizer> opt;
+  switch (GetParam()) {
+    case 0:
+      opt = std::make_unique<Sgd>(std::vector<Tensor>{w}, 0.05);
+      break;
+    case 1:
+      opt = std::make_unique<Sgd>(std::vector<Tensor>{w}, 0.05, 0.9);
+      break;
+    case 2:
+      opt = std::make_unique<Adam>(std::vector<Tensor>{w}, 0.05);
+      break;
+    default:
+      opt = std::make_unique<AdaGrad>(std::vector<Tensor>{w}, 0.5);
+      break;
+  }
+  auto loss_value = [&] {
+    return tensor::MseLoss(tensor::MatMul(x, w), y).item();
+  };
+  double initial = loss_value();
+  for (int step = 0; step < 60; ++step) {
+    Tensor loss = tensor::MseLoss(tensor::MatMul(x, w), y);
+    opt->ZeroGrad();
+    loss.Backward();
+    opt->Step();
+  }
+  EXPECT_LT(loss_value(), initial * 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerFamilyTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace optim
+}  // namespace odnet

@@ -1,0 +1,171 @@
+// Property-based sweeps over the tensor engine: random shapes, random op
+// chains, and invariants that must hold for any input.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/data/types.h"
+#include "src/serving/evaluator.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "tests/test_util.h"
+
+namespace odnet {
+namespace tensor {
+namespace {
+
+using ::odnet::testing::ExpectGradCheck;
+
+// Random broadcast-compatible shape pairs, validated by gradcheck on
+// a * b + a composite.
+class BroadcastPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BroadcastPropertyTest, RandomShapesGradCheck) {
+  util::Rng rng(GetParam());
+  // Build a random target shape of rank 1..3, dims 1..4.
+  int rank = 1 + static_cast<int>(rng.NextUint64(3));
+  Shape target(static_cast<size_t>(rank));
+  for (auto& d : target) d = 1 + static_cast<int64_t>(rng.NextUint64(4));
+  // Derive a broadcastable operand: drop leading dims and/or set dims to 1.
+  size_t drop = rng.NextUint64(static_cast<uint64_t>(rank) + 1);
+  Shape small(target.begin() + static_cast<int64_t>(drop), target.end());
+  for (auto& d : small) {
+    if (rng.Bernoulli(0.5)) d = 1;
+  }
+  if (small.empty()) small = {1};
+
+  Tensor a = Tensor::Uniform(target, &rng, 0.5f, 1.5f);
+  Tensor b = Tensor::Uniform(small, &rng, 0.5f, 1.5f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Add(Mul(in[0], in[1]), Div(in[0], in[1])));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Softmax invariants under random inputs.
+class SoftmaxPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoftmaxPropertyTest, RowsSumToOneAndShiftInvariant) {
+  util::Rng rng(GetParam());
+  int64_t rows = 1 + static_cast<int64_t>(rng.NextUint64(5));
+  int64_t cols = 2 + static_cast<int64_t>(rng.NextUint64(6));
+  Tensor x = Tensor::Uniform({rows, cols}, &rng, -5.0f, 5.0f);
+  Tensor s = Softmax(x);
+  for (int64_t r = 0; r < rows; ++r) {
+    float total = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      float v = s.at({r, c});
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+  // softmax(x + c) == softmax(x).
+  Tensor shifted = Softmax(AddScalar(x, 7.5f));
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    EXPECT_NEAR(s.data()[i], shifted.data()[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxPropertyTest,
+                         ::testing::Range<uint64_t>(20, 28));
+
+// Reduction identities: Sum == sum over any axis order; Mean * n == Sum.
+class ReductionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionPropertyTest, AxisDecompositions) {
+  util::Rng rng(GetParam());
+  Shape shape{1 + static_cast<int64_t>(rng.NextUint64(3)),
+              1 + static_cast<int64_t>(rng.NextUint64(4)),
+              1 + static_cast<int64_t>(rng.NextUint64(3))};
+  Tensor x = Tensor::Uniform(shape, &rng, -2.0f, 2.0f);
+  float total = Sum(x).item();
+  EXPECT_NEAR(Sum(SumAxis(SumAxis(x, 0), 0)).item(), total, 1e-4f);
+  EXPECT_NEAR(Sum(SumAxis(x, 2)).item(), total, 1e-4f);
+  EXPECT_NEAR(Mean(x).item() * static_cast<float>(x.numel()), total, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Range<uint64_t>(30, 38));
+
+// MatMul distributes over addition and matches transpose identity:
+// (A B)^T == B^T A^T.
+class MatMulPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatMulPropertyTest, AlgebraicIdentities) {
+  util::Rng rng(GetParam());
+  int64_t m = 1 + static_cast<int64_t>(rng.NextUint64(4));
+  int64_t k = 1 + static_cast<int64_t>(rng.NextUint64(4));
+  int64_t n = 1 + static_cast<int64_t>(rng.NextUint64(4));
+  Tensor a = Tensor::Uniform({m, k}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({k, n}, &rng, -1.0f, 1.0f);
+  Tensor c = Tensor::Uniform({k, n}, &rng, -1.0f, 1.0f);
+
+  // A(B + C) == AB + AC.
+  Tensor lhs = MatMul(a, Add(b, c));
+  Tensor rhs = Add(MatMul(a, b), MatMul(a, c));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4f);
+  }
+  // (AB)^T == B^T A^T.
+  Tensor t1 = TransposeLast2(MatMul(a, b));
+  Tensor t2 = MatMul(TransposeLast2(b), TransposeLast2(a));
+  for (int64_t i = 0; i < t1.numel(); ++i) {
+    EXPECT_NEAR(t1.data()[i], t2.data()[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulPropertyTest,
+                         ::testing::Range<uint64_t>(40, 50));
+
+// Random composite networks gradcheck: embedding -> attention-ish mix ->
+// loss, across seeds. This is the strongest whole-engine invariant.
+class CompositeGradTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompositeGradTest, EndToEndGradCheck) {
+  util::Rng rng(GetParam());
+  const int64_t vocab = 6;
+  const int64_t d = 3;
+  Tensor table = Tensor::Uniform({vocab, d}, &rng, -0.5f, 0.5f);
+  Tensor w = Tensor::Uniform({d, d}, &rng, -0.5f, 0.5f);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(static_cast<int64_t>(rng.NextUint64(vocab)));
+  }
+  Tensor targets = Tensor::FromVector({2, 1}, {1.0f, 0.0f});
+  ExpectGradCheck({table, w}, [&ids, &targets](const std::vector<Tensor>& in) {
+    Tensor e = EmbeddingLookup(in[0], ids, {2, 2});           // [2,2,d]
+    Tensor h = Tanh(MatMul(e, in[1]));                        // [2,2,d]
+    Tensor pooled = MeanAxis(h, 1);                           // [2,d]
+    Tensor scores = Softmax(pooled);                          // [2,d]
+    Tensor logit = SumAxis(Mul(scores, pooled), -1, true);    // [2,1]
+    return BceWithLogits(logit, targets);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositeGradTest,
+                         ::testing::Range<uint64_t>(50, 60));
+
+// Degenerate next-POI candidate lists must contain no duplicate
+// destinations and keep the relevant pair distinguishable (regression for
+// the LBSN tie bug).
+TEST(CandidateRegressionTest, DegenerateListsDistinguishRelevant) {
+  data::UserHistory h;
+  h.user = 0;
+  h.next_booking = data::OdPair{3, 3};
+  h.decision_day = 10;
+  auto candidates = serving::BuildCandidates(h, 20, 12, 5);
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_TRUE(candidates[0] == h.next_booking);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_EQ(candidates[i].origin, candidates[i].destination);
+    EXPECT_NE(candidates[i].destination, 3);
+  }
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace odnet

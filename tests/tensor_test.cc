@@ -1,0 +1,560 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/shape.h"
+#include "tests/test_util.h"
+
+namespace odnet {
+namespace tensor {
+namespace {
+
+using ::odnet::testing::ExpectGradCheck;
+using ::odnet::testing::ExpectTensorNear;
+
+// ---------------------------------------------------------------- Shape --
+
+TEST(ShapeTest, NumelScalarIsOne) { EXPECT_EQ(Numel({}), 1); }
+
+TEST(ShapeTest, NumelProduct) { EXPECT_EQ(Numel({2, 3, 4}), 24); }
+
+TEST(ShapeTest, ContiguousStridesRowMajor) {
+  auto strides = ContiguousStrides({2, 3, 4});
+  EXPECT_EQ(strides, (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(ShapeTest, BroadcastCompatible) {
+  auto result = BroadcastShapes({2, 1, 4}, {3, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), (Shape{2, 3, 4}));
+}
+
+TEST(ShapeTest, BroadcastScalar) {
+  auto result = BroadcastShapes({}, {5, 2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), (Shape{5, 2}));
+}
+
+TEST(ShapeTest, BroadcastIncompatible) {
+  auto result = BroadcastShapes({2, 3}, {4, 3});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ShapeTest, IsBroadcastableTo) {
+  EXPECT_TRUE(IsBroadcastableTo({1, 4}, {3, 4}));
+  EXPECT_TRUE(IsBroadcastableTo({4}, {3, 4}));
+  EXPECT_FALSE(IsBroadcastableTo({3, 4}, {4}));
+  EXPECT_FALSE(IsBroadcastableTo({2, 4}, {3, 4}));
+}
+
+// --------------------------------------------------------------- Tensor --
+
+TEST(TensorTest, ZerosHasCorrectShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.shape(), (Shape{2, 3}));
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(2.5f).item(), 2.5f);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a;
+  b.mutable_data()[0] = 7.0f;
+  EXPECT_EQ(a.data()[0], 7.0f);
+  EXPECT_TRUE(a.IsSameAs(b));
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a.Clone();
+  b.mutable_data()[0] = 7.0f;
+  EXPECT_EQ(a.data()[0], 0.0f);
+  EXPECT_FALSE(a.IsSameAs(b));
+}
+
+TEST(TensorTest, RandnIsDeterministic) {
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  Tensor a = Tensor::Randn({4, 4}, &rng1);
+  Tensor b = Tensor::Randn({4, 4}, &rng2);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(TensorTest, UniformRespectsRange) {
+  util::Rng rng(3);
+  Tensor t = Tensor::Uniform({100}, &rng, -0.5f, 0.5f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.data()[i], -0.5f);
+    EXPECT_LT(t.data()[i], 0.5f);
+  }
+}
+
+// ------------------------------------------------------- Forward values --
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  ExpectTensorNear(Add(a, b), {11, 22, 33});
+}
+
+TEST(OpsTest, AddBroadcastRow) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  ExpectTensorNear(Add(a, b), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(OpsTest, AddBroadcastColumn) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({2, 1}, {100, 200});
+  ExpectTensorNear(Add(a, b), {101, 102, 103, 204, 205, 206});
+}
+
+TEST(OpsTest, MulBroadcast3d) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 1}, {10, 100});
+  Tensor c = Mul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+  ExpectTensorNear(c, {10, 20, 100, 200, 30, 40, 300, 400});
+}
+
+TEST(OpsTest, SubDivValues) {
+  Tensor a = Tensor::FromVector({2}, {10, 9});
+  Tensor b = Tensor::FromVector({2}, {4, 3});
+  ExpectTensorNear(Sub(a, b), {6, 6});
+  ExpectTensorNear(Div(a, b), {2.5f, 3.0f});
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({2}, {1, -2});
+  ExpectTensorNear(AddScalar(a, 5), {6, 3});
+  ExpectTensorNear(MulScalar(a, -3), {-3, 6});
+  ExpectTensorNear(Neg(a), {-1, 2});
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  Tensor a = Tensor::FromVector({4}, {-1, 0, 2, -3});
+  ExpectTensorNear(Relu(a), {0, 0, 2, 0});
+}
+
+TEST(OpsTest, LeakyReluSlope) {
+  Tensor a = Tensor::FromVector({2}, {-10, 10});
+  ExpectTensorNear(LeakyRelu(a, 0.1f), {-1, 10});
+}
+
+TEST(OpsTest, SigmoidValues) {
+  Tensor a = Tensor::FromVector({3}, {0, 100, -100});
+  Tensor s = Sigmoid(a);
+  EXPECT_NEAR(s.data()[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(s.data()[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(s.data()[2], 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, TanhExpLogValues) {
+  Tensor a = Tensor::FromVector({2}, {0, 1});
+  EXPECT_NEAR(Tanh(a).data()[1], std::tanh(1.0f), 1e-6f);
+  EXPECT_NEAR(Exp(a).data()[1], std::exp(1.0f), 1e-5f);
+  Tensor b = Tensor::FromVector({2}, {1.0f, static_cast<float>(M_E)});
+  EXPECT_NEAR(Log(b).data()[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(Log(b).data()[1], 1.0f, 1e-6f);
+}
+
+TEST(OpsTest, MatMul2d) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  ExpectTensorNear(c, {58, 64, 139, 154});
+}
+
+TEST(OpsTest, MatMulBatched) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2, 1}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 1}));
+  ExpectTensorNear(c, {17, 53});
+}
+
+TEST(OpsTest, MatMulBatchedLhsSharedRhs) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {1, 0, 0, 1});  // identity
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 2}));
+  ExpectTensorNear(c, {1, 2, 3, 4});
+}
+
+TEST(OpsTest, TransposeLast2) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  ExpectTensorNear(t, {1, 4, 2, 5, 3, 6});
+}
+
+TEST(OpsTest, TransposeBatched) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor t = TransposeLast2(a);
+  ExpectTensorNear(t, {1, 3, 2, 4, 5, 7, 6, 8});
+}
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  ExpectTensorNear(r, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, ConcatLastAxis) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 1}, {9, 10});
+  Tensor c = Concat({a, b}, -1);
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  ExpectTensorNear(c, {1, 2, 9, 3, 4, 10});
+}
+
+TEST(OpsTest, ConcatAxis0) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  ExpectTensorNear(c, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, SliceMiddle) {
+  Tensor a = Tensor::FromVector({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = Slice(a, 0, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  ExpectTensorNear(s, {3, 4, 5, 6});
+}
+
+TEST(OpsTest, SliceLastAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = Slice(a, 1, 2, 1);
+  EXPECT_EQ(s.shape(), (Shape{2, 1}));
+  ExpectTensorNear(s, {3, 6});
+}
+
+TEST(OpsTest, StackMakesLeadingAxis) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = Stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  ExpectTensorNear(s, {1, 2, 3, 4});
+}
+
+TEST(OpsTest, EmbeddingLookupGathersRows) {
+  Tensor table = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = EmbeddingLookup(table, {2, 0, 2}, {3});
+  EXPECT_EQ(out.shape(), (Shape{3, 2}));
+  ExpectTensorNear(out, {5, 6, 1, 2, 5, 6});
+}
+
+TEST(OpsTest, EmbeddingLookup2dIndexShape) {
+  Tensor table = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = EmbeddingLookup(table, {0, 1, 1, 2}, {2, 2});
+  EXPECT_EQ(out.shape(), (Shape{2, 2, 2}));
+  ExpectTensorNear(out, {1, 2, 3, 4, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, SumAndMean) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 2.5f);
+}
+
+TEST(OpsTest, SumAxisMiddle) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = SumAxis(a, 1);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  ExpectTensorNear(s, {4, 6, 12, 14});
+}
+
+TEST(OpsTest, SumAxisKeepdim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = SumAxis(a, 1, /*keepdim=*/true);
+  EXPECT_EQ(s.shape(), (Shape{2, 1}));
+  ExpectTensorNear(s, {6, 15});
+}
+
+TEST(OpsTest, MeanAxisNegativeIndex) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 3, 5, 7});
+  Tensor m = MeanAxis(a, -1);
+  ExpectTensorNear(m, {2, 6});
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  Tensor s = Softmax(a);
+  EXPECT_NEAR(s.data()[0] + s.data()[1] + s.data()[2], 1.0f, 1e-6f);
+  // Large equal logits must not overflow.
+  EXPECT_NEAR(s.data()[3], 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxOrderingPreserved) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 3, 2});
+  Tensor s = Softmax(a);
+  EXPECT_GT(s.data()[1], s.data()[2]);
+  EXPECT_GT(s.data()[2], s.data()[0]);
+}
+
+TEST(OpsTest, DropoutInferenceIsIdentity) {
+  util::Rng rng(1);
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor d = Dropout(a, 0.5f, &rng, /*training=*/false);
+  ExpectTensorNear(d, {1, 2, 3, 4});
+}
+
+TEST(OpsTest, DropoutZeroesAndScales) {
+  util::Rng rng(1);
+  Tensor a = Tensor::Ones({1000});
+  Tensor d = Dropout(a, 0.5f, &rng, /*training=*/true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < d.numel(); ++i) {
+    float v = d.data()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+}
+
+TEST(OpsTest, BceWithLogitsMatchesManual) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, 2.0f});
+  Tensor t = Tensor::FromVector({2}, {1.0f, 0.0f});
+  float l0 = -std::log(0.5f);
+  float l1 = -std::log(1.0f - 1.0f / (1.0f + std::exp(-2.0f)));
+  EXPECT_NEAR(BceWithLogits(x, t).item(), (l0 + l1) / 2.0f, 1e-5f);
+}
+
+TEST(OpsTest, BceWithLogitsExtremeLogitsStable) {
+  Tensor x = Tensor::FromVector({2}, {500.0f, -500.0f});
+  Tensor t = Tensor::FromVector({2}, {1.0f, 0.0f});
+  float loss = BceWithLogits(x, t).item();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0f, 1e-5f);
+}
+
+TEST(OpsTest, MseLossValue) {
+  Tensor p = Tensor::FromVector({2}, {1, 3});
+  Tensor t = Tensor::FromVector({2}, {0, 1});
+  EXPECT_FLOAT_EQ(MseLoss(p, t).item(), 2.5f);
+}
+
+// ------------------------------------------------------------ Backward --
+
+TEST(AutogradTest, AddBackwardIsOnes) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6}, /*requires_grad=*/true);
+  Sum(Add(a, b)).Backward();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(a.grad()[i], 1.0f);
+    EXPECT_FLOAT_EQ(b.grad()[i], 1.0f);
+  }
+}
+
+TEST(AutogradTest, BroadcastBackwardReduces) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4}, true);
+  Tensor b = Tensor::FromVector({2}, {1, 1}, true);
+  Sum(Add(a, b)).Backward();
+  // b participated in 2 rows -> grad 2 per element.
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackward) {
+  Tensor a = Tensor::FromVector({1}, {2}, true);
+  Sum(Mul(a, a)).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0f);
+  Sum(Mul(a, a)).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 8.0f);  // accumulated
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // y = x*x + x*x: grad should be 4x.
+  Tensor x = Tensor::FromVector({1}, {3}, true);
+  Tensor sq = Mul(x, x);
+  Sum(Add(sq, sq)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(AutogradTest, NoGradGuardDetaches) {
+  Tensor a = Tensor::FromVector({2}, {1, 2}, true);
+  tensor::NoGradGuard guard;
+  Tensor b = Mul(a, a);
+  EXPECT_FALSE(b.requires_grad());
+}
+
+TEST(AutogradTest, GradCheckMulDiv) {
+  util::Rng rng(11);
+  Tensor a = Tensor::Uniform({2, 3}, &rng, 0.5f, 2.0f);
+  Tensor b = Tensor::Uniform({2, 3}, &rng, 0.5f, 2.0f);
+  odnet::testing::ExpectGradCheck(
+      {a, b}, [](const std::vector<Tensor>& in) {
+        return Sum(Div(Mul(in[0], in[1]), AddScalar(in[1], 1.0f)));
+      });
+}
+
+TEST(AutogradTest, GradCheckBroadcastMul) {
+  util::Rng rng(12);
+  Tensor a = Tensor::Uniform({2, 3}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({3}, &rng, 0.5f, 1.5f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Mul(in[0], in[1]));
+  });
+}
+
+TEST(AutogradTest, GradCheckMatMul) {
+  util::Rng rng(13);
+  Tensor a = Tensor::Uniform({3, 4}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({4, 2}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(MatMul(in[0], in[1]));
+  });
+}
+
+TEST(AutogradTest, GradCheckBatchedMatMul) {
+  util::Rng rng(14);
+  Tensor a = Tensor::Uniform({2, 2, 3}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({2, 3, 2}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(MatMul(in[0], in[1]));
+  });
+}
+
+TEST(AutogradTest, GradCheckMatMulSharedRhs) {
+  util::Rng rng(15);
+  Tensor a = Tensor::Uniform({2, 2, 3}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({3, 2}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(MatMul(in[0], in[1]));
+  });
+}
+
+TEST(AutogradTest, GradCheckSoftmaxChain) {
+  util::Rng rng(16);
+  Tensor a = Tensor::Uniform({2, 4}, &rng, -2.0f, 2.0f);
+  Tensor w = Tensor::Uniform({2, 4}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a, w}, [](const std::vector<Tensor>& in) {
+    return Sum(Mul(Softmax(in[0]), in[1]));
+  });
+}
+
+TEST(AutogradTest, GradCheckActivations) {
+  util::Rng rng(17);
+  Tensor a = Tensor::Uniform({6}, &rng, -2.0f, 2.0f);
+  ExpectGradCheck({a}, [](const std::vector<Tensor>& in) {
+    return Sum(Sigmoid(Tanh(in[0])));
+  });
+  Tensor b = Tensor::Uniform({6}, &rng, 0.5f, 2.0f);
+  ExpectGradCheck({b}, [](const std::vector<Tensor>& in) {
+    return Sum(Log(Exp(in[0])));
+  });
+}
+
+TEST(AutogradTest, GradCheckConcatSlice) {
+  util::Rng rng(18);
+  Tensor a = Tensor::Uniform({2, 2}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({2, 3}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    Tensor c = Concat({in[0], in[1]}, 1);
+    return Sum(Mul(Slice(c, 1, 1, 3), Slice(c, 1, 2, 3)));
+  });
+}
+
+TEST(AutogradTest, GradCheckTransposeReshape) {
+  util::Rng rng(19);
+  Tensor a = Tensor::Uniform({2, 3}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a}, [](const std::vector<Tensor>& in) {
+    Tensor t = TransposeLast2(in[0]);
+    return Sum(Mul(Reshape(t, {2, 3}), in[0]));
+  });
+}
+
+TEST(AutogradTest, GradCheckEmbedding) {
+  util::Rng rng(20);
+  Tensor table = Tensor::Uniform({4, 3}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({table}, [](const std::vector<Tensor>& in) {
+    // Repeated index 1 ensures scatter-add accumulation is exercised.
+    Tensor e = EmbeddingLookup(in[0], {1, 1, 3}, {3});
+    return Sum(Mul(e, e));
+  });
+}
+
+TEST(AutogradTest, GradCheckSumAxisMean) {
+  util::Rng rng(21);
+  Tensor a = Tensor::Uniform({2, 3, 2}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a}, [](const std::vector<Tensor>& in) {
+    return Mean(SumAxis(in[0], 1));
+  });
+}
+
+TEST(AutogradTest, GradCheckBceWithLogits) {
+  util::Rng rng(22);
+  Tensor x = Tensor::Uniform({5}, &rng, -2.0f, 2.0f);
+  Tensor t = Tensor::FromVector({5}, {1, 0, 1, 0, 1});
+  ExpectGradCheck({x}, [t](const std::vector<Tensor>& in) {
+    return BceWithLogits(in[0], t);
+  });
+}
+
+TEST(AutogradTest, GradCheckStack) {
+  util::Rng rng(23);
+  Tensor a = Tensor::Uniform({3}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Uniform({3}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({a, b}, [](const std::vector<Tensor>& in) {
+    Tensor s = Stack({in[0], in[1]});
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(AutogradTest, GradCheckAttentionPattern) {
+  // The HSGC aggregation pattern: scores = sum(self * nbr, -1), softmax,
+  // weighted sum. This is the exact computation of Eq. 1 in the paper.
+  util::Rng rng(24);
+  Tensor self_emb = Tensor::Uniform({2, 1, 3}, &rng, -1.0f, 1.0f);
+  Tensor nbr_emb = Tensor::Uniform({2, 4, 3}, &rng, -1.0f, 1.0f);
+  ExpectGradCheck({self_emb, nbr_emb}, [](const std::vector<Tensor>& in) {
+    Tensor scores = SumAxis(Mul(in[0], in[1]), -1);       // [2,4]
+    Tensor alpha = Softmax(Relu(scores));                 // [2,4]
+    Tensor alpha3 = Reshape(alpha, {2, 4, 1});
+    Tensor agg = SumAxis(Mul(alpha3, in[1]), 1);          // [2,3]
+    return Sum(Mul(agg, agg));
+  });
+}
+
+TEST(AutogradTest, DropoutBackwardMatchesMask) {
+  util::Rng rng(5);
+  Tensor a = Tensor::Ones({100});
+  a.set_requires_grad(true);
+  Tensor d = Dropout(a, 0.3f, &rng, true);
+  Sum(d).Backward();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    float g = a.grad()[static_cast<size_t>(i)];
+    float v = d.data()[i];
+    if (v == 0.0f) {
+      EXPECT_FLOAT_EQ(g, 0.0f);
+    } else {
+      EXPECT_NEAR(g, 1.0f / 0.7f, 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace odnet

@@ -1,0 +1,63 @@
+#ifndef ODNET_TESTS_TEST_UTIL_H_
+#define ODNET_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace odnet {
+namespace testing {
+
+/// Numerically verifies d(fn)/d(input) for every element of every input via
+/// central differences. `fn` must return a scalar tensor and be a pure
+/// function of the inputs.
+inline void ExpectGradCheck(
+    std::vector<tensor::Tensor> inputs,
+    const std::function<tensor::Tensor(const std::vector<tensor::Tensor>&)>& fn,
+    float eps = 1e-2f, float tol = 2e-2f) {
+  for (auto& t : inputs) t.set_requires_grad(true);
+  tensor::Tensor out = fn(inputs);
+  ASSERT_EQ(out.numel(), 1) << "gradcheck target must be scalar";
+  for (auto& t : inputs) t.ZeroGrad();
+  out.Backward();
+
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    tensor::Tensor& t = inputs[ti];
+    const std::vector<float> analytic = t.grad();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      float original = t.mutable_data()[i];
+      t.mutable_data()[i] = original + eps;
+      float plus = fn(inputs).item();
+      t.mutable_data()[i] = original - eps;
+      float minus = fn(inputs).item();
+      t.mutable_data()[i] = original;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float diff = std::fabs(numeric - analytic[static_cast<size_t>(i)]);
+      float scale = std::max(
+          1.0f, std::max(std::fabs(numeric),
+                         std::fabs(analytic[static_cast<size_t>(i)])));
+      EXPECT_LE(diff / scale, tol)
+          << "input " << ti << " element " << i << ": analytic "
+          << analytic[static_cast<size_t>(i)] << " vs numeric " << numeric;
+    }
+  }
+}
+
+/// Elementwise comparison with tolerance.
+inline void ExpectTensorNear(const tensor::Tensor& actual,
+                             const std::vector<float>& expected,
+                             float tol = 1e-5f) {
+  ASSERT_EQ(actual.numel(), static_cast<int64_t>(expected.size()));
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual.data()[i], expected[i], tol) << "at index " << i;
+  }
+}
+
+}  // namespace testing
+}  // namespace odnet
+
+#endif  // ODNET_TESTS_TEST_UTIL_H_
