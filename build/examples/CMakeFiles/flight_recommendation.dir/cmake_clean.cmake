@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_recommendation.dir/flight_recommendation.cpp.o"
+  "CMakeFiles/flight_recommendation.dir/flight_recommendation.cpp.o.d"
+  "flight_recommendation"
+  "flight_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odnet_cli.dir/odnet_cli.cpp.o"
+  "CMakeFiles/odnet_cli.dir/odnet_cli.cpp.o.d"
+  "odnet_cli"
+  "odnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gbdt.cc" "src/CMakeFiles/odnet.dir/baselines/gbdt.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/gbdt.cc.o.d"
+  "/root/repo/src/baselines/most_pop.cc" "src/CMakeFiles/odnet.dir/baselines/most_pop.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/most_pop.cc.o.d"
+  "/root/repo/src/baselines/odnet_recommender.cc" "src/CMakeFiles/odnet.dir/baselines/odnet_recommender.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/odnet_recommender.cc.o.d"
+  "/root/repo/src/baselines/sequential_nets.cc" "src/CMakeFiles/odnet.dir/baselines/sequential_nets.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/sequential_nets.cc.o.d"
+  "/root/repo/src/baselines/single_task.cc" "src/CMakeFiles/odnet.dir/baselines/single_task.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/single_task.cc.o.d"
+  "/root/repo/src/baselines/stl_variants.cc" "src/CMakeFiles/odnet.dir/baselines/stl_variants.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/stl_variants.cc.o.d"
+  "/root/repo/src/baselines/stp_udgat.cc" "src/CMakeFiles/odnet.dir/baselines/stp_udgat.cc.o" "gcc" "src/CMakeFiles/odnet.dir/baselines/stp_udgat.cc.o.d"
+  "/root/repo/src/core/hsg_builder.cc" "src/CMakeFiles/odnet.dir/core/hsg_builder.cc.o" "gcc" "src/CMakeFiles/odnet.dir/core/hsg_builder.cc.o.d"
+  "/root/repo/src/core/hsgc.cc" "src/CMakeFiles/odnet.dir/core/hsgc.cc.o" "gcc" "src/CMakeFiles/odnet.dir/core/hsgc.cc.o.d"
+  "/root/repo/src/core/od_jlc.cc" "src/CMakeFiles/odnet.dir/core/od_jlc.cc.o" "gcc" "src/CMakeFiles/odnet.dir/core/od_jlc.cc.o.d"
+  "/root/repo/src/core/odnet_model.cc" "src/CMakeFiles/odnet.dir/core/odnet_model.cc.o" "gcc" "src/CMakeFiles/odnet.dir/core/odnet_model.cc.o.d"
+  "/root/repo/src/core/pec.cc" "src/CMakeFiles/odnet.dir/core/pec.cc.o" "gcc" "src/CMakeFiles/odnet.dir/core/pec.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/odnet.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/odnet.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/city_atlas.cc" "src/CMakeFiles/odnet.dir/data/city_atlas.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/city_atlas.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/odnet.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/encoding.cc" "src/CMakeFiles/odnet.dir/data/encoding.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/encoding.cc.o.d"
+  "/root/repo/src/data/fliggy_simulator.cc" "src/CMakeFiles/odnet.dir/data/fliggy_simulator.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/fliggy_simulator.cc.o.d"
+  "/root/repo/src/data/lbsn_adapter.cc" "src/CMakeFiles/odnet.dir/data/lbsn_adapter.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/lbsn_adapter.cc.o.d"
+  "/root/repo/src/data/lbsn_simulator.cc" "src/CMakeFiles/odnet.dir/data/lbsn_simulator.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/lbsn_simulator.cc.o.d"
+  "/root/repo/src/data/temporal_features.cc" "src/CMakeFiles/odnet.dir/data/temporal_features.cc.o" "gcc" "src/CMakeFiles/odnet.dir/data/temporal_features.cc.o.d"
+  "/root/repo/src/graph/hsg.cc" "src/CMakeFiles/odnet.dir/graph/hsg.cc.o" "gcc" "src/CMakeFiles/odnet.dir/graph/hsg.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/odnet.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/odnet.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/odnet.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/odnet.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/odnet.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/odnet.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/odnet.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/odnet.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/odnet.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/odnet.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/odnet.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/odnet.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/odnet.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/odnet.dir/nn/serialization.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/odnet.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/odnet.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/serving/ab_test.cc" "src/CMakeFiles/odnet.dir/serving/ab_test.cc.o" "gcc" "src/CMakeFiles/odnet.dir/serving/ab_test.cc.o.d"
+  "/root/repo/src/serving/evaluator.cc" "src/CMakeFiles/odnet.dir/serving/evaluator.cc.o" "gcc" "src/CMakeFiles/odnet.dir/serving/evaluator.cc.o.d"
+  "/root/repo/src/serving/ranking_service.cc" "src/CMakeFiles/odnet.dir/serving/ranking_service.cc.o" "gcc" "src/CMakeFiles/odnet.dir/serving/ranking_service.cc.o.d"
+  "/root/repo/src/serving/recall.cc" "src/CMakeFiles/odnet.dir/serving/recall.cc.o" "gcc" "src/CMakeFiles/odnet.dir/serving/recall.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/odnet.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/odnet.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/odnet.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/odnet.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/odnet.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/odnet.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/util/check.cc" "src/CMakeFiles/odnet.dir/util/check.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/check.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/odnet.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/odnet.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/odnet.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/math_util.cc" "src/CMakeFiles/odnet.dir/util/math_util.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/math_util.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/odnet.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/odnet.dir/util/status.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/odnet.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/odnet.dir/util/table.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/odnet.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/odnet.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
