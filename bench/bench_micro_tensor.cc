@@ -2,6 +2,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/tensor/compute_context.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -89,6 +90,64 @@ void BM_ForwardBackwardMlp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardBackwardMlp)->Arg(32)->Arg(128);
+
+// Scoped thread-count override for the backend-scaling variants below.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope(int threads)
+      : prev_(tensor::ComputeContext::Get().num_threads()) {
+    tensor::ComputeContext::Get().SetNumThreads(threads);
+  }
+  ~ThreadCountScope() { tensor::ComputeContext::Get().SetNumThreads(prev_); }
+
+ private:
+  int prev_;
+};
+
+// Args: {n, threads}. Same workload as BM_MatMul, run at an explicit
+// backend width, so thread scaling is visible in one bench invocation.
+void BM_MatMulThreads(benchmark::State& state) {
+  ThreadCountScope scope(static_cast<int>(state.range(1)));
+  const int64_t n = state.range(0);
+  util::Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+// Args: {batch, threads}.
+void BM_ForwardBackwardMlpThreads(benchmark::State& state) {
+  ThreadCountScope scope(static_cast<int>(state.range(1)));
+  util::Rng rng(1);
+  const int64_t batch = state.range(0);
+  Tensor x = Tensor::Randn({batch, 64}, &rng);
+  Tensor w1 = Tensor::Randn({64, 64}, &rng, 0.05f, /*requires_grad=*/true);
+  Tensor w2 = Tensor::Randn({64, 1}, &rng, 0.05f, /*requires_grad=*/true);
+  Tensor y = Tensor::Zeros({batch, 1});
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    Tensor out = tensor::MatMul(tensor::Relu(tensor::MatMul(x, w1)), w2);
+    Tensor loss = tensor::BceWithLogits(out, y);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_ForwardBackwardMlpThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4});
 
 }  // namespace
 

@@ -91,6 +91,8 @@ class GbdtRecommender : public OdRecommender {
   util::Status Fit(const data::OdDataset& dataset) override;
   std::vector<OdScore> Score(const data::OdDataset& dataset,
                              const std::vector<data::Sample>& samples) override;
+  /// Score only walks the fitted trees; per-sample, read-only.
+  bool ThreadSafeScore() const override { return true; }
 
   /// Feature vector arity (exposed for tests).
   static constexpr int64_t kNumFeatures = 12;

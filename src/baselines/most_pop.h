@@ -17,6 +17,8 @@ class MostPop : public OdRecommender {
   util::Status Fit(const data::OdDataset& dataset) override;
   std::vector<OdScore> Score(const data::OdDataset& dataset,
                              const std::vector<data::Sample>& samples) override;
+  /// Score only reads the fitted popularity tables, one sample at a time.
+  bool ThreadSafeScore() const override { return true; }
 
  private:
   std::vector<double> origin_pop_;  // departure share per city

@@ -36,6 +36,15 @@ class OdRecommender {
   virtual std::vector<OdScore> Score(const data::OdDataset& dataset,
                                      const std::vector<data::Sample>& samples) = 0;
 
+  /// True when Score() is a pure per-sample function of the trained state:
+  /// no mutation of member state (including RNG streams), and each sample's
+  /// score is independent of the other samples in the call. The serving
+  /// layer scores such methods in concurrent chunks (see
+  /// serving::ScoreChunked); the default is the conservative monolithic
+  /// path. Only return true after verifying both properties — a shared
+  /// mutable member turns chunked scoring into a data race.
+  virtual bool ThreadSafeScore() const { return false; }
+
   /// Blend weight theta for the serving score (Eq. 11):
   /// score = theta * p_o + (1 - theta) * p_d. Multi-task models may learn
   /// it; single-task models use 0.5.

@@ -1,0 +1,40 @@
+#include "src/serving/batch_scorer.h"
+
+#include <algorithm>
+
+#include "src/tensor/compute_context.h"
+#include "src/util/check.h"
+#include "src/util/thread_pool.h"
+
+namespace odnet {
+namespace serving {
+
+std::vector<baselines::OdScore> ScoreChunked(
+    baselines::OdRecommender* method, const data::OdDataset& dataset,
+    const std::vector<data::Sample>& rows) {
+  ODNET_CHECK(method != nullptr);
+  util::ThreadPool* pool = tensor::ComputeContext::Get().pool();
+  if (!method->ThreadSafeScore() || pool == nullptr ||
+      rows.size() <= kScoreChunkSize) {
+    return method->Score(dataset, rows);
+  }
+
+  const size_t num_chunks =
+      (rows.size() + kScoreChunkSize - 1) / kScoreChunkSize;
+  std::vector<baselines::OdScore> out(rows.size());
+  pool->ParallelFor(
+      static_cast<int64_t>(num_chunks), [&](int64_t ci) {
+        const size_t begin = static_cast<size_t>(ci) * kScoreChunkSize;
+        const size_t end = std::min(begin + kScoreChunkSize, rows.size());
+        std::vector<data::Sample> chunk(rows.begin() + begin,
+                                        rows.begin() + end);
+        std::vector<baselines::OdScore> scores = method->Score(dataset, chunk);
+        ODNET_CHECK_EQ(scores.size(), chunk.size());
+        std::copy(scores.begin(), scores.end(),
+                  out.begin() + static_cast<int64_t>(begin));
+      });
+  return out;
+}
+
+}  // namespace serving
+}  // namespace odnet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/serving/batch_scorer.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
@@ -78,7 +79,7 @@ metrics::OdMetrics EvaluateOdRecommender(baselines::OdRecommender* method,
 
   // --- AUC over the labelled test samples ------------------------------
   std::vector<baselines::OdScore> scores =
-      method->Score(dataset, dataset.test_samples);
+      ScoreChunked(method, dataset, dataset.test_samples);
   ODNET_CHECK_EQ(scores.size(), dataset.test_samples.size());
   std::vector<double> so;
   std::vector<double> sd;
@@ -133,7 +134,8 @@ metrics::OdMetrics EvaluateOdRecommender(baselines::OdRecommender* method,
   }
   row_offsets.push_back(rows.size());
 
-  std::vector<baselines::OdScore> ranked_scores = method->Score(dataset, rows);
+  std::vector<baselines::OdScore> ranked_scores =
+      ScoreChunked(method, dataset, rows);
   ODNET_CHECK_EQ(ranked_scores.size(), rows.size());
   for (size_t qi = 0; qi + 1 < row_offsets.size(); ++qi) {
     metrics::RankedQuery q;

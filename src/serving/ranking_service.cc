@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/serving/batch_scorer.h"
 #include "src/util/check.h"
 
 namespace odnet {
@@ -31,7 +32,8 @@ std::vector<RankedFlight> RankingService::RankCandidates(
     s.day = history.decision_day;
     rows.push_back(s);
   }
-  std::vector<baselines::OdScore> scores = model_->Score(*dataset_, rows);
+  std::vector<baselines::OdScore> scores =
+      ScoreChunked(model_, *dataset_, rows);
   std::vector<RankedFlight> ranked;
   ranked.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {

@@ -1,0 +1,99 @@
+#include "src/tensor/compute_context.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace tensor {
+
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 1) return fallback;
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+ComputeContext::ComputeContext() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  num_threads_ =
+      static_cast<int>(EnvInt64("ODNET_NUM_THREADS", static_cast<int64_t>(hw)));
+  threshold_ = EnvInt64("ODNET_PARALLEL_THRESHOLD", threshold_);
+}
+
+ComputeContext& ComputeContext::Get() {
+  static ComputeContext* ctx = new ComputeContext();  // leaked: outlives exit
+  return *ctx;
+}
+
+void ComputeContext::SetNumThreads(int n) {
+  ODNET_CHECK_GE(n, 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n == num_threads_) return;
+  num_threads_ = n;
+  pool_.reset();  // rebuilt at the new width on next use
+}
+
+int ComputeContext::num_threads() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_threads_;
+}
+
+void ComputeContext::SetParallelThreshold(int64_t elements) {
+  ODNET_CHECK_GE(elements, 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  threshold_ = elements;
+}
+
+int64_t ComputeContext::parallel_threshold() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threshold_;
+}
+
+int64_t ComputeContext::GrainFor(int64_t per_unit_work) const {
+  return std::max<int64_t>(1,
+                           parallel_threshold() / std::max<int64_t>(1, per_unit_work));
+}
+
+util::ThreadPool* ComputeContext::pool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (num_threads_ <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(num_threads_);
+  return pool_.get();
+}
+
+void ComputeContext::ParallelFor(int64_t total, int64_t grain,
+                                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  if (grain < 1) grain = 1;
+  util::ThreadPool* p =
+      (total > grain && !util::ThreadPool::InWorkerThread()) ? pool() : nullptr;
+  if (p == nullptr) {
+    fn(0, total);
+    return;
+  }
+  const int64_t max_shards = (total + grain - 1) / grain;
+  const int64_t shards = std::min<int64_t>(p->num_threads(), max_shards);
+  if (shards <= 1) {
+    fn(0, total);
+    return;
+  }
+  const int64_t chunk = (total + shards - 1) / shards;
+  p->ParallelFor(shards, [&fn, total, chunk](int64_t s) {
+    const int64_t begin = s * chunk;
+    const int64_t end = std::min(total, begin + chunk);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace tensor
+}  // namespace odnet

@@ -1,0 +1,73 @@
+#ifndef ODNET_TENSOR_COMPUTE_CONTEXT_H_
+#define ODNET_TENSOR_COMPUTE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "src/util/thread_pool.h"
+
+namespace odnet {
+namespace tensor {
+
+/// \brief Process-wide configuration of the parallel tensor backend.
+///
+/// Kernels in ops.cc (and the chunked scorers in serving/) partition their
+/// work into contiguous ranges and fan out over one shared util::ThreadPool
+/// owned by this context. Configuration:
+///
+///  - thread count: SetNumThreads(), or the ODNET_NUM_THREADS environment
+///    variable read at first use; defaults to std::thread::hardware_
+///    concurrency(). 1 means "serial" and reproduces the historical
+///    single-threaded kernels exactly.
+///  - parallelism threshold: SetParallelThreshold(), or
+///    ODNET_PARALLEL_THRESHOLD; a kernel only fans out when its total
+///    scalar-op count exceeds this (default 16384), so small tensors never
+///    pay dispatch overhead.
+///
+/// Determinism contract: every parallel kernel writes a disjoint output
+/// range per worker and keeps the per-element accumulation order of the
+/// serial kernel, so results are bitwise identical for every thread count.
+class ComputeContext {
+ public:
+  /// The process-wide context.
+  static ComputeContext& Get();
+
+  /// Sets the backend width (>= 1; 1 = serial). Rebuilds the pool lazily.
+  void SetNumThreads(int n);
+  int num_threads();
+
+  /// Minimum scalar-op count before a kernel fans out.
+  void SetParallelThreshold(int64_t elements);
+  int64_t parallel_threshold() const;
+
+  /// Work units per range such that one range amortizes the threshold:
+  /// max(1, parallel_threshold() / per_unit_work).
+  int64_t GrainFor(int64_t per_unit_work) const;
+
+  /// Splits [0, total) into at most num_threads() contiguous ranges of
+  /// roughly `grain` units minimum and runs fn(begin, end) across the pool.
+  /// Runs one inline fn(0, total) call instead when total <= grain, the
+  /// backend is serial, or the caller is already a pool worker (nested
+  /// kernels stay serial). The fixed range arithmetic plus disjoint writes
+  /// make parallel results bitwise equal to the serial ones.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// The shared pool, built on first use; nullptr when num_threads() == 1.
+  util::ThreadPool* pool();
+
+ private:
+  ComputeContext();
+
+  mutable std::mutex mutex_;
+  int num_threads_ = 1;
+  int64_t threshold_ = 16384;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_COMPUTE_CONTEXT_H_

@@ -4,12 +4,101 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/tensor/compute_context.h"
+
 namespace odnet {
 namespace tensor {
 
 namespace {
 
 using internal::TensorImpl;
+
+ComputeContext& Ctx() { return ComputeContext::Get(); }
+
+// MatMul tiling: process kMatMulRowBlock output rows against
+// kMatMulKBlock-row slabs of B, so a slab (kKBlock * n floats) is reused
+// across the row block while hot in cache. Accumulation order over p stays
+// ascending per output element, so the tiled kernel is bitwise identical to
+// the naive i/p/j loop.
+constexpr int64_t kMatMulRowBlock = 16;
+constexpr int64_t kMatMulKBlock = 64;
+
+// Rank-1 accumulation micro-kernel: crow += sum_p arow[p] * B[p]. Kept
+// noinline so its tight loops get a register allocation independent of the
+// surrounding tiling nest — inlined into the blocked loops the j-loop bound
+// spills to the stack and the inner loop picks up a reload per iteration.
+__attribute__((noinline)) void MatMulRowKernel(const float* arow,
+                                               const float* B, float* crow,
+                                               int64_t p0, int64_t p1,
+                                               int64_t n) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const float av = arow[p];
+    if (av == 0.0f) continue;
+    const float* brow = B + p * n;
+    for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  }
+}
+
+// Forward kernel over global output rows r = bt*m + i in [row_begin,
+// row_end): C[r] += A[r] * B[bt]. Free function with by-value arguments so
+// the hot loops optimize independently of any closure.
+void MatMulForwardRows(const float* pa, const float* pb, float* po,
+                       int64_t row_begin, int64_t row_end, int64_t m,
+                       int64_t k, int64_t n, bool b_batched) {
+  int64_t r = row_begin;
+  while (r < row_end) {
+    const int64_t bt = r / m;
+    const int64_t batch_lim = std::min(row_end, (bt + 1) * m);
+    const float* B = pb + (b_batched ? bt * k * n : 0);
+    for (int64_t r0 = r; r0 < batch_lim; r0 += kMatMulRowBlock) {
+      const int64_t r1 = std::min(batch_lim, r0 + kMatMulRowBlock);
+      for (int64_t p0 = 0; p0 < k; p0 += kMatMulKBlock) {
+        const int64_t p1 = std::min(k, p0 + kMatMulKBlock);
+        for (int64_t rr = r0; rr < r1; ++rr) {
+          MatMulRowKernel(pa + rr * k, B, po + rr * n, p0, p1, n);
+        }
+      }
+    }
+    r = batch_lim;
+  }
+}
+
+// One dA row: darow[p] += sum_j grow[j] * B[p*n + j] (B^T product).
+__attribute__((noinline)) void MatMulDaRowKernel(const float* grow,
+                                                 const float* B, float* darow,
+                                                 int64_t k, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) {
+    const float gv = grow[j];
+    if (gv == 0.0f) continue;
+    const float* bcol = B + j;  // stride n over p
+    for (int64_t p = 0; p < k; ++p) darow[p] += gv * bcol[p * n];
+  }
+}
+
+// dA rows in [row_begin, row_end): dA[r] += G[r] * B[bt]^T.
+void MatMulBackwardARows(const float* pb, const float* g, float* da,
+                         int64_t row_begin, int64_t row_end, int64_t m,
+                         int64_t k, int64_t n, bool b_batched) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int64_t bt = r / m;
+    const float* B = pb + (b_batched ? bt * k * n : 0);
+    MatMulDaRowKernel(g + r * n, B, da + r * k, k, n);
+  }
+}
+
+// One dB row p within one batch: dbrow[j] += sum_i A[i*k+p] * G[i*n+j],
+// accumulating in ascending i — the serial kernel's order.
+__attribute__((noinline)) void MatMulDbRowKernel(const float* A,
+                                                 const float* G, float* dbrow,
+                                                 int64_t p, int64_t m,
+                                                 int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float av = A[i * k + p];
+    if (av == 0.0f) continue;
+    const float* grow = G + i * n;
+    for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+  }
+}
 
 // Effective strides of `shape` when broadcast to `out_shape`: right-aligned,
 // 0 on broadcast/missing dims.
@@ -24,23 +113,27 @@ std::vector<int64_t> EffectiveStrides(const Shape& shape,
   return eff;
 }
 
-// Calls fn(out_idx, a_off, b_off) for every output element, with operand
-// offsets following broadcast semantics.
+// Calls fn(out_idx, a_off, b_off) for out_idx in [begin, end), with operand
+// offsets following broadcast semantics. The starting offsets are derived
+// from `begin`, so disjoint ranges can run on different threads.
 template <typename Fn>
-void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
-                      const Shape& b_shape, Fn&& fn) {
-  const int64_t n = Numel(out_shape);
+void BroadcastIterateRange(const Shape& out_shape,
+                           const std::vector<int64_t>& a_str,
+                           const std::vector<int64_t>& b_str, int64_t begin,
+                           int64_t end, Fn&& fn) {
   const size_t rank = out_shape.size();
-  if (rank == 0) {
-    fn(0, 0, 0);
-    return;
-  }
-  std::vector<int64_t> a_str = EffectiveStrides(a_shape, out_shape);
-  std::vector<int64_t> b_str = EffectiveStrides(b_shape, out_shape);
   std::vector<int64_t> counter(rank, 0);
   int64_t a_off = 0;
   int64_t b_off = 0;
-  for (int64_t i = 0; i < n; ++i) {
+  int64_t rem = begin;
+  for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
+    size_t ud = static_cast<size_t>(d);
+    counter[ud] = rem % out_shape[ud];
+    rem /= out_shape[ud];
+    a_off += counter[ud] * a_str[ud];
+    b_off += counter[ud] * b_str[ud];
+  }
+  for (int64_t i = begin; i < end; ++i) {
     fn(i, a_off, b_off);
     // Odometer increment, updating offsets incrementally.
     for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
@@ -56,25 +149,61 @@ void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
   }
 }
 
-// Accumulates `grad` (laid out as `from` shape) into `accum` (laid out as
-// `to`, which `to` broadcasts to `from`).
+// Runs fn(out_idx, a_off, b_off) for every output element, fanning disjoint
+// index ranges out over the backend pool. `fn` must write only its own
+// output index, which keeps results thread-count independent.
+template <typename Fn>
+void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
+                      const Shape& b_shape, Fn&& fn) {
+  const int64_t n = Numel(out_shape);
+  if (out_shape.empty()) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> a_str = EffectiveStrides(a_shape, out_shape);
+  std::vector<int64_t> b_str = EffectiveStrides(b_shape, out_shape);
+  Ctx().ParallelFor(n, Ctx().GrainFor(1),
+                    [&](int64_t begin, int64_t end) {
+                      BroadcastIterateRange(out_shape, a_str, b_str, begin,
+                                            end, fn);
+                    });
+}
+
+// Runs body(i) for i in [0, n) across the pool in disjoint ranges; body
+// must write only slot i. `per_unit_work` sizes the parallelism grain.
+template <typename Body>
+void ParallelElementwise(int64_t n, int64_t per_unit_work, Body&& body) {
+  Ctx().ParallelFor(n, Ctx().GrainFor(per_unit_work),
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) body(i);
+                    });
+}
+
+// Accumulates `grad` (laid out as `from` shape) scaled by `scale` into
+// `accum` (laid out as `to`, which `to` broadcasts to `from`).
 void ReduceGradToShape(const std::vector<float>& grad, const Shape& from,
-                       const Shape& to, std::vector<float>* accum) {
+                       const Shape& to, float scale,
+                       std::vector<float>* accum) {
   if (SameShape(from, to)) {
-    for (size_t i = 0; i < grad.size(); ++i) (*accum)[i] += grad[i];
+    if (scale == 1.0f) {
+      for (size_t i = 0; i < grad.size(); ++i) (*accum)[i] += grad[i];
+    } else {
+      for (size_t i = 0; i < grad.size(); ++i) (*accum)[i] += scale * grad[i];
+    }
     return;
   }
   std::vector<int64_t> to_str = EffectiveStrides(to, from);
   const size_t rank = from.size();
   if (rank == 0) {
-    (*accum)[0] += grad[0];
+    (*accum)[0] += scale * grad[0];
     return;
   }
   std::vector<int64_t> counter(rank, 0);
   int64_t t_off = 0;
   const int64_t n = Numel(from);
   for (int64_t i = 0; i < n; ++i) {
-    (*accum)[static_cast<size_t>(t_off)] += grad[static_cast<size_t>(i)];
+    (*accum)[static_cast<size_t>(t_off)] +=
+        scale * grad[static_cast<size_t>(i)];
     for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
       size_t ud = static_cast<size_t>(d);
       ++counter[ud];
@@ -94,52 +223,123 @@ Shape BroadcastOrDie(const Shape& a, const Shape& b) {
 
 enum class BinaryKind { kAdd, kSub, kMul, kDiv };
 
+// Dispatches `kind` once into a specialized scalar op so the inner loops
+// carry no switch.
+template <typename Fn>
+auto WithBinaryKernel(BinaryKind kind, Fn&& fn) {
+  switch (kind) {
+    case BinaryKind::kAdd:
+      return fn([](float x, float y) { return x + y; });
+    case BinaryKind::kSub:
+      return fn([](float x, float y) { return x - y; });
+    case BinaryKind::kMul:
+      return fn([](float x, float y) { return x * y; });
+    case BinaryKind::kDiv:
+      return fn([](float x, float y) { return x / y; });
+  }
+  ODNET_CHECK(false) << "unreachable";
+  return fn([](float, float) { return 0.0f; });
+}
+
+void BinaryBackward(BinaryKind kind, const Shape& out_shape,
+                    const Shape& a_shape, const Shape& b_shape,
+                    TensorImpl* self) {
+  TensorImpl* ia = self->parents[0].get();
+  TensorImpl* ib = self->parents[1].get();
+  const bool need_a = ia->requires_grad;
+  const bool need_b = ib->requires_grad;
+  if (!need_a && !need_b) return;
+  const std::vector<float>& g = self->grad;
+
+  if (kind == BinaryKind::kAdd || kind == BinaryKind::kSub) {
+    // d/da = g and d/db = +/-g: reduce the output gradient directly, with
+    // no staging buffers and no operand iteration.
+    if (need_a) ReduceGradToShape(g, out_shape, a_shape, 1.0f, &ia->grad);
+    if (need_b) {
+      ReduceGradToShape(g, out_shape, b_shape,
+                        kind == BinaryKind::kAdd ? 1.0f : -1.0f, &ib->grad);
+    }
+    return;
+  }
+
+  const bool same_shapes =
+      SameShape(out_shape, a_shape) && SameShape(out_shape, b_shape);
+  if (same_shapes) {
+    // No broadcasting: accumulate in place, each index disjoint.
+    const float* pg = g.data();
+    const float* pa = ia->data().data();
+    const float* pb = ib->data().data();
+    float* da = need_a ? ia->grad.data() : nullptr;
+    float* db = need_b ? ib->grad.data() : nullptr;
+    const int64_t n = Numel(out_shape);
+    if (kind == BinaryKind::kMul) {
+      ParallelElementwise(n, 1, [&](int64_t i) {
+        if (da != nullptr) da[i] += pg[i] * pb[i];
+        if (db != nullptr) db[i] += pg[i] * pa[i];
+      });
+    } else {  // kDiv
+      ParallelElementwise(n, 1, [&](int64_t i) {
+        const float y = pb[i];
+        if (da != nullptr) da[i] += pg[i] / y;
+        if (db != nullptr) db[i] += -pg[i] * pa[i] / (y * y);
+      });
+    }
+    return;
+  }
+
+  // Broadcasting mul/div: one pass building only the needed sides in output
+  // layout, then reduce into each parent's shape.
+  const int64_t n = Numel(out_shape);
+  std::vector<float> ga;
+  std::vector<float> gb;
+  if (need_a) ga.resize(static_cast<size_t>(n));
+  if (need_b) gb.resize(static_cast<size_t>(n));
+  const float* pg = g.data();
+  const float* pa = ia->data().data();
+  const float* pb = ib->data().data();
+  if (kind == BinaryKind::kMul) {
+    BroadcastIterate(out_shape, a_shape, b_shape,
+                     [&](int64_t i, int64_t oa, int64_t ob) {
+                       size_t ui = static_cast<size_t>(i);
+                       const float go = pg[ui];
+                       if (!ga.empty()) ga[ui] = go * pb[ob];
+                       if (!gb.empty()) gb[ui] = go * pa[oa];
+                     });
+  } else {  // kDiv
+    BroadcastIterate(out_shape, a_shape, b_shape,
+                     [&](int64_t i, int64_t oa, int64_t ob) {
+                       size_t ui = static_cast<size_t>(i);
+                       const float go = pg[ui];
+                       const float y = pb[ob];
+                       if (!ga.empty()) ga[ui] = go / y;
+                       if (!gb.empty()) gb[ui] = -go * pa[oa] / (y * y);
+                     });
+  }
+  if (need_a) ReduceGradToShape(ga, out_shape, a_shape, 1.0f, &ia->grad);
+  if (need_b) ReduceGradToShape(gb, out_shape, b_shape, 1.0f, &ib->grad);
+}
+
 Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   ODNET_CHECK(a.defined() && b.defined());
   Shape out_shape = BroadcastOrDie(a.shape(), b.shape());
   std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
   const float* pa = a.data();
   const float* pb = b.data();
+  float* po = out.data();
 
   if (SameShape(a.shape(), b.shape())) {
     // Fast path: no broadcasting.
-    const size_t n = out.size();
-    switch (kind) {
-      case BinaryKind::kAdd:
-        for (size_t i = 0; i < n; ++i) out[i] = pa[i] + pb[i];
-        break;
-      case BinaryKind::kSub:
-        for (size_t i = 0; i < n; ++i) out[i] = pa[i] - pb[i];
-        break;
-      case BinaryKind::kMul:
-        for (size_t i = 0; i < n; ++i) out[i] = pa[i] * pb[i];
-        break;
-      case BinaryKind::kDiv:
-        for (size_t i = 0; i < n; ++i) out[i] = pa[i] / pb[i];
-        break;
-    }
+    const int64_t n = static_cast<int64_t>(out.size());
+    WithBinaryKernel(kind, [&](auto op) {
+      ParallelElementwise(n, 1, [&](int64_t i) { po[i] = op(pa[i], pb[i]); });
+    });
   } else {
-    BroadcastIterate(out_shape, a.shape(), b.shape(),
-                     [&](int64_t i, int64_t ia, int64_t ib) {
-                       float x = pa[ia];
-                       float y = pb[ib];
-                       float r = 0.0f;
-                       switch (kind) {
-                         case BinaryKind::kAdd:
-                           r = x + y;
-                           break;
-                         case BinaryKind::kSub:
-                           r = x - y;
-                           break;
-                         case BinaryKind::kMul:
-                           r = x * y;
-                           break;
-                         case BinaryKind::kDiv:
-                           r = x / y;
-                           break;
-                       }
-                       out[static_cast<size_t>(i)] = r;
-                     });
+    WithBinaryKernel(kind, [&](auto op) {
+      BroadcastIterate(out_shape, a.shape(), b.shape(),
+                       [&](int64_t i, int64_t ia, int64_t ib) {
+                         po[i] = op(pa[ia], pb[ib]);
+                       });
+    });
   }
 
   Shape a_shape = a.shape();
@@ -147,50 +347,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a, b},
       [kind, out_shape, a_shape, b_shape](TensorImpl* self) {
-        TensorImpl* ia = self->parents[0].get();
-        TensorImpl* ib = self->parents[1].get();
-        const std::vector<float>& g = self->grad;
-        const int64_t n = Numel(out_shape);
-        // d/da and d/db computed in output layout, then reduced.
-        std::vector<float> ga;
-        std::vector<float> gb;
-        if (ia->requires_grad) ga.resize(static_cast<size_t>(n));
-        if (ib->requires_grad) gb.resize(static_cast<size_t>(n));
-        BroadcastIterate(
-            out_shape, a_shape, b_shape,
-            [&](int64_t i, int64_t oa, int64_t ob) {
-              size_t ui = static_cast<size_t>(i);
-              float go = g[ui];
-              switch (kind) {
-                case BinaryKind::kAdd:
-                  if (!ga.empty()) ga[ui] = go;
-                  if (!gb.empty()) gb[ui] = go;
-                  break;
-                case BinaryKind::kSub:
-                  if (!ga.empty()) ga[ui] = go;
-                  if (!gb.empty()) gb[ui] = -go;
-                  break;
-                case BinaryKind::kMul:
-                  if (!ga.empty()) ga[ui] = go * ib->data[static_cast<size_t>(ob)];
-                  if (!gb.empty()) gb[ui] = go * ia->data[static_cast<size_t>(oa)];
-                  break;
-                case BinaryKind::kDiv: {
-                  float y = ib->data[static_cast<size_t>(ob)];
-                  if (!ga.empty()) ga[ui] = go / y;
-                  if (!gb.empty()) {
-                    float x = ia->data[static_cast<size_t>(oa)];
-                    gb[ui] = -go * x / (y * y);
-                  }
-                  break;
-                }
-              }
-            });
-        if (ia->requires_grad) {
-          ReduceGradToShape(ga, out_shape, a_shape, &ia->grad);
-        }
-        if (ib->requires_grad) {
-          ReduceGradToShape(gb, out_shape, b_shape, &ib->grad);
-        }
+        BinaryBackward(kind, out_shape, a_shape, b_shape, self);
       });
 }
 
@@ -199,14 +356,21 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
   ODNET_CHECK(a.defined());
   std::vector<float> out(a.vec().size());
   const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(pa[i]);
+  float* po = out.data();
+  ParallelElementwise(static_cast<int64_t>(out.size()), 1,
+                      [&](int64_t i) { po[i] = fwd(pa[i]); });
   return Tensor::MakeForOp(
       a.shape(), std::move(out), {a}, [bwd](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
-        for (size_t i = 0; i < self->grad.size(); ++i) {
-          parent->grad[i] += self->grad[i] * bwd(parent->data[i], self->data[i]);
-        }
+        const float* g = self->grad.data();
+        const float* px = parent->data().data();
+        const float* py = self->data().data();
+        float* pg = parent->grad.data();
+        ParallelElementwise(static_cast<int64_t>(self->grad.size()), 1,
+                            [&](int64_t i) {
+                              pg[i] += g[i] * bwd(px[i], py[i]);
+                            });
       });
 }
 
@@ -304,21 +468,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(batch * m * n), 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
+  float* po = out.data();
 
-  for (int64_t bt = 0; bt < batch; ++bt) {
-    const float* A = pa + bt * m * k;
-    const float* B = pb + (b_batched ? bt * k * n : 0);
-    float* C = out.data() + bt * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = A[i * k + p];
-        if (av == 0.0f) continue;
-        const float* brow = B + p * n;
-        float* crow = C + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
+  // Tiled forward over global output rows r = bt*m + i; A's row is
+  // pa + r*k and C's row is po + r*n. Workers own disjoint row ranges.
+  Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
+                    [=](int64_t row_begin, int64_t row_end) {
+                      MatMulForwardRows(pa, pb, po, row_begin, row_end, m, k,
+                                        n, b_batched);
+                    });
 
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a, b},
@@ -326,36 +484,43 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         TensorImpl* ia = self->parents[0].get();
         TensorImpl* ib = self->parents[1].get();
         const float* G = self->grad.data();
-        // dA[b] = G[b] * B[b]^T ; dB[b] += A[b]^T * G[b].
-        for (int64_t bt = 0; bt < batch; ++bt) {
-          const float* Gb = G + bt * m * n;
-          const float* A = ia->data.data() + bt * m * k;
-          const float* B = ib->data.data() + (b_batched ? bt * k * n : 0);
-          if (ia->requires_grad) {
-            float* dA = ia->grad.data() + bt * m * k;
-            for (int64_t i = 0; i < m; ++i) {
-              for (int64_t j = 0; j < n; ++j) {
-                const float gv = Gb[i * n + j];
-                if (gv == 0.0f) continue;
-                const float* bcol = B + j;  // stride n over p
-                float* darow = dA + i * k;
-                for (int64_t p = 0; p < k; ++p) {
-                  darow[p] += gv * bcol[p * n];
-                }
-              }
-            }
-          }
-          if (ib->requires_grad) {
-            float* dB = ib->grad.data() + (b_batched ? bt * k * n : 0);
-            for (int64_t p = 0; p < k; ++p) {
-              for (int64_t i = 0; i < m; ++i) {
-                const float av = A[i * k + p];
-                if (av == 0.0f) continue;
-                const float* grow = Gb + i * n;
-                float* dbrow = dB + p * n;
-                for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
-              }
-            }
+        // dA[b] = G[b] * B[b]^T, partitioned by dA rows (disjoint writes).
+        if (ia->requires_grad) {
+          const float* pb = ib->data().data();
+          float* da = ia->grad.data();
+          Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
+                            [=](int64_t row_begin, int64_t row_end) {
+                              MatMulBackwardARows(pb, G, da, row_begin,
+                                                  row_end, m, k, n, b_batched);
+                            });
+        }
+        // dB[b] += A[b]^T * G[b], partitioned by dB rows p: each worker
+        // owns whole rows of dB, summing contributions in (batch, i)
+        // order — the same order as the serial kernel.
+        if (ib->requires_grad) {
+          const float* pa = ia->data().data();
+          float* db = ib->grad.data();
+          if (b_batched) {
+            Ctx().ParallelFor(
+                batch * k, Ctx().GrainFor(m * n),
+                [=](int64_t rb_begin, int64_t rb_end) {
+                  for (int64_t rbr = rb_begin; rbr < rb_end; ++rbr) {
+                    const int64_t bt = rbr / k;
+                    MatMulDbRowKernel(pa + bt * m * k, G + bt * m * n,
+                                      db + rbr * n, rbr % k, m, k, n);
+                  }
+                });
+          } else {
+            Ctx().ParallelFor(
+                k, Ctx().GrainFor(batch * m * n),
+                [=](int64_t p_begin, int64_t p_end) {
+                  for (int64_t p = p_begin; p < p_end; ++p) {
+                    for (int64_t bt = 0; bt < batch; ++bt) {
+                      MatMulDbRowKernel(pa + bt * m * k, G + bt * m * n,
+                                        db + p * n, p, m, k, n);
+                    }
+                  }
+                });
           }
         }
       });
@@ -372,29 +537,32 @@ Tensor TransposeLast2(const Tensor& a) {
   const int64_t batch = Numel(in_shape) / (rows * cols);
   std::vector<float> out(a.vec().size());
   const float* pa = a.data();
-  for (int64_t bt = 0; bt < batch; ++bt) {
+  float* po = out.data();
+  ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
     const float* src = pa + bt * rows * cols;
-    float* dst = out.data() + bt * rows * cols;
+    float* dst = po + bt * rows * cols;
     for (int64_t i = 0; i < rows; ++i) {
       for (int64_t j = 0; j < cols; ++j) {
         dst[j * rows + i] = src[i * cols + j];
       }
     }
-  }
+  });
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a}, [rows, cols, batch](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
         // Transposing the gradient back: grad layout is [.., cols, rows].
-        for (int64_t bt = 0; bt < batch; ++bt) {
-          const float* g = self->grad.data() + bt * rows * cols;
-          float* dst = parent->grad.data() + bt * rows * cols;
+        const float* g0 = self->grad.data();
+        float* d0 = parent->grad.data();
+        ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
+          const float* g = g0 + bt * rows * cols;
+          float* dst = d0 + bt * rows * cols;
           for (int64_t j = 0; j < cols; ++j) {
             for (int64_t i = 0; i < rows; ++i) {
               dst[i * cols + j] += g[j * rows + i];
             }
           }
-        }
+        });
       });
 }
 
@@ -402,15 +570,16 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
   ODNET_CHECK(a.defined());
   ODNET_CHECK_EQ(Numel(a.shape()), Numel(new_shape))
       << ShapeToString(a.shape()) << " -> " << ShapeToString(new_shape);
-  std::vector<float> out = a.vec();
-  return Tensor::MakeForOp(new_shape, std::move(out), {a},
-                           [](TensorImpl* self) {
-                             TensorImpl* parent = self->parents[0].get();
-                             if (!parent->requires_grad) return;
-                             for (size_t i = 0; i < self->grad.size(); ++i) {
-                               parent->grad[i] += self->grad[i];
-                             }
-                           });
+  // Zero-copy: the view aliases the parent's storage; only the grad buffer
+  // is per-node, routed back elementwise.
+  return Tensor::MakeViewForOp(new_shape, a, [](TensorImpl* self) {
+    TensorImpl* parent = self->parents[0].get();
+    if (!parent->requires_grad) return;
+    const float* g = self->grad.data();
+    float* pg = parent->grad.data();
+    ParallelElementwise(static_cast<int64_t>(self->grad.size()), 1,
+                        [&](int64_t i) { pg[i] += g[i]; });
+  });
 }
 
 Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
@@ -575,6 +744,8 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
       [idx_copy, dim](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        // Scatter-add: duplicate indices alias table rows, so this stays
+        // serial (deterministic accumulation order).
         for (size_t i = 0; i < idx_copy.size(); ++i) {
           const float* g = self->grad.data() + static_cast<int64_t>(i) * dim;
           float* dst = parent->grad.data() + idx_copy[i] * dim;
@@ -585,6 +756,8 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
 
 Tensor Sum(const Tensor& a) {
   ODNET_CHECK(a.defined());
+  // Full reduction: kept serial so the accumulation order (and thus the
+  // result bits) never depends on the thread count.
   double total = 0.0;
   for (float x : a.vec()) total += x;
   return Tensor::MakeForOp({}, {static_cast<float>(total)}, {a},
@@ -620,26 +793,31 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
 
   std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
   const float* src = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
+  float* po = out.data();
+  // Each outer block owns out[o*inner, (o+1)*inner): disjoint, and the
+  // per-element sum over the axis keeps its serial order.
+  ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
     for (int64_t k = 0; k < axis_dim; ++k) {
       const float* row = src + (o * axis_dim + k) * inner;
-      float* dst = out.data() + o * inner;
+      float* dst = po + o * inner;
       for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
     }
-  }
+  });
 
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a},
       [outer, inner, axis_dim](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* g = self->grad.data() + o * inner;
+        const float* g0 = self->grad.data();
+        float* d0 = parent->grad.data();
+        ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
+          const float* g = g0 + o * inner;
           for (int64_t k = 0; k < axis_dim; ++k) {
-            float* dst = parent->grad.data() + (o * axis_dim + k) * inner;
+            float* dst = d0 + (o * axis_dim + k) * inner;
             for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
           }
-        }
+        });
       });
 }
 
@@ -664,9 +842,10 @@ Tensor Softmax(const Tensor& a) {
   const int64_t rows = a.numel() / cols;
   std::vector<float> out(a.vec().size());
   const float* src = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
+  float* po = out.data();
+  ParallelElementwise(rows, cols, [&](int64_t r) {
     const float* x = src + r * cols;
-    float* y = out.data() + r * cols;
+    float* y = po + r * cols;
     float max_val = x[0];
     for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
     float total = 0.0f;
@@ -676,22 +855,25 @@ Tensor Softmax(const Tensor& a) {
     }
     const float inv = 1.0f / total;
     for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
-  }
+  });
   return Tensor::MakeForOp(
       a.shape(), std::move(out), {a}, [rows, cols](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
         // dx = (dy - sum(dy * y)) * y, per row.
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* y = self->data.data() + r * cols;
-          const float* dy = self->grad.data() + r * cols;
+        const float* y0 = self->data().data();
+        const float* g0 = self->grad.data();
+        float* d0 = parent->grad.data();
+        ParallelElementwise(rows, cols, [&](int64_t r) {
+          const float* y = y0 + r * cols;
+          const float* dy = g0 + r * cols;
           float dot = 0.0f;
           for (int64_t c = 0; c < cols; ++c) dot += dy[c] * y[c];
-          float* dx = parent->grad.data() + r * cols;
+          float* dx = d0 + r * cols;
           for (int64_t c = 0; c < cols; ++c) {
             dx[c] += (dy[c] - dot) * y[c];
           }
-        }
+        });
       });
 }
 
@@ -699,21 +881,30 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
   ODNET_CHECK(a.defined());
   ODNET_CHECK_GE(p, 0.0f);
   ODNET_CHECK_LT(p, 1.0f);
-  if (!training || p == 0.0f) return MulScalar(a, 1.0f);  // identity on tape
+  // Inference / p == 0 is the identity: return the input itself (zero-copy,
+  // no tape node) instead of materializing a scaled-by-1 copy.
+  if (!training || p == 0.0f) return a;
   ODNET_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
+  // Mask draws stay serial: the Rng stream must not depend on thread count.
   std::vector<float> mask(a.vec().size());
   for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
   std::vector<float> out(a.vec().size());
   const float* src = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = src[i] * mask[i];
+  const float* pm = mask.data();
+  float* po = out.data();
+  ParallelElementwise(static_cast<int64_t>(out.size()), 1,
+                      [&](int64_t i) { po[i] = src[i] * pm[i]; });
   return Tensor::MakeForOp(a.shape(), std::move(out), {a},
                            [mask](TensorImpl* self) {
                              TensorImpl* parent = self->parents[0].get();
                              if (!parent->requires_grad) return;
-                             for (size_t i = 0; i < mask.size(); ++i) {
-                               parent->grad[i] += self->grad[i] * mask[i];
-                             }
+                             const float* g = self->grad.data();
+                             const float* pm = mask.data();
+                             float* pg = parent->grad.data();
+                             ParallelElementwise(
+                                 static_cast<int64_t>(mask.size()), 1,
+                                 [&](int64_t i) { pg[i] += g[i] * pm[i]; });
                            });
 }
 
@@ -727,6 +918,8 @@ Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
   const float* x = logits.data();
   const float* t = targets.data();
   // loss_i = max(x,0) - x*t + log(1 + exp(-|x|))  (stable)
+  // Serial: a full reduction whose accumulation order must not depend on
+  // the thread count.
   double total = 0.0;
   for (int64_t i = 0; i < n; ++i) {
     float xi = x[i];
@@ -740,20 +933,21 @@ Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
         TensorImpl* tg = self->parents[1].get();
         const float g = self->grad[0] / static_cast<float>(n);
         if (xl->requires_grad) {
-          for (int64_t i = 0; i < n; ++i) {
-            float xi = xl->data[static_cast<size_t>(i)];
+          const float* px = xl->data().data();
+          const float* pt = tg->data().data();
+          float* pg = xl->grad.data();
+          ParallelElementwise(n, 1, [&](int64_t i) {
+            float xi = px[i];
             float sig = xi >= 0.0f ? 1.0f / (1.0f + std::exp(-xi))
                                    : std::exp(xi) / (1.0f + std::exp(xi));
-            xl->grad[static_cast<size_t>(i)] +=
-                g * (sig - tg->data[static_cast<size_t>(i)]);
-          }
+            pg[i] += g * (sig - pt[i]);
+          });
         }
         // Gradient w.r.t. soft targets: d/dt = -x / n.
         if (tg->requires_grad) {
-          for (int64_t i = 0; i < n; ++i) {
-            tg->grad[static_cast<size_t>(i)] +=
-                -g * xl->data[static_cast<size_t>(i)];
-          }
+          const float* px = xl->data().data();
+          float* pg = tg->grad.data();
+          ParallelElementwise(n, 1, [&](int64_t i) { pg[i] += -g * px[i]; });
         }
       });
 }

@@ -12,8 +12,15 @@ namespace tensor {
 
 // All ops are pure: they allocate a fresh output tensor and, when any input
 // requires grad (and grad mode is on), record a backward closure on the tape.
-// Shapes are validated with ODNET_CHECK — shape mismatches are programmer
-// errors, not runtime conditions.
+// (Exception: documented zero-copy fast paths — Reshape and inference-mode
+// Dropout — alias the input's storage instead of copying it.) Shapes are
+// validated with ODNET_CHECK — shape mismatches are programmer errors, not
+// runtime conditions.
+//
+// Large kernels fan out over the process-wide pool configured by
+// tensor::ComputeContext (ODNET_NUM_THREADS); every parallel kernel writes
+// disjoint ranges in the serial accumulation order, so results are bitwise
+// identical for every thread count.
 
 // -- Elementwise binary (NumPy-style broadcasting) ----------------------
 
@@ -50,7 +57,8 @@ Tensor TransposeLast2(const Tensor& a);
 
 // -- Shape manipulation -----------------------------------------------------
 
-/// Same data, new shape (numel must match).
+/// Same data, new shape (numel must match). Zero-copy: the result is a view
+/// aliasing `a`'s storage (mutating one mutates the other).
 Tensor Reshape(const Tensor& a, const Shape& new_shape);
 
 /// Concatenates along `axis`; all inputs share the other dims.
@@ -85,8 +93,9 @@ Tensor MeanAxis(const Tensor& a, int axis, bool keepdim = false);
 /// Numerically-stable softmax along the last axis.
 Tensor Softmax(const Tensor& a);
 
-/// Inverted dropout: scales kept activations by 1/(1-p) during training,
-/// identity when `training` is false or p == 0.
+/// Inverted dropout: scales kept activations by 1/(1-p) during training.
+/// When `training` is false or p == 0 it returns `a` itself (zero-copy
+/// identity; no tape node is added, gradients flow to `a` directly).
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training);
 
 // -- Losses -----------------------------------------------------------------------

@@ -11,15 +11,22 @@ namespace {
 std::atomic<uint64_t> g_next_tensor_id{1};
 thread_local bool g_grad_enabled = true;
 
-std::shared_ptr<internal::TensorImpl> NewImpl(Shape shape,
-                                              std::vector<float> data) {
-  ODNET_CHECK_EQ(static_cast<int64_t>(data.size()), Numel(shape))
+std::shared_ptr<internal::TensorImpl> NewImpl(
+    Shape shape, std::shared_ptr<std::vector<float>> storage) {
+  ODNET_CHECK(storage != nullptr);
+  ODNET_CHECK_EQ(static_cast<int64_t>(storage->size()), Numel(shape))
       << "data size does not match shape " << ShapeToString(shape);
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data = std::move(data);
+  impl->storage = std::move(storage);
   impl->id = g_next_tensor_id.fetch_add(1);
   return impl;
+}
+
+std::shared_ptr<internal::TensorImpl> NewImpl(Shape shape,
+                                              std::vector<float> data) {
+  return NewImpl(std::move(shape),
+                 std::make_shared<std::vector<float>>(std::move(data)));
 }
 
 }  // namespace
@@ -93,23 +100,23 @@ int64_t Tensor::dim(int axis) const {
 
 const float* Tensor::data() const {
   ODNET_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data().data();
 }
 
 float* Tensor::mutable_data() {
   ODNET_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data().data();
 }
 
 const std::vector<float>& Tensor::vec() const {
   ODNET_CHECK(defined());
-  return impl_->data;
+  return impl_->data();
 }
 
 float Tensor::item() const {
   ODNET_CHECK_EQ(numel(), 1) << "item() on non-scalar tensor "
                              << ShapeToString(shape());
-  return impl_->data[0];
+  return impl_->data()[0];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
@@ -124,7 +131,7 @@ float Tensor::at(std::initializer_list<int64_t> idx) const {
     offset += i * strides[d];
     ++d;
   }
-  return impl_->data[static_cast<size_t>(offset)];
+  return impl_->data()[static_cast<size_t>(offset)];
 }
 
 bool Tensor::requires_grad() const {
@@ -153,21 +160,23 @@ std::vector<float>* Tensor::mutable_grad() {
 
 void Tensor::ZeroGrad() {
   ODNET_CHECK(defined());
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  impl_->grad.assign(impl_->data().size(), 0.0f);
 }
 
 Tensor Tensor::Clone() const {
   ODNET_CHECK(defined());
-  Tensor t(NewImpl(impl_->shape, impl_->data));
+  Tensor t(NewImpl(impl_->shape, impl_->data()));
   t.impl_->requires_grad = impl_->requires_grad;
   return t;
 }
 
 Tensor Tensor::Detach() const {
   ODNET_CHECK(defined());
+  // Shares the values (as the header promises) without the tape: cheap, and
+  // storage is only ever mutated through leaf parameters.
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // shared values would need COW; copy is fine here
+  impl->storage = impl_->storage;
   impl->id = g_next_tensor_id.fetch_add(1);
   return Tensor(std::move(impl));
 }
@@ -178,7 +187,7 @@ std::string Tensor::ToString(int64_t max_values) const {
   int64_t n = std::min<int64_t>(numel(), max_values);
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out += ", ";
-    out += std::to_string(impl_->data[static_cast<size_t>(i)]);
+    out += std::to_string(impl_->data()[static_cast<size_t>(i)]);
   }
   if (n < numel()) out += ", ...";
   out += "]";
@@ -200,6 +209,22 @@ Tensor Tensor::MakeForOp(Shape shape, std::vector<float> data,
     out.impl_->requires_grad = true;
     out.impl_->parents.reserve(parents.size());
     for (const Tensor& p : parents) out.impl_->parents.push_back(p.impl_ptr());
+    out.impl_->backward_fn = std::move(backward);
+  }
+  return out;
+}
+
+Tensor Tensor::MakeViewForOp(
+    Shape shape, const Tensor& parent,
+    std::function<void(internal::TensorImpl*)> backward) {
+  ODNET_CHECK(parent.defined());
+  ODNET_CHECK_EQ(Numel(shape), parent.numel())
+      << "view shape " << ShapeToString(shape) << " over "
+      << ShapeToString(parent.shape());
+  Tensor out(NewImpl(std::move(shape), parent.impl_->storage));
+  if (parent.requires_grad() && GradModeEnabled()) {
+    out.impl_->requires_grad = true;
+    out.impl_->parents.push_back(parent.impl_ptr());
     out.impl_->backward_fn = std::move(backward);
   }
   return out;

@@ -23,9 +23,13 @@ namespace internal {
 /// A TensorImpl created by a differentiable op records its parents and a
 /// backward closure; Tensor::Backward() walks the resulting DAG in reverse
 /// topological order. Leaf tensors (parameters) have no parents.
+///
+/// Values live in a shared_ptr'd buffer so zero-copy views (Reshape,
+/// inference-mode Dropout) can alias a parent's storage; gradients are
+/// always per-node (views accumulate into their parent through the tape).
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  std::shared_ptr<std::vector<float>> storage;  // never null once constructed
   std::vector<float> grad;  // same size as data once touched by backward
   bool requires_grad = false;
   uint64_t id = 0;  // creation order; used for deterministic topo sort
@@ -34,8 +38,11 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl*)> backward_fn;
 
+  std::vector<float>& data() { return *storage; }
+  const std::vector<float>& data() const { return *storage; }
+
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (grad.size() != data().size()) grad.assign(data().size(), 0.0f);
   }
 };
 
@@ -146,6 +153,13 @@ class Tensor {
   static Tensor MakeForOp(Shape shape, std::vector<float> data,
                           std::vector<Tensor> parents,
                           std::function<void(internal::TensorImpl*)> backward);
+
+  /// Internal: zero-copy view node sharing `parent`'s storage under a new
+  /// shape (numel must match). The view has its own grad buffer; `backward`
+  /// routes it into the parent. Mutating the view's data mutates the parent.
+  static Tensor MakeViewForOp(
+      Shape shape, const Tensor& parent,
+      std::function<void(internal::TensorImpl*)> backward);
   internal::TensorImpl* impl() const { return impl_.get(); }
   std::shared_ptr<internal::TensorImpl> impl_ptr() const { return impl_; }
 

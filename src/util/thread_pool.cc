@@ -1,11 +1,18 @@
 #include "src/util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "src/util/check.h"
 
 namespace odnet {
 namespace util {
+
+namespace {
+thread_local bool t_in_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return t_in_worker_thread; }
 
 ThreadPool::ThreadPool(int num_threads) {
   ODNET_CHECK_GE(num_threads, 1);
@@ -39,22 +46,64 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   std::atomic<int64_t> next{0};
-  std::vector<std::future<void>> futures;
-  int shards = num_threads();
-  futures.reserve(static_cast<size_t>(shards));
-  for (int s = 0; s < shards; ++s) {
-    futures.push_back(Submit([&next, n, &fn] {
-      for (;;) {
-        int64_t i = next.fetch_add(1);
-        if (i >= n) return;
+  auto run_shard = [&next, n, &fn] {
+    for (;;) {
+      int64_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
         fn(i);
+      } catch (...) {
+        next.store(n);  // abandon remaining indices
+        throw;
       }
-    }));
+    }
+  };
+
+  const int64_t shards = std::min<int64_t>(num_threads(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(shards));
+  for (int64_t s = 0; s < shards; ++s) futures.push_back(Submit(run_shard));
+
+  // The caller is a full participant: even when every worker is busy (e.g.
+  // a nested ParallelFor issued from inside a pool task) the loop drains.
+  std::exception_ptr first_error;
+  try {
+    run_shard();
+  } catch (...) {
+    first_error = std::current_exception();
   }
-  for (auto& f : futures) f.get();
+
+  // While any shard future is pending, help run queued tasks — a pending
+  // shard may be sitting behind unrelated work in the queue.
+  for (auto& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!RunOneTask()) {
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::RunOneTask() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_worker_thread = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

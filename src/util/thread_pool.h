@@ -13,10 +13,14 @@
 namespace odnet {
 namespace util {
 
-/// \brief Fixed-size worker pool used for data-parallel evaluation sweeps.
+/// \brief Fixed-size worker pool used for data-parallel kernels and
+/// evaluation sweeps.
 ///
-/// The trainer itself is single-threaded (determinism), but metric
-/// computation and simulator sweeps can be fanned out safely.
+/// The tensor backend (tensor::ComputeContext) fans blocked kernels out over
+/// one process-wide pool; metric computation and simulator sweeps use it
+/// directly. ParallelFor is a full fork-join: the calling thread participates
+/// in the work and, while waiting for stragglers, drains other queued tasks,
+/// so nested ParallelFor calls (a task that itself fans out) cannot deadlock.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>=1).
@@ -29,13 +33,24 @@ class ThreadPool {
   /// Enqueues a task; returns a future for its completion.
   std::future<void> Submit(std::function<void()> task);
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool (plus the calling thread)
+  /// and waits for completion. If any invocation throws, remaining indices
+  /// are abandoned, all in-flight work is drained, and the first exception
+  /// is rethrown on the caller.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// True when the current thread is one of *any* ThreadPool's workers.
+  /// Used by the tensor backend to run kernels serially inside pool tasks
+  /// instead of fanning out again.
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
+  /// Pops and runs one queued task on the calling thread; false when the
+  /// queue is empty.
+  bool RunOneTask();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;

@@ -1,8 +1,10 @@
 #include "src/tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "gtest/gtest.h"
+#include "src/tensor/compute_context.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/shape.h"
 #include "tests/test_util.h"
@@ -553,6 +555,140 @@ TEST(AutogradTest, DropoutBackwardMatchesMask) {
       EXPECT_NEAR(g, 1.0f / 0.7f, 1e-5f);
     }
   }
+}
+
+// ------------------------------------------------------- Zero-copy views --
+
+TEST(OpsTest, ReshapeIsZeroCopyView) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.data(), a.data());  // same storage, not a copy
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+}
+
+TEST(AutogradTest, ReshapeViewGradFlows) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  Tensor r = Reshape(a, {4});
+  EXPECT_EQ(r.data(), a.data());
+  Sum(Mul(r, r)).Backward();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a.grad()[static_cast<size_t>(i)],
+                    2.0f * a.data()[i]);  // d(x^2)/dx
+  }
+}
+
+TEST(OpsTest, DropoutEvalIsZeroCopyIdentity) {
+  util::Rng rng(3);
+  Tensor a = Tensor::Randn({4, 4}, &rng);
+  EXPECT_TRUE(Dropout(a, 0.5f, &rng, /*training=*/false).IsSameAs(a));
+  EXPECT_TRUE(Dropout(a, 0.0f, &rng, /*training=*/true).IsSameAs(a));
+}
+
+// ------------------------------------------------------ Compute backend --
+
+// Restores the process-wide compute configuration on scope exit so tests
+// cannot leak thread-count or threshold changes into each other.
+class ComputeConfigGuard {
+ public:
+  ComputeConfigGuard()
+      : threads_(ComputeContext::Get().num_threads()),
+        threshold_(ComputeContext::Get().parallel_threshold()) {}
+  ~ComputeConfigGuard() {
+    ComputeContext::Get().SetNumThreads(threads_);
+    ComputeContext::Get().SetParallelThreshold(threshold_);
+  }
+
+ private:
+  int threads_;
+  int64_t threshold_;
+};
+
+// A mixed graph touching every parallelized kernel family: plain and
+// batched/shared-rhs MatMul, broadcast Add, same-shape Mul, Softmax,
+// SumAxis, unary activations — forward and backward. Returns all forward
+// values and input gradients flattened for bitwise comparison.
+std::vector<float> RunMixedGraphOnce() {
+  util::Rng rng(1234);
+  Tensor a = Tensor::Randn({5, 7}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({7, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor bias = Tensor::Randn({1, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor a3 = Tensor::Randn({3, 5, 7}, &rng, 1.0f, /*requires_grad=*/true);
+
+  Tensor h = Add(MatMul(a, b), bias);
+  Tensor s = Softmax(h);
+  Tensor r = SumAxis(Mul(s, h), 0);
+  Tensor h3 = MatMul(a3, b);  // batched lhs, shared rhs
+  Tensor loss = Add(Sum(Relu(r)), Sum(Tanh(h3)));
+  loss.Backward();
+
+  std::vector<float> out;
+  for (const std::vector<float>* v :
+       {&h.vec(), &s.vec(), &r.vec(), &h3.vec(), &loss.vec(), &a.grad(),
+        &b.grad(), &bias.grad(), &a3.grad()}) {
+    out.insert(out.end(), v->begin(), v->end());
+  }
+  return out;
+}
+
+TEST(ComputeContextTest, BitwiseDeterministicAcrossThreadCounts) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  // Threshold 1 forces the parallel dispatch path even for tiny tensors;
+  // odd sizes in the graph make the range partitions uneven.
+  ctx.SetParallelThreshold(1);
+  std::vector<std::vector<float>> runs;
+  for (int threads : {1, 2, 8}) {
+    ctx.SetNumThreads(threads);
+    runs.push_back(RunMixedGraphOnce());
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  ASSERT_EQ(runs[0].size(), runs[2].size());
+  EXPECT_EQ(0, std::memcmp(runs[0].data(), runs[1].data(),
+                           runs[0].size() * sizeof(float)))
+      << "2-thread run differs from serial";
+  EXPECT_EQ(0, std::memcmp(runs[0].data(), runs[2].data(),
+                           runs[0].size() * sizeof(float)))
+      << "8-thread run differs from serial";
+}
+
+// Ten SGD steps on a small MLP; returns the final weights.
+std::vector<float> TrainTinyMlpOnce() {
+  util::Rng rng(99);
+  Tensor x = Tensor::Randn({17, 9}, &rng);
+  Tensor y = Tensor::Randn({17, 1}, &rng);
+  Tensor w1 = Tensor::Randn({9, 11}, &rng, 0.3f, /*requires_grad=*/true);
+  Tensor w2 = Tensor::Randn({11, 1}, &rng, 0.3f, /*requires_grad=*/true);
+  for (int step = 0; step < 10; ++step) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    Tensor pred = MatMul(Relu(MatMul(x, w1)), w2);
+    MseLoss(pred, y).Backward();
+    for (Tensor* w : {&w1, &w2}) {
+      float* d = w->mutable_data();
+      const std::vector<float>& g = w->grad();
+      for (size_t i = 0; i < g.size(); ++i) d[i] -= 0.05f * g[i];
+    }
+  }
+  std::vector<float> out(w1.vec());
+  out.insert(out.end(), w2.vec().begin(), w2.vec().end());
+  return out;
+}
+
+TEST(ComputeContextTest, TrainedWeightsIdenticalAcrossThreadCounts) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetParallelThreshold(1);
+  std::vector<std::vector<float>> runs;
+  for (int threads : {1, 2, 8}) {
+    ctx.SetNumThreads(threads);
+    runs.push_back(TrainTinyMlpOnce());
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  ASSERT_EQ(runs[0].size(), runs[2].size());
+  EXPECT_EQ(0, std::memcmp(runs[0].data(), runs[1].data(),
+                           runs[0].size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(runs[0].data(), runs[2].data(),
+                           runs[0].size() * sizeof(float)));
 }
 
 }  // namespace

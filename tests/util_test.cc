@@ -1,5 +1,6 @@
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 
 #include "gtest/gtest.h"
 #include "src/util/csv.h"
@@ -319,6 +320,52 @@ TEST(ThreadPoolTest, SubmitRunsTask) {
   f1.get();
   f2.get();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForStress) {
+  ThreadPool pool(4);
+  // Many rounds of small and large loops: exercises the work-stealing wait
+  // loop and the task queue under contention.
+  for (int round = 0; round < 50; ++round) {
+    const int64_t n = (round % 7) * 97 + 1;
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(n, [&sum](int64_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](int64_t i) {
+                         if (i == 57) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&count](int64_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  // An inner ParallelFor issued from inside a worker must not deadlock:
+  // blocked submitters drain queued tasks while they wait.
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, [&pool, &total](int64_t) {
+    pool.ParallelFor(8, [&total](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadFlag) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<bool> inside{false};
+  pool.Submit([&inside] { inside = ThreadPool::InWorkerThread(); }).get();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
 }
 
 }  // namespace
