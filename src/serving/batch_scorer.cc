@@ -13,7 +13,10 @@ std::vector<baselines::OdScore> ScoreChunked(
     baselines::OdRecommender* method, const data::OdDataset& dataset,
     const std::vector<data::Sample>& rows) {
   ODNET_CHECK(method != nullptr);
-  util::ThreadPool* pool = tensor::ComputeContext::Get().pool();
+  // Hold our own reference for the whole fan-out: a concurrent
+  // SetNumThreads may retire the context's pool generation mid-call.
+  std::shared_ptr<util::ThreadPool> pool =
+      tensor::ComputeContext::Get().shared_pool();
   if (!method->ThreadSafeScore() || pool == nullptr ||
       rows.size() <= kScoreChunkSize) {
     return method->Score(dataset, rows);

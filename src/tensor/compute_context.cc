@@ -20,7 +20,13 @@ int64_t EnvInt64(const char* name, int64_t fallback) {
   return static_cast<int64_t>(value);
 }
 
+thread_local Backend t_backend = Backend::kOptimized;
+
 }  // namespace
+
+void ComputeContext::SetBackend(Backend backend) { t_backend = backend; }
+
+Backend ComputeContext::backend() { return t_backend; }
 
 ComputeContext::ComputeContext() {
   int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -40,7 +46,9 @@ void ComputeContext::SetNumThreads(int n) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (n == num_threads_) return;
   num_threads_ = n;
-  pool_.reset();  // rebuilt at the new width on next use
+  // Drop our reference only: a kernel holding the old generation via
+  // shared_pool() finishes on it and destroys it when done.
+  pool_.reset();
 }
 
 int ComputeContext::num_threads() {
@@ -64,19 +72,20 @@ int64_t ComputeContext::GrainFor(int64_t per_unit_work) const {
                            parallel_threshold() / std::max<int64_t>(1, per_unit_work));
 }
 
-util::ThreadPool* ComputeContext::pool() {
+std::shared_ptr<util::ThreadPool> ComputeContext::shared_pool() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (num_threads_ <= 1) return nullptr;
-  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(num_threads_);
-  return pool_.get();
+  if (!pool_) pool_ = std::make_shared<util::ThreadPool>(num_threads_);
+  return pool_;
 }
 
 void ComputeContext::ParallelFor(int64_t total, int64_t grain,
                                  const std::function<void(int64_t, int64_t)>& fn) {
   if (total <= 0) return;
   if (grain < 1) grain = 1;
-  util::ThreadPool* p =
-      (total > grain && !util::ThreadPool::InWorkerThread()) ? pool() : nullptr;
+  std::shared_ptr<util::ThreadPool> p =
+      (total > grain && !util::ThreadPool::InWorkerThread()) ? shared_pool()
+                                                             : nullptr;
   if (p == nullptr) {
     fn(0, total);
     return;

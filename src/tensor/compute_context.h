@@ -11,6 +11,17 @@
 namespace odnet {
 namespace tensor {
 
+/// Which kernel implementations the ops in ops.cc dispatch to.
+enum class Backend {
+  /// The production path: tiled, thread-pool-parallel kernels.
+  kOptimized,
+  /// The correctness oracle: naive, obviously-correct, single-threaded
+  /// kernels (reference_backend.h). Same op signatures, same accumulation
+  /// order, independent iteration/tiling code — so the differential test
+  /// harness can assert bitwise agreement against the optimized path.
+  kReference,
+};
+
 /// \brief Process-wide configuration of the parallel tensor backend.
 ///
 /// Kernels in ops.cc (and the chunked scorers in serving/) partition their
@@ -34,7 +45,17 @@ class ComputeContext {
   /// The process-wide context.
   static ComputeContext& Get();
 
-  /// Sets the backend width (>= 1; 1 = serial). Rebuilds the pool lazily.
+  /// Kernel backend of the *calling thread* (thread-local state). Thread-
+  /// local so a differential harness can oracle-check ops on one thread
+  /// while other threads keep serving on the optimized path. Backward
+  /// closures consult this at execution time, so forward and backward of
+  /// one tape can even run under different backends.
+  static void SetBackend(Backend backend);
+  static Backend backend();
+
+  /// Sets the backend width (>= 1; 1 = serial). Rebuilds the pool lazily;
+  /// a kernel already running keeps (and finishes on) the pool generation
+  /// it grabbed — see shared_pool().
   void SetNumThreads(int n);
   int num_threads();
 
@@ -56,7 +77,11 @@ class ComputeContext {
                    const std::function<void(int64_t, int64_t)>& fn);
 
   /// The shared pool, built on first use; nullptr when num_threads() == 1.
-  util::ThreadPool* pool();
+  /// Returned as a shared_ptr: callers hold their copy for the duration of
+  /// the work they dispatch, so a concurrent SetNumThreads (which retires
+  /// the context's reference) cannot destroy a pool mid-kernel — the last
+  /// holder tears it down after its fork-join completes.
+  std::shared_ptr<util::ThreadPool> shared_pool();
 
  private:
   ComputeContext();
@@ -64,7 +89,26 @@ class ComputeContext {
   mutable std::mutex mutex_;
   int num_threads_ = 1;
   int64_t threshold_ = 16384;
-  std::unique_ptr<util::ThreadPool> pool_;
+  std::shared_ptr<util::ThreadPool> pool_;
+};
+
+/// \brief RAII switch of the calling thread's kernel backend.
+///
+/// Used by the differential tests: run a graph under
+/// `BackendGuard guard(Backend::kReference);`, rerun it optimized, and
+/// compare bitwise.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Backend backend)
+      : previous_(ComputeContext::backend()) {
+    ComputeContext::SetBackend(backend);
+  }
+  ~BackendGuard() { ComputeContext::SetBackend(previous_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Backend previous_;
 };
 
 }  // namespace tensor

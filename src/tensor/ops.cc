@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/tensor/compute_context.h"
+#include "src/tensor/reference_backend.h"
 
 namespace odnet {
 namespace tensor {
@@ -12,8 +13,15 @@ namespace tensor {
 namespace {
 
 using internal::TensorImpl;
+using reference::BinaryKind;
 
 ComputeContext& Ctx() { return ComputeContext::Get(); }
+
+// True when the calling thread selected the reference oracle backend:
+// kernels below route to the naive serial implementations in
+// reference_backend.cc instead of the parallel tiled ones. Checked at
+// forward *and* backward execution time.
+bool RefMode() { return ComputeContext::backend() == Backend::kReference; }
 
 // MatMul tiling: process kMatMulRowBlock output rows against
 // kMatMulKBlock-row slabs of B, so a slab (kKBlock * n floats) is reused
@@ -221,8 +229,6 @@ Shape BroadcastOrDie(const Shape& a, const Shape& b) {
   return result.value();
 }
 
-enum class BinaryKind { kAdd, kSub, kMul, kDiv };
-
 // Dispatches `kind` once into a specialized scalar op so the inner loops
 // carry no switch.
 template <typename Fn>
@@ -250,6 +256,14 @@ void BinaryBackward(BinaryKind kind, const Shape& out_shape,
   const bool need_b = ib->requires_grad;
   if (!need_a && !need_b) return;
   const std::vector<float>& g = self->grad;
+
+  if (RefMode()) {
+    reference::BinaryBackward(kind, out_shape, a_shape, b_shape, g.data(),
+                              ia->data().data(), ib->data().data(),
+                              need_a ? ia->grad.data() : nullptr,
+                              need_b ? ib->grad.data() : nullptr);
+    return;
+  }
 
   if (kind == BinaryKind::kAdd || kind == BinaryKind::kSub) {
     // d/da = g and d/db = +/-g: reduce the output gradient directly, with
@@ -327,7 +341,10 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   const float* pb = b.data();
   float* po = out.data();
 
-  if (SameShape(a.shape(), b.shape())) {
+  if (RefMode()) {
+    reference::BinaryForward(kind, out_shape, a.shape(), b.shape(), pa, pb,
+                             po);
+  } else if (SameShape(a.shape(), b.shape())) {
     // Fast path: no broadcasting.
     const int64_t n = static_cast<int64_t>(out.size());
     WithBinaryKernel(kind, [&](auto op) {
@@ -357,8 +374,12 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
   std::vector<float> out(a.vec().size());
   const float* pa = a.data();
   float* po = out.data();
-  ParallelElementwise(static_cast<int64_t>(out.size()), 1,
-                      [&](int64_t i) { po[i] = fwd(pa[i]); });
+  const int64_t n = static_cast<int64_t>(out.size());
+  if (RefMode()) {
+    reference::UnaryForward(n, pa, po, fwd);
+  } else {
+    ParallelElementwise(n, 1, [&](int64_t i) { po[i] = fwd(pa[i]); });
+  }
   return Tensor::MakeForOp(
       a.shape(), std::move(out), {a}, [bwd](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
@@ -367,10 +388,14 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
         const float* px = parent->data().data();
         const float* py = self->data().data();
         float* pg = parent->grad.data();
-        ParallelElementwise(static_cast<int64_t>(self->grad.size()), 1,
-                            [&](int64_t i) {
-                              pg[i] += g[i] * bwd(px[i], py[i]);
-                            });
+        const int64_t gn = static_cast<int64_t>(self->grad.size());
+        if (RefMode()) {
+          reference::UnaryBackward(gn, g, px, py, pg, bwd);
+          return;
+        }
+        ParallelElementwise(gn, 1, [&](int64_t i) {
+          pg[i] += g[i] * bwd(px[i], py[i]);
+        });
       });
 }
 
@@ -470,13 +495,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
 
-  // Tiled forward over global output rows r = bt*m + i; A's row is
-  // pa + r*k and C's row is po + r*n. Workers own disjoint row ranges.
-  Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
-                    [=](int64_t row_begin, int64_t row_end) {
-                      MatMulForwardRows(pa, pb, po, row_begin, row_end, m, k,
-                                        n, b_batched);
-                    });
+  if (RefMode()) {
+    reference::MatMulForward(pa, pb, po, batch, m, k, n, b_batched);
+  } else {
+    // Tiled forward over global output rows r = bt*m + i; A's row is
+    // pa + r*k and C's row is po + r*n. Workers own disjoint row ranges.
+    Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
+                      [=](int64_t row_begin, int64_t row_end) {
+                        MatMulForwardRows(pa, pb, po, row_begin, row_end, m, k,
+                                          n, b_batched);
+                      });
+  }
 
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a, b},
@@ -484,6 +513,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         TensorImpl* ia = self->parents[0].get();
         TensorImpl* ib = self->parents[1].get();
         const float* G = self->grad.data();
+        if (RefMode()) {
+          if (ia->requires_grad) {
+            reference::MatMulBackwardA(ib->data().data(), G, ia->grad.data(),
+                                       batch, m, k, n, b_batched);
+          }
+          if (ib->requires_grad) {
+            reference::MatMulBackwardB(ia->data().data(), G, ib->grad.data(),
+                                       batch, m, k, n, b_batched);
+          }
+          return;
+        }
         // dA[b] = G[b] * B[b]^T, partitioned by dA rows (disjoint writes).
         if (ia->requires_grad) {
           const float* pb = ib->data().data();
@@ -538,15 +578,19 @@ Tensor TransposeLast2(const Tensor& a) {
   std::vector<float> out(a.vec().size());
   const float* pa = a.data();
   float* po = out.data();
-  ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
-    const float* src = pa + bt * rows * cols;
-    float* dst = po + bt * rows * cols;
-    for (int64_t i = 0; i < rows; ++i) {
-      for (int64_t j = 0; j < cols; ++j) {
-        dst[j * rows + i] = src[i * cols + j];
+  if (RefMode()) {
+    reference::TransposeLast2Forward(pa, po, batch, rows, cols);
+  } else {
+    ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
+      const float* src = pa + bt * rows * cols;
+      float* dst = po + bt * rows * cols;
+      for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < cols; ++j) {
+          dst[j * rows + i] = src[i * cols + j];
+        }
       }
-    }
-  });
+    });
+  }
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a}, [rows, cols, batch](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
@@ -554,6 +598,10 @@ Tensor TransposeLast2(const Tensor& a) {
         // Transposing the gradient back: grad layout is [.., cols, rows].
         const float* g0 = self->grad.data();
         float* d0 = parent->grad.data();
+        if (RefMode()) {
+          reference::TransposeLast2Backward(g0, d0, batch, rows, cols);
+          return;
+        }
         ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
           const float* g = g0 + bt * rows * cols;
           float* dst = d0 + bt * rows * cols;
@@ -570,6 +618,22 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
   ODNET_CHECK(a.defined());
   ODNET_CHECK_EQ(Numel(a.shape()), Numel(new_shape))
       << ShapeToString(a.shape()) << " -> " << ShapeToString(new_shape);
+  if (RefMode()) {
+    // Oracle semantics for the zero-copy view: a plain materialized copy
+    // with elementwise gradient routing. The differential tests compare
+    // this against the aliasing view node below.
+    std::vector<float> out = a.vec();
+    return Tensor::MakeForOp(new_shape, std::move(out), {a},
+                             [](TensorImpl* self) {
+                               TensorImpl* parent = self->parents[0].get();
+                               if (!parent->requires_grad) return;
+                               const float* g = self->grad.data();
+                               float* pg = parent->grad.data();
+                               const int64_t n =
+                                   static_cast<int64_t>(self->grad.size());
+                               for (int64_t i = 0; i < n; ++i) pg[i] += g[i];
+                             });
+  }
   // Zero-copy: the view aliases the parent's storage; only the grad buffer
   // is per-node, routed back elementwise.
   return Tensor::MakeViewForOp(new_shape, a, [](TensorImpl* self) {
@@ -794,15 +858,19 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
   std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
   const float* src = a.data();
   float* po = out.data();
-  // Each outer block owns out[o*inner, (o+1)*inner): disjoint, and the
-  // per-element sum over the axis keeps its serial order.
-  ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
-    for (int64_t k = 0; k < axis_dim; ++k) {
-      const float* row = src + (o * axis_dim + k) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
-    }
-  });
+  if (RefMode()) {
+    reference::SumAxisForward(src, po, outer, axis_dim, inner);
+  } else {
+    // Each outer block owns out[o*inner, (o+1)*inner): disjoint, and the
+    // per-element sum over the axis keeps its serial order.
+    ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
+      for (int64_t k = 0; k < axis_dim; ++k) {
+        const float* row = src + (o * axis_dim + k) * inner;
+        float* dst = po + o * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
+      }
+    });
+  }
 
   return Tensor::MakeForOp(
       out_shape, std::move(out), {a},
@@ -811,6 +879,10 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
         if (!parent->requires_grad) return;
         const float* g0 = self->grad.data();
         float* d0 = parent->grad.data();
+        if (RefMode()) {
+          reference::SumAxisBackward(g0, d0, outer, axis_dim, inner);
+          return;
+        }
         ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
           const float* g = g0 + o * inner;
           for (int64_t k = 0; k < axis_dim; ++k) {
@@ -843,19 +915,23 @@ Tensor Softmax(const Tensor& a) {
   std::vector<float> out(a.vec().size());
   const float* src = a.data();
   float* po = out.data();
-  ParallelElementwise(rows, cols, [&](int64_t r) {
-    const float* x = src + r * cols;
-    float* y = po + r * cols;
-    float max_val = x[0];
-    for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
-    float total = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      y[c] = std::exp(x[c] - max_val);
-      total += y[c];
-    }
-    const float inv = 1.0f / total;
-    for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
-  });
+  if (RefMode()) {
+    reference::SoftmaxForward(src, po, rows, cols);
+  } else {
+    ParallelElementwise(rows, cols, [&](int64_t r) {
+      const float* x = src + r * cols;
+      float* y = po + r * cols;
+      float max_val = x[0];
+      for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
+      float total = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        y[c] = std::exp(x[c] - max_val);
+        total += y[c];
+      }
+      const float inv = 1.0f / total;
+      for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
+    });
+  }
   return Tensor::MakeForOp(
       a.shape(), std::move(out), {a}, [rows, cols](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
@@ -864,6 +940,10 @@ Tensor Softmax(const Tensor& a) {
         const float* y0 = self->data().data();
         const float* g0 = self->grad.data();
         float* d0 = parent->grad.data();
+        if (RefMode()) {
+          reference::SoftmaxBackward(g0, y0, d0, rows, cols);
+          return;
+        }
         ParallelElementwise(rows, cols, [&](int64_t r) {
           const float* y = y0 + r * cols;
           const float* dy = g0 + r * cols;
@@ -882,19 +962,40 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
   ODNET_CHECK_GE(p, 0.0f);
   ODNET_CHECK_LT(p, 1.0f);
   // Inference / p == 0 is the identity: return the input itself (zero-copy,
-  // no tape node) instead of materializing a scaled-by-1 copy.
-  if (!training || p == 0.0f) return a;
+  // no tape node) instead of materializing a scaled-by-1 copy. The oracle
+  // backend materializes a plain identity node instead, so the differential
+  // tests check the zero-copy fast path against copy semantics.
+  if (!training || p == 0.0f) {
+    if (!RefMode()) return a;
+    std::vector<float> out = a.vec();
+    return Tensor::MakeForOp(a.shape(), std::move(out), {a},
+                             [](TensorImpl* self) {
+                               TensorImpl* parent = self->parents[0].get();
+                               if (!parent->requires_grad) return;
+                               const float* g = self->grad.data();
+                               float* pg = parent->grad.data();
+                               const int64_t n =
+                                   static_cast<int64_t>(self->grad.size());
+                               for (int64_t i = 0; i < n; ++i) pg[i] += g[i];
+                             });
+  }
   ODNET_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
-  // Mask draws stay serial: the Rng stream must not depend on thread count.
+  // Mask draws stay serial: the Rng stream must not depend on thread count
+  // (or on the backend — the oracle path consumes the same draws).
   std::vector<float> mask(a.vec().size());
   for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
   std::vector<float> out(a.vec().size());
   const float* src = a.data();
   const float* pm = mask.data();
   float* po = out.data();
-  ParallelElementwise(static_cast<int64_t>(out.size()), 1,
-                      [&](int64_t i) { po[i] = src[i] * pm[i]; });
+  if (RefMode()) {
+    const int64_t n = static_cast<int64_t>(out.size());
+    for (int64_t i = 0; i < n; ++i) po[i] = src[i] * pm[i];
+  } else {
+    ParallelElementwise(static_cast<int64_t>(out.size()), 1,
+                        [&](int64_t i) { po[i] = src[i] * pm[i]; });
+  }
   return Tensor::MakeForOp(a.shape(), std::move(out), {a},
                            [mask](TensorImpl* self) {
                              TensorImpl* parent = self->parents[0].get();
@@ -902,8 +1003,16 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
                              const float* g = self->grad.data();
                              const float* pm = mask.data();
                              float* pg = parent->grad.data();
+                             const int64_t n =
+                                 static_cast<int64_t>(mask.size());
+                             if (RefMode()) {
+                               for (int64_t i = 0; i < n; ++i) {
+                                 pg[i] += g[i] * pm[i];
+                               }
+                               return;
+                             }
                              ParallelElementwise(
-                                 static_cast<int64_t>(mask.size()), 1,
+                                 n, 1,
                                  [&](int64_t i) { pg[i] += g[i] * pm[i]; });
                            });
 }
@@ -936,18 +1045,28 @@ Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
           const float* px = xl->data().data();
           const float* pt = tg->data().data();
           float* pg = xl->grad.data();
-          ParallelElementwise(n, 1, [&](int64_t i) {
+          auto logit_grad = [&](int64_t i) {
             float xi = px[i];
             float sig = xi >= 0.0f ? 1.0f / (1.0f + std::exp(-xi))
                                    : std::exp(xi) / (1.0f + std::exp(xi));
             pg[i] += g * (sig - pt[i]);
-          });
+          };
+          if (RefMode()) {
+            for (int64_t i = 0; i < n; ++i) logit_grad(i);
+          } else {
+            ParallelElementwise(n, 1, logit_grad);
+          }
         }
         // Gradient w.r.t. soft targets: d/dt = -x / n.
         if (tg->requires_grad) {
           const float* px = xl->data().data();
           float* pg = tg->grad.data();
-          ParallelElementwise(n, 1, [&](int64_t i) { pg[i] += -g * px[i]; });
+          if (RefMode()) {
+            for (int64_t i = 0; i < n; ++i) pg[i] += -g * px[i];
+          } else {
+            ParallelElementwise(n, 1,
+                                [&](int64_t i) { pg[i] += -g * px[i]; });
+          }
         }
       });
 }

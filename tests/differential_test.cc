@@ -1,0 +1,738 @@
+// Differential correctness harness for the tensor backend.
+//
+// Every program below is a pure function of its seed. The harness runs it
+// once under the naive reference backend (src/tensor/reference_backend.*)
+// to produce the oracle, then under the optimized backend at every
+// (threads, threshold) point of the sweep {1, 2, 8} x {1, 16384}, and
+// asserts *bitwise* agreement (ULP distance 0) of all forward values, the
+// loss, and every input gradient. Threshold 1 forces the parallel dispatch
+// path even for tiny tensors; 16384 forces the serial path, so the sweep
+// covers serial optimized, parallel optimized, and oversubscribed pools.
+//
+// The file also carries the finite-difference cross-check (both backends
+// must match numeric derivatives, not just each other) and the fixed-seed
+// golden regression digest of a tiny end-to-end ODNET training run.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/baselines/odnet_recommender.h"
+#include "src/core/config.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/data/types.h"
+#include "src/metrics/metrics.h"
+#include "src/serving/evaluator.h"
+#include "src/tensor/compute_context.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace odnet {
+namespace {
+
+using tensor::Backend;
+using tensor::BackendGuard;
+using tensor::ComputeContext;
+using tensor::Shape;
+using tensor::Tensor;
+
+class ComputeConfigGuard {
+ public:
+  ComputeConfigGuard()
+      : threads_(ComputeContext::Get().num_threads()),
+        threshold_(ComputeContext::Get().parallel_threshold()) {}
+  ~ComputeConfigGuard() {
+    ComputeContext::Get().SetNumThreads(threads_);
+    ComputeContext::Get().SetParallelThreshold(threshold_);
+  }
+
+ private:
+  int threads_;
+  int64_t threshold_;
+};
+
+// A differential program: builds a graph from `seed`, runs forward and
+// backward, and appends everything observable (forward values, loss,
+// gradients) to `out`.
+using Program = std::function<void(uint64_t seed, std::vector<float>* out)>;
+
+std::vector<float> RunProgram(const Program& program, uint64_t seed) {
+  std::vector<float> out;
+  program(seed, &out);
+  return out;
+}
+
+void ExpectBackendsAgree(const Program& program, uint64_t seed,
+                         const std::string& tag) {
+  ComputeConfigGuard guard;
+  std::vector<float> oracle;
+  {
+    BackendGuard reference(Backend::kReference);
+    oracle = RunProgram(program, seed);
+  }
+  ComputeContext& ctx = ComputeContext::Get();
+  for (int threads : {1, 2, 8}) {
+    for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
+      ctx.SetNumThreads(threads);
+      ctx.SetParallelThreshold(threshold);
+      std::vector<float> optimized = RunProgram(program, seed);
+      testing::ExpectUlpClose(optimized, oracle, /*max_ulps=*/0,
+                              tag + " [threads=" + std::to_string(threads) +
+                                  " threshold=" + std::to_string(threshold) +
+                                  "]");
+    }
+  }
+}
+
+void Emit(const Tensor& t, std::vector<float>* out) {
+  out->insert(out->end(), t.vec().begin(), t.vec().end());
+}
+
+void EmitGrad(const Tensor& t, std::vector<float>* out) {
+  out->insert(out->end(), t.grad().begin(), t.grad().end());
+}
+
+// Scalarizes `y` by a weighted sum with a deterministic random weight, so
+// every output element receives a distinct upstream gradient (Sum alone
+// would seed all-ones and hide transposition bugs in backward kernels).
+Tensor WeightedSum(const Tensor& y, util::Rng* rng) {
+  Tensor w = testing::RandomTensor(y.shape(), rng);
+  return tensor::Sum(tensor::Mul(y, w));
+}
+
+// Shared driver for single-op cases: `build` constructs the op under test
+// from seeded randomness and registers its grad-bearing leaves.
+void CheckOp(const std::string& tag, uint64_t seed,
+             const std::function<Tensor(std::vector<Tensor>* leaves,
+                                        util::Rng* rng)>& build) {
+  ExpectBackendsAgree(
+      [&build](uint64_t s, std::vector<float>* out) {
+        util::Rng rng(s);
+        std::vector<Tensor> leaves;
+        Tensor y = build(&leaves, &rng);
+        Emit(y, out);
+        Tensor loss = WeightedSum(y, &rng);
+        for (Tensor& leaf : leaves) leaf.ZeroGrad();
+        loss.Backward();
+        Emit(loss, out);
+        for (const Tensor& leaf : leaves) EmitGrad(leaf, out);
+      },
+      seed, tag);
+}
+
+// ------------------------------------------------------------ binary ops --
+
+TEST(DifferentialOpTest, BinaryBroadcastSweep) {
+  struct Kind {
+    const char* name;
+    Tensor (*fn)(const Tensor&, const Tensor&);
+  };
+  const Kind kinds[] = {{"Add", tensor::Add},
+                        {"Sub", tensor::Sub},
+                        {"Mul", tensor::Mul},
+                        {"Div", tensor::Div}};
+  for (const Kind& kind : kinds) {
+    for (uint64_t variant = 0; variant < 8; ++variant) {
+      const bool is_div = kind.fn == tensor::Div;
+      CheckOp(std::string("Binary/") + kind.name + "/v" +
+                  std::to_string(variant),
+              1000 + variant,
+              [&kind, is_div](std::vector<Tensor>* leaves, util::Rng* rng) {
+                Shape out = testing::RandomShape(rng, 1, 4, 5);
+                Shape sa = testing::RandomBroadcastVariant(out, rng);
+                Shape sb = testing::RandomBroadcastVariant(out, rng);
+                Tensor a = testing::RandomTensor(sa, rng, true);
+                // Denominators bounded away from zero keep Div finite.
+                Tensor b = is_div
+                               ? testing::RandomTensor(sb, rng, true, 0.5f,
+                                                       2.5f)
+                               : testing::RandomTensor(sb, rng, true);
+                leaves->push_back(a);
+                leaves->push_back(b);
+                return kind.fn(a, b);
+              });
+    }
+  }
+}
+
+// ------------------------------------------------------ scalar and unary --
+
+TEST(DifferentialOpTest, ScalarOps) {
+  struct Kind {
+    const char* name;
+    std::function<Tensor(const Tensor&)> fn;
+  };
+  const std::vector<Kind> kinds = {
+      {"AddScalar", [](const Tensor& a) { return tensor::AddScalar(a, 0.75f); }},
+      {"MulScalar",
+       [](const Tensor& a) { return tensor::MulScalar(a, -1.5f); }},
+      {"Neg", [](const Tensor& a) { return tensor::Neg(a); }}};
+  for (const Kind& kind : kinds) {
+    for (uint64_t variant = 0; variant < 3; ++variant) {
+      CheckOp(std::string("Scalar/") + kind.name + "/v" +
+                  std::to_string(variant),
+              2000 + variant,
+              [&kind](std::vector<Tensor>* leaves, util::Rng* rng) {
+                Tensor a = testing::RandomTensor(
+                    testing::RandomShape(rng, 1, 3, 6), rng, true);
+                leaves->push_back(a);
+                return kind.fn(a);
+              });
+    }
+  }
+}
+
+TEST(DifferentialOpTest, UnaryOps) {
+  struct Kind {
+    const char* name;
+    std::function<Tensor(const Tensor&)> fn;
+  };
+  // Log's default inputs straddle the <= 0 clamp branch on purpose.
+  const std::vector<Kind> kinds = {
+      {"Relu", [](const Tensor& a) { return tensor::Relu(a); }},
+      {"LeakyRelu", [](const Tensor& a) { return tensor::LeakyRelu(a, 0.2f); }},
+      {"Sigmoid", [](const Tensor& a) { return tensor::Sigmoid(a); }},
+      {"Tanh", [](const Tensor& a) { return tensor::Tanh(a); }},
+      {"Exp", [](const Tensor& a) { return tensor::Exp(a); }},
+      {"Log", [](const Tensor& a) { return tensor::Log(a); }}};
+  for (const Kind& kind : kinds) {
+    for (uint64_t variant = 0; variant < 3; ++variant) {
+      CheckOp(std::string("Unary/") + kind.name + "/v" +
+                  std::to_string(variant),
+              3000 + variant,
+              [&kind](std::vector<Tensor>* leaves, util::Rng* rng) {
+                Tensor a = testing::RandomTensor(
+                    testing::RandomShape(rng, 1, 4, 5), rng, true);
+                leaves->push_back(a);
+                return kind.fn(a);
+              });
+    }
+  }
+}
+
+// ---------------------------------------------------------- linear algebra --
+
+TEST(DifferentialOpTest, MatMulShapes) {
+  // mode 0: [M,K]x[K,N]; mode 1: [B,M,K]x[B,K,N]; mode 2: [B,M,K]x[K,N]
+  // (shared rhs, whose dB accumulates across the batch).
+  for (int mode = 0; mode < 3; ++mode) {
+    for (uint64_t variant = 0; variant < 4; ++variant) {
+      CheckOp("MatMul/mode" + std::to_string(mode) + "/v" +
+                  std::to_string(variant),
+              4000 + variant,
+              [mode](std::vector<Tensor>* leaves, util::Rng* rng) {
+                const int64_t bt = rng->UniformInt(1, 3);
+                const int64_t m = rng->UniformInt(1, 6);
+                const int64_t k = rng->UniformInt(1, 6);
+                const int64_t n = rng->UniformInt(1, 6);
+                Shape sa = mode == 0 ? Shape{m, k} : Shape{bt, m, k};
+                Shape sb = mode == 1 ? Shape{bt, k, n} : Shape{k, n};
+                Tensor a = testing::RandomTensor(sa, rng, true);
+                Tensor b = testing::RandomTensor(sb, rng, true);
+                leaves->push_back(a);
+                leaves->push_back(b);
+                return tensor::MatMul(a, b);
+              });
+    }
+  }
+}
+
+TEST(DifferentialOpTest, TransposeLast2) {
+  for (int rank = 2; rank <= 4; ++rank) {
+    CheckOp("TransposeLast2/rank" + std::to_string(rank), 4500 + rank,
+            [rank](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor(
+                  testing::RandomShape(rng, rank, rank, 5), rng, true);
+              leaves->push_back(a);
+              return tensor::TransposeLast2(a);
+            });
+  }
+}
+
+// -------------------------------------------------------------- reshaping --
+
+TEST(DifferentialOpTest, ReshapeViewVsCopy) {
+  // The optimized Reshape is a zero-copy view; the reference backend
+  // materializes a copy node. Chaining an activation after the reshape
+  // forces gradient flow through the view machinery.
+  for (uint64_t variant = 0; variant < 4; ++variant) {
+    CheckOp("Reshape/v" + std::to_string(variant), 5000 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor(
+                  testing::RandomShape(rng, 2, 3, 4), rng, true);
+              leaves->push_back(a);
+              Tensor flat = tensor::Reshape(a, {a.numel()});
+              Tensor back = tensor::Reshape(flat, {1, a.numel()});
+              return tensor::Tanh(back);
+            });
+  }
+}
+
+TEST(DifferentialOpTest, ConcatSliceStack) {
+  for (uint64_t variant = 0; variant < 4; ++variant) {
+    CheckOp("Concat/v" + std::to_string(variant), 5100 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Shape base = testing::RandomShape(rng, 2, 3, 4);
+              const int axis =
+                  static_cast<int>(rng->UniformInt(0, base.size() - 1));
+              std::vector<Tensor> parts;
+              for (int i = 0; i < 3; ++i) {
+                Shape s = base;
+                s[static_cast<size_t>(axis)] = rng->UniformInt(1, 3);
+                parts.push_back(testing::RandomTensor(s, rng, true));
+                leaves->push_back(parts.back());
+              }
+              return tensor::Concat(parts, axis);
+            });
+    CheckOp("Slice/v" + std::to_string(variant), 5200 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Shape s = testing::RandomShape(rng, 2, 4, 5);
+              const int axis =
+                  static_cast<int>(rng->UniformInt(0, s.size() - 1));
+              const int64_t dim = s[static_cast<size_t>(axis)];
+              const int64_t length = rng->UniformInt(1, dim);
+              const int64_t start = rng->UniformInt(0, dim - length);
+              Tensor a = testing::RandomTensor(s, rng, true);
+              leaves->push_back(a);
+              return tensor::Slice(a, axis, start, length);
+            });
+    CheckOp("Stack/v" + std::to_string(variant), 5300 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Shape s = testing::RandomShape(rng, 1, 3, 4);
+              std::vector<Tensor> parts;
+              for (int i = 0; i < 3; ++i) {
+                parts.push_back(testing::RandomTensor(s, rng, true));
+                leaves->push_back(parts.back());
+              }
+              return tensor::Stack(parts);
+            });
+  }
+}
+
+TEST(DifferentialOpTest, EmbeddingLookup) {
+  for (uint64_t variant = 0; variant < 4; ++variant) {
+    CheckOp("EmbeddingLookup/v" + std::to_string(variant), 5400 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              const int64_t vocab = rng->UniformInt(3, 8);
+              const int64_t dim = rng->UniformInt(1, 5);
+              Tensor table = testing::RandomTensor({vocab, dim}, rng, true);
+              leaves->push_back(table);
+              // Duplicate indices exercise the scatter-add backward.
+              Shape index_shape = {2, 3};
+              std::vector<int64_t> indices;
+              for (int i = 0; i < 6; ++i) {
+                indices.push_back(rng->UniformInt(0, vocab - 1));
+              }
+              return tensor::EmbeddingLookup(table, indices, index_shape);
+            });
+  }
+}
+
+// -------------------------------------------------------------- reductions --
+
+TEST(DifferentialOpTest, Reductions) {
+  for (uint64_t variant = 0; variant < 3; ++variant) {
+    CheckOp("Sum/v" + std::to_string(variant), 6000 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor(
+                  testing::RandomShape(rng, 1, 4, 5), rng, true);
+              leaves->push_back(a);
+              return tensor::Sum(a);
+            });
+    CheckOp("Mean/v" + std::to_string(variant), 6100 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor(
+                  testing::RandomShape(rng, 1, 4, 5), rng, true);
+              leaves->push_back(a);
+              return tensor::Mean(a);
+            });
+  }
+  // Axis reductions: every axis of a rank-3 tensor, both keepdim settings.
+  for (int axis = 0; axis < 3; ++axis) {
+    for (bool keepdim : {false, true}) {
+      const std::string suffix =
+          "/axis" + std::to_string(axis) + (keepdim ? "/keep" : "/drop");
+      CheckOp("SumAxis" + suffix, 6200 + static_cast<uint64_t>(axis),
+              [axis, keepdim](std::vector<Tensor>* leaves, util::Rng* rng) {
+                Tensor a = testing::RandomTensor(
+                    {rng->UniformInt(1, 4), rng->UniformInt(1, 4),
+                     rng->UniformInt(1, 4)},
+                    rng, true);
+                leaves->push_back(a);
+                return tensor::SumAxis(a, axis, keepdim);
+              });
+      CheckOp("MeanAxis" + suffix, 6300 + static_cast<uint64_t>(axis),
+              [axis, keepdim](std::vector<Tensor>* leaves, util::Rng* rng) {
+                Tensor a = testing::RandomTensor(
+                    {rng->UniformInt(1, 4), rng->UniformInt(1, 4),
+                     rng->UniformInt(1, 4)},
+                    rng, true);
+                leaves->push_back(a);
+                return tensor::MeanAxis(a, axis, keepdim);
+              });
+    }
+  }
+}
+
+// ------------------------------------------------- softmax / dropout / loss --
+
+TEST(DifferentialOpTest, Softmax) {
+  const std::vector<Shape> shapes = {{5}, {3, 4}, {2, 3, 5}, {4, 1}};
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    CheckOp("Softmax/v" + std::to_string(i), 6500 + i,
+            [&shapes, i](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor(shapes[i], rng, true);
+              leaves->push_back(a);
+              return tensor::Softmax(a);
+            });
+  }
+}
+
+TEST(DifferentialOpTest, Dropout) {
+  // Training: the mask RNG stream is consumed identically by both backends,
+  // so the masked outputs must match bitwise.
+  CheckOp("Dropout/train", 6600,
+          [](std::vector<Tensor>* leaves, util::Rng* rng) {
+            Tensor a = testing::RandomTensor({4, 5}, rng, true);
+            leaves->push_back(a);
+            util::Rng mask_rng(rng->NextUint64());
+            return tensor::Dropout(a, 0.4f, &mask_rng, true);
+          });
+  // Inference and p == 0: the optimized path returns the input itself
+  // (zero-copy, no tape node); the oracle materializes an identity node.
+  // Forward values and gradients must agree regardless.
+  CheckOp("Dropout/eval", 6601,
+          [](std::vector<Tensor>* leaves, util::Rng* rng) {
+            Tensor a = testing::RandomTensor({4, 5}, rng, true);
+            leaves->push_back(a);
+            return tensor::Dropout(a, 0.4f, nullptr, false);
+          });
+  CheckOp("Dropout/p0", 6602,
+          [](std::vector<Tensor>* leaves, util::Rng* rng) {
+            Tensor a = testing::RandomTensor({4, 5}, rng, true);
+            leaves->push_back(a);
+            util::Rng mask_rng(7);
+            return tensor::Dropout(a, 0.0f, &mask_rng, true);
+          });
+}
+
+TEST(DifferentialOpTest, Losses) {
+  for (uint64_t variant = 0; variant < 3; ++variant) {
+    CheckOp("BceWithLogits/v" + std::to_string(variant), 6700 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Shape s = testing::RandomShape(rng, 1, 2, 6);
+              Tensor logits = testing::RandomTensor(s, rng, true);
+              // Soft labels exercise the d/dt = -x/n branch too.
+              Tensor targets = testing::RandomTensor(s, rng, true, 0.0f, 1.0f);
+              leaves->push_back(logits);
+              leaves->push_back(targets);
+              return tensor::BceWithLogits(logits, targets);
+            });
+    CheckOp("MseLoss/v" + std::to_string(variant), 6800 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Shape s = testing::RandomShape(rng, 1, 3, 5);
+              Tensor pred = testing::RandomTensor(s, rng, true);
+              Tensor target = testing::RandomTensor(s, rng, true);
+              leaves->push_back(pred);
+              leaves->push_back(target);
+              return tensor::MseLoss(pred, target);
+            });
+  }
+}
+
+// --------------------------------------------------------- random op chains --
+
+// Seeded random graph fuzzer: grows a DAG by repeatedly applying a random
+// op to a random live node, then backprops a weighted sum of every live
+// node. All structural decisions derive from shapes and the seeded Rng, so
+// reference and optimized runs build the identical graph.
+TEST(DifferentialFuzzTest, RandomOpChains) {
+  constexpr int kChains = 24;
+  constexpr int kSteps = 8;
+  constexpr int64_t kMaxLiveNumel = 2048;
+  for (uint64_t chain = 0; chain < kChains; ++chain) {
+    ExpectBackendsAgree(
+        [](uint64_t s, std::vector<float>* out) {
+          util::Rng rng(s);
+          util::Rng mask_rng(s ^ 0x9e3779b97f4a7c15ULL);
+          std::vector<Tensor> leaves;
+          std::vector<Tensor> live;
+          Tensor x0 = testing::RandomTensor(testing::RandomShape(&rng, 1, 3, 4),
+                                            &rng, true);
+          leaves.push_back(x0);
+          live.push_back(x0);
+          for (int step = 0; step < kSteps; ++step) {
+            Tensor t = live[static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+            const int choice = static_cast<int>(rng.UniformInt(0, 9));
+            Tensor y;
+            switch (choice) {
+              case 0: {  // squashing unaries keep magnitudes bounded
+                const int u = static_cast<int>(rng.UniformInt(0, 4));
+                y = u == 0   ? tensor::Relu(t)
+                    : u == 1 ? tensor::LeakyRelu(t, 0.2f)
+                    : u == 2 ? tensor::Sigmoid(t)
+                    : u == 3 ? tensor::Tanh(t)
+                             : tensor::Neg(t);
+                break;
+              }
+              case 1: {  // binary against a fresh broadcast-shaped leaf
+                Shape sb = testing::RandomBroadcastVariant(t.shape(), &rng);
+                const int k = static_cast<int>(rng.UniformInt(0, 3));
+                Tensor b = k == 3
+                               ? testing::RandomTensor(sb, &rng, true, 0.5f,
+                                                       2.5f)
+                               : testing::RandomTensor(sb, &rng, true);
+                leaves.push_back(b);
+                y = k == 0   ? tensor::Add(t, b)
+                    : k == 1 ? tensor::Sub(t, b)
+                    : k == 2 ? tensor::Mul(t, b)
+                             : tensor::Div(t, b);
+                break;
+              }
+              case 2: {  // flatten-then-matmul against a fresh weight
+                Tensor flat = tensor::Reshape(t, {1, t.numel()});
+                const int64_t r = rng.UniformInt(1, 3);
+                Tensor w = testing::RandomTensor({t.numel(), r}, &rng, true);
+                leaves.push_back(w);
+                y = tensor::MatMul(flat, w);
+                break;
+              }
+              case 3:
+                y = t.rank() > 0 ? tensor::Softmax(t) : tensor::Tanh(t);
+                break;
+              case 4: {
+                if (t.rank() > 0) {
+                  const int ax = static_cast<int>(
+                      rng.UniformInt(0, t.rank() - 1));
+                  y = tensor::SumAxis(t, ax, rng.Bernoulli(0.5));
+                } else {
+                  y = tensor::Tanh(t);
+                }
+                break;
+              }
+              case 5:
+                y = t.rank() >= 2 ? tensor::TransposeLast2(t)
+                                  : tensor::Sigmoid(t);
+                break;
+              case 6:
+                y = tensor::Reshape(t, {t.numel()});
+                break;
+              case 7:
+                y = tensor::Dropout(t, 0.3f, &mask_rng, true);
+                break;
+              case 8: {  // self-concat: one impl appears as two parents
+                if (t.rank() > 0) {
+                  const int ax = static_cast<int>(
+                      rng.UniformInt(0, t.rank() - 1));
+                  y = tensor::Concat({t, t}, ax);
+                } else {
+                  y = tensor::Stack({t, t});
+                }
+                break;
+              }
+              default:
+                y = tensor::Stack({t, t});
+                break;
+            }
+            // Size cap keeps chains cheap; the decision depends only on
+            // shapes, so both backends grow the same graph.
+            if (y.numel() <= kMaxLiveNumel) live.push_back(y);
+          }
+          Tensor loss = tensor::Sum(live[0]);
+          for (size_t i = 1; i < live.size(); ++i) {
+            loss = tensor::Add(loss, tensor::Sum(live[i]));
+          }
+          for (Tensor& leaf : leaves) leaf.ZeroGrad();
+          loss.Backward();
+          Emit(loss, out);
+          for (const Tensor& t : live) Emit(t, out);
+          for (const Tensor& leaf : leaves) EmitGrad(leaf, out);
+        },
+        8000 + chain, "Chain/" + std::to_string(chain));
+  }
+}
+
+// ------------------------------------------------------ finite differences --
+
+// Both backends must agree with numeric derivatives, not only with each
+// other — a bug shared by both implementations would survive the
+// differential tests but not central differences. Kink-free activations
+// keep the numeric estimates clean.
+TEST(DifferentialGradCheckTest, CompositeGraphsUnderBothBackends) {
+  ComputeConfigGuard config_guard;
+  for (Backend backend : {Backend::kOptimized, Backend::kReference}) {
+    BackendGuard guard(backend);
+    for (int threads : {1, 8}) {
+      ComputeContext::Get().SetNumThreads(threads);
+      ComputeContext::Get().SetParallelThreshold(1);
+      util::Rng rng(11);
+      Tensor a = testing::RandomTensor({3, 4}, &rng);
+      Tensor b = testing::RandomTensor({4, 2}, &rng);
+      Tensor c = testing::RandomTensor({1, 2}, &rng);
+      testing::ExpectGradCheck(
+          {a, b, c}, [](const std::vector<Tensor>& in) {
+            Tensor y = tensor::Softmax(tensor::MatMul(in[0], in[1]));
+            return tensor::Sum(tensor::Mul(y, in[2]));
+          });
+
+      Tensor d = testing::RandomTensor({2, 3, 1}, &rng);
+      Tensor e = testing::RandomTensor({3, 4}, &rng, false, 0.5f, 2.5f);
+      testing::ExpectGradCheck({d, e}, [](const std::vector<Tensor>& in) {
+        return tensor::Mean(tensor::Tanh(tensor::Div(in[0], in[1])));
+      });
+
+      Tensor logits = testing::RandomTensor({5, 1}, &rng);
+      Tensor targets = testing::RandomTensor({5, 1}, &rng, false, 0.05f,
+                                             0.95f);
+      testing::ExpectGradCheck(
+          {logits, targets}, [](const std::vector<Tensor>& in) {
+            return tensor::BceWithLogits(in[0], in[1]);
+          });
+    }
+  }
+}
+
+// --------------------------------------------------------- golden digests --
+
+// Fixed-seed tiny end-to-end ODNET training run, reduced to a digest of
+// per-parameter statistics (count / mean / L2, accumulated in double) plus
+// the Table-3 metric block. The digest is (a) asserted thread-count
+// invariant — the determinism contract, environment-independent — and
+// (b) compared against the checked-in golden file, which pins the exact
+// training trajectory on the reference toolchain. Regenerate with
+//   ODNET_UPDATE_GOLDEN=1 ctest -R Golden
+// after an intentional numerics change, and eyeball the metric drift.
+
+struct GoldenEntry {
+  std::string name;
+  double value = 0.0;
+};
+
+std::vector<GoldenEntry> ComputeTinyTrainDigest() {
+  data::FliggyConfig dc;
+  dc.num_users = 120;
+  dc.num_cities = 25;
+  dc.seed = 7;
+  data::FliggySimulator simulator(dc);
+  data::OdDataset dataset = simulator.Generate();
+
+  core::OdnetConfig mc;
+  mc.embed_dim = 8;
+  mc.num_heads = 2;
+  mc.expert_dim = 16;
+  mc.tower_hidden = 8;
+  mc.batch_size = 64;
+  mc.epochs = 2;
+  mc.seed = 13;
+  baselines::OdnetRecommender odnet("ODNET-golden", &simulator.atlas(), mc);
+  util::Status status = odnet.Fit(dataset);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  serving::EvalOptions options;
+  options.num_candidates = 15;
+  metrics::OdMetrics m =
+      serving::EvaluateOdRecommender(&odnet, dataset, options);
+
+  std::vector<GoldenEntry> digest;
+  digest.push_back(
+      {"dataset.train_samples",
+       static_cast<double>(dataset.train_samples.size())});
+  digest.push_back({"dataset.test_samples",
+                    static_cast<double>(dataset.test_samples.size())});
+  digest.push_back({"metric.auc_o", m.auc_o});
+  digest.push_back({"metric.auc_d", m.auc_d});
+  digest.push_back({"metric.hr1", m.hr1});
+  digest.push_back({"metric.hr5", m.hr5});
+  digest.push_back({"metric.hr10", m.hr10});
+  digest.push_back({"metric.mrr5", m.mrr5});
+  digest.push_back({"metric.mrr10", m.mrr10});
+  for (const auto& [name, param] : odnet.model()->NamedParameters()) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (float v : param.vec()) {
+      sum += v;
+      sq += static_cast<double>(v) * v;
+    }
+    const double n = static_cast<double>(param.numel());
+    digest.push_back({"param." + name + ".count", n});
+    digest.push_back({"param." + name + ".mean", sum / n});
+    digest.push_back({"param." + name + ".l2", std::sqrt(sq)});
+  }
+  return digest;
+}
+
+std::string GoldenPath() {
+  return std::string(ODNET_GOLDEN_DIR) + "/odnet_tiny_train_digest.txt";
+}
+
+TEST(GoldenTest, TinyTrainDigestMatchesGolden) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetParallelThreshold(1);
+
+  ctx.SetNumThreads(1);
+  std::vector<GoldenEntry> digest = ComputeTinyTrainDigest();
+  ASSERT_FALSE(digest.empty());
+
+  // Thread-count invariance first: the whole train + eval trajectory must
+  // be exactly reproducible under a parallel pool.
+  ctx.SetNumThreads(8);
+  std::vector<GoldenEntry> digest8 = ComputeTinyTrainDigest();
+  ASSERT_EQ(digest.size(), digest8.size());
+  for (size_t i = 0; i < digest.size(); ++i) {
+    EXPECT_EQ(digest[i].name, digest8[i].name);
+    EXPECT_EQ(digest[i].value, digest8[i].value)
+        << digest[i].name << " differs between 1 and 8 threads";
+  }
+
+  if (std::getenv("ODNET_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << "# Golden digest of the tiny fixed-seed ODNET train run.\n"
+        << "# Regenerate: ODNET_UPDATE_GOLDEN=1 ctest -R Golden\n";
+    out.precision(17);
+    for (const GoldenEntry& e : digest) {
+      out << e.name << " " << e.value << "\n";
+    }
+    GTEST_SKIP() << "golden file regenerated at " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << "; run with ODNET_UPDATE_GOLDEN=1 to create it";
+  std::map<std::string, double> golden;
+  std::string name;
+  double value = 0.0;
+  while (in >> name) {
+    if (!name.empty() && name[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    ASSERT_TRUE(static_cast<bool>(in >> value)) << "malformed line: " << name;
+    golden[name] = value;
+  }
+  ASSERT_EQ(golden.size(), digest.size())
+      << "golden entry count drifted; regenerate with ODNET_UPDATE_GOLDEN=1";
+  for (const GoldenEntry& e : digest) {
+    auto it = golden.find(e.name);
+    ASSERT_NE(it, golden.end()) << "no golden entry for " << e.name;
+    const double tol =
+        1e-6 * std::max(1.0, std::max(std::fabs(e.value),
+                                      std::fabs(it->second)));
+    EXPECT_NEAR(e.value, it->second, tol) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace odnet

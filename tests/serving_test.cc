@@ -3,13 +3,16 @@
 #include <set>
 
 #include "gtest/gtest.h"
+#include "src/baselines/gbdt.h"
 #include "src/baselines/most_pop.h"
 #include "src/baselines/odnet_recommender.h"
 #include "src/data/fliggy_simulator.h"
 #include "src/serving/ab_test.h"
+#include "src/serving/batch_scorer.h"
 #include "src/serving/evaluator.h"
 #include "src/serving/ranking_service.h"
 #include "src/serving/recall.h"
+#include "src/tensor/compute_context.h"
 
 namespace odnet {
 namespace serving {
@@ -316,6 +319,112 @@ TEST(AbTestTest, OracleBeatsRandomRanker) {
   AbTestResult result =
       RunAbTest({&oracle, &random}, f.simulator, f.dataset, options);
   EXPECT_GT(result.methods[0].overall_ctr, result.methods[1].overall_ctr);
+}
+
+// ---------------------------------------------------------- BatchScorer --
+
+// Restores the compute-context thread configuration on scope exit; the
+// chunked fan-out path only engages with a multi-thread pool.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads)
+      : previous_(tensor::ComputeContext::Get().num_threads()) {
+    tensor::ComputeContext::Get().SetNumThreads(threads);
+  }
+  ~ThreadCountGuard() {
+    tensor::ComputeContext::Get().SetNumThreads(previous_);
+  }
+
+ private:
+  int previous_;
+};
+
+std::vector<data::Sample> RepeatRows(const data::OdDataset& dataset,
+                                     size_t count) {
+  std::vector<data::Sample> rows;
+  EXPECT_FALSE(dataset.train_samples.empty());
+  while (rows.size() < count) {
+    for (const data::Sample& s : dataset.train_samples) {
+      rows.push_back(s);
+      if (rows.size() >= count) break;
+    }
+  }
+  return rows;
+}
+
+void ExpectScoresIdentical(const std::vector<baselines::OdScore>& a,
+                           const std::vector<baselines::OdScore>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Thread-safe scorers are pure per-sample functions, so the chunked
+    // result must be bitwise identical, not merely close.
+    EXPECT_EQ(a[i].p_o, b[i].p_o) << "row " << i;
+    EXPECT_EQ(a[i].p_d, b[i].p_d) << "row " << i;
+  }
+}
+
+TEST(BatchScorerTest, EmptyRowsYieldEmptyScores) {
+  Fixture& f = SharedFixture();
+  baselines::MostPop method;
+  ASSERT_TRUE(method.Fit(f.dataset).ok());
+  ThreadCountGuard guard(4);
+  std::vector<baselines::OdScore> scores =
+      ScoreChunked(&method, f.dataset, {});
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(BatchScorerTest, FewerRowsThanOneChunkMatchMonolithic) {
+  Fixture& f = SharedFixture();
+  baselines::MostPop method;
+  ASSERT_TRUE(method.Fit(f.dataset).ok());
+  ThreadCountGuard guard(4);
+  std::vector<data::Sample> rows = RepeatRows(f.dataset, 40);
+  ExpectScoresIdentical(ScoreChunked(&method, f.dataset, rows),
+                        method.Score(f.dataset, rows));
+}
+
+TEST(BatchScorerTest, NonMultipleOfChunkSizeMatchesMonolithic) {
+  Fixture& f = SharedFixture();
+  baselines::MostPop method;
+  ASSERT_TRUE(method.Fit(f.dataset).ok());
+  ThreadCountGuard guard(4);
+  // 600 = 2 full chunks of 256 plus an 88-row tail.
+  std::vector<data::Sample> rows = RepeatRows(f.dataset, 600);
+  ExpectScoresIdentical(ScoreChunked(&method, f.dataset, rows),
+                        method.Score(f.dataset, rows));
+}
+
+TEST(BatchScorerTest, ExactChunkMultipleMatchesMonolithic) {
+  Fixture& f = SharedFixture();
+  baselines::MostPop method;
+  ASSERT_TRUE(method.Fit(f.dataset).ok());
+  ThreadCountGuard guard(4);
+  std::vector<data::Sample> rows = RepeatRows(f.dataset, 2 * kScoreChunkSize);
+  ExpectScoresIdentical(ScoreChunked(&method, f.dataset, rows),
+                        method.Score(f.dataset, rows));
+}
+
+TEST(BatchScorerTest, GbdtChunkedMatchesMonolithic) {
+  Fixture& f = SharedFixture();
+  baselines::GbdtConfig config;
+  config.num_trees = 10;
+  config.max_depth = 2;
+  baselines::GbdtRecommender method(config);
+  ASSERT_TRUE(method.Fit(f.dataset).ok());
+  ThreadCountGuard guard(4);
+  std::vector<data::Sample> rows = RepeatRows(f.dataset, 300);
+  ExpectScoresIdentical(ScoreChunked(&method, f.dataset, rows),
+                        method.Score(f.dataset, rows));
+}
+
+TEST(BatchScorerTest, SingleThreadContextFallsBackToMonolithic) {
+  Fixture& f = SharedFixture();
+  baselines::MostPop method;
+  ASSERT_TRUE(method.Fit(f.dataset).ok());
+  ThreadCountGuard guard(1);  // no pool: chunked path must not engage
+  std::vector<data::Sample> rows = RepeatRows(f.dataset, 600);
+  ExpectScoresIdentical(ScoreChunked(&method, f.dataset, rows),
+                        method.Score(f.dataset, rows));
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// Concurrency stress tests, written to run under ThreadSanitizer
+// (-DODNET_SANITIZE=thread, ctest -L sanitizer). They hammer the three
+// places where threads meet shared state:
+//
+//  - util::ThreadPool: cross-thread Submit, nested fork-joins, exceptions
+//    racing from several workers at once;
+//  - tensor::ComputeContext: kernels running while another thread
+//    reconfigures the pool (SetNumThreads retires a pool generation that
+//    in-flight kernels still hold via shared_pool());
+//  - serving::ScoreChunked: concurrent chunked scoring against pool
+//    reconfiguration.
+//
+// The tests also assert the determinism contract *while* the pool is being
+// resized under them: results must stay bitwise identical to a serial run.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/baselines/most_pop.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/serving/batch_scorer.h"
+#include "src/tensor/compute_context.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace odnet {
+namespace {
+
+using tensor::Backend;
+using tensor::BackendGuard;
+using tensor::ComputeContext;
+using tensor::Tensor;
+
+class ComputeConfigGuard {
+ public:
+  ComputeConfigGuard()
+      : threads_(ComputeContext::Get().num_threads()),
+        threshold_(ComputeContext::Get().parallel_threshold()) {}
+  ~ComputeConfigGuard() {
+    ComputeContext::Get().SetNumThreads(threads_);
+    ComputeContext::Get().SetParallelThreshold(threshold_);
+  }
+
+ private:
+  int threads_;
+  int64_t threshold_;
+};
+
+// A small forward+backward graph touching the parallel kernel families;
+// returns all forward values and gradients flattened.
+std::vector<float> RunSmallGraph() {
+  util::Rng rng(404);
+  Tensor a = Tensor::Randn({6, 8}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({8, 4}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor bias = Tensor::Randn({1, 4}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor h = tensor::Tanh(tensor::Add(tensor::MatMul(a, b), bias));
+  Tensor y = tensor::Softmax(h);
+  Tensor loss = tensor::Sum(tensor::Mul(y, h));
+  a.ZeroGrad();
+  b.ZeroGrad();
+  bias.ZeroGrad();
+  loss.Backward();
+  std::vector<float> out = y.vec();
+  out.push_back(loss.item());
+  out.insert(out.end(), a.grad().begin(), a.grad().end());
+  out.insert(out.end(), b.grad().begin(), b.grad().end());
+  out.insert(out.end(), bias.grad().begin(), bias.grad().end());
+  return out;
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolStressTest, SubmitFromManyThreads) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([&counter] { counter++; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForStorm) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int64_t> total{0};
+    pool.ParallelFor(12, [&pool, &total](int64_t) {
+      pool.ParallelFor(12, [&total](int64_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 144) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStressTest, RacingExceptionsExactlyOnePropagates) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    int caught = 0;
+    try {
+      // Every index throws: several workers race to set the first
+      // exception; exactly one must reach the caller.
+      pool.ParallelFor(64, [](int64_t i) {
+        throw std::runtime_error("worker " + std::to_string(i));
+      });
+    } catch (const std::runtime_error&) {
+      caught++;
+    }
+    EXPECT_EQ(caught, 1) << "round " << round;
+    // The pool must come back clean after the pile-up.
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(8, [&sum](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 28) << "round " << round;
+  }
+}
+
+// -------------------------------------------------------- ComputeContext --
+
+TEST(ComputeContextStressTest, KernelsSurvivePoolReconfiguration) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetParallelThreshold(1);  // force parallel dispatch for tiny tensors
+  ctx.SetNumThreads(1);
+  const std::vector<float> expected = RunSmallGraph();
+
+  // One thread continuously retires pool generations while compute threads
+  // run kernels that hold the previous generation via shared_pool().
+  std::atomic<bool> stop{false};
+  std::thread reconfig([&stop] {
+    int n = 0;
+    while (!stop.load()) {
+      ComputeContext::Get().SetNumThreads(1 + (n++ % 4));
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> compute;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 2; ++t) {
+    compute.emplace_back([&mismatches, &expected] {
+      for (int iter = 0; iter < 30; ++iter) {
+        if (RunSmallGraph() != expected) mismatches++;
+      }
+    });
+  }
+  for (auto& t : compute) t.join();
+  stop = true;
+  reconfig.join();
+  // Determinism holds even while the pool is resized mid-run.
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ComputeContextStressTest, BackendSelectionIsThreadLocal) {
+  ComputeConfigGuard guard;
+  ComputeContext::Get().SetNumThreads(4);
+  ComputeContext::Get().SetParallelThreshold(1);
+  std::atomic<bool> leaked{false};
+  std::thread oracle_thread([&leaked] {
+    BackendGuard reference(Backend::kReference);
+    for (int i = 0; i < 20; ++i) {
+      RunSmallGraph();
+      if (ComputeContext::backend() != Backend::kReference) leaked = true;
+    }
+  });
+  // This thread must keep seeing the optimized backend throughout.
+  for (int i = 0; i < 20; ++i) {
+    RunSmallGraph();
+    if (ComputeContext::backend() != Backend::kOptimized) leaked = true;
+  }
+  oracle_thread.join();
+  EXPECT_FALSE(leaked.load());
+  EXPECT_EQ(ComputeContext::backend(), Backend::kOptimized);
+}
+
+// ---------------------------------------------------------- ScoreChunked --
+
+TEST(ScoreChunkedStressTest, ConcurrentScoringUnderReconfiguration) {
+  data::FliggyConfig config;
+  config.num_users = 120;
+  config.num_cities = 20;
+  config.seed = 61;
+  data::FliggySimulator simulator(config);
+  data::OdDataset dataset = simulator.Generate();
+  baselines::MostPop method;
+  ASSERT_TRUE(method.Fit(dataset).ok());
+
+  std::vector<data::Sample> rows;
+  while (rows.size() < 600) {
+    for (const data::Sample& s : dataset.train_samples) {
+      rows.push_back(s);
+      if (rows.size() >= 600) break;
+    }
+  }
+  const std::vector<baselines::OdScore> expected = method.Score(dataset, rows);
+
+  ComputeConfigGuard guard;
+  ComputeContext::Get().SetNumThreads(4);
+  std::atomic<bool> stop{false};
+  std::thread reconfig([&stop] {
+    int n = 0;
+    while (!stop.load()) {
+      ComputeContext::Get().SetNumThreads(1 + (n++ % 4));
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> scorers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 2; ++t) {
+    scorers.emplace_back([&] {
+      for (int iter = 0; iter < 10; ++iter) {
+        std::vector<baselines::OdScore> got =
+            serving::ScoreChunked(&method, dataset, rows);
+        if (got.size() != expected.size()) {
+          mismatches++;
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].p_o != expected[i].p_o || got[i].p_d != expected[i].p_d) {
+            mismatches++;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : scorers) t.join();
+  stop = true;
+  reconfig.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace odnet

@@ -2,7 +2,10 @@
 #define ODNET_TESTS_TEST_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -54,6 +57,64 @@ inline void ExpectTensorNear(const tensor::Tensor& actual,
   ASSERT_EQ(actual.numel(), static_cast<int64_t>(expected.size()));
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_NEAR(actual.data()[i], expected[i], tol) << "at index " << i;
+  }
+}
+
+// ---------------------------------------- differential-fuzzing utilities --
+
+/// Random shape with rank in [min_rank, max_rank] and dims in [1, max_dim].
+inline tensor::Shape RandomShape(util::Rng* rng, int min_rank, int max_rank,
+                                 int64_t max_dim) {
+  int rank = static_cast<int>(rng->UniformInt(min_rank, max_rank));
+  tensor::Shape shape;
+  for (int d = 0; d < rank; ++d) shape.push_back(rng->UniformInt(1, max_dim));
+  return shape;
+}
+
+/// Broadcast-compatible operand shape for `out`: randomly drops leading
+/// dims (rank mismatch) and randomly squashes surviving dims to 1. Covers
+/// every NumPy broadcast pattern, including scalars.
+inline tensor::Shape RandomBroadcastVariant(const tensor::Shape& out,
+                                            util::Rng* rng) {
+  size_t drop = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(out.size())));
+  tensor::Shape shape(out.begin() + static_cast<int64_t>(drop), out.end());
+  for (int64_t& dim : shape) {
+    if (rng->Bernoulli(0.3)) dim = 1;
+  }
+  return shape;
+}
+
+/// Uniform values in [lo, hi); exercises negatives, zeros-adjacent values,
+/// and magnitudes around 1 without overflowing any op.
+inline tensor::Tensor RandomTensor(const tensor::Shape& shape, util::Rng* rng,
+                                   bool requires_grad = false, float lo = -2.0f,
+                                   float hi = 2.0f) {
+  return tensor::Tensor::Uniform(shape, rng, lo, hi, requires_grad);
+}
+
+/// ULP distance between two finite floats of the same sign regime; 0 iff
+/// bitwise equal (treats +0/-0 as 1 apart, so bitwise checks stay strict).
+inline int64_t UlpDistance(float a, float b) {
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude float ordering onto a monotone integer line.
+  int64_t la = ia >= 0 ? ia : INT64_C(0x80000000) - ia;
+  int64_t lb = ib >= 0 ? ib : INT64_C(0x80000000) - ib;
+  return la >= lb ? la - lb : lb - la;
+}
+
+/// Asserts elementwise agreement within `max_ulps` (0 = bitwise identical).
+inline void ExpectUlpClose(const std::vector<float>& actual,
+                           const std::vector<float>& expected,
+                           int64_t max_ulps, const std::string& tag) {
+  ASSERT_EQ(actual.size(), expected.size()) << tag;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (std::isnan(actual[i]) && std::isnan(expected[i])) continue;
+    EXPECT_LE(UlpDistance(actual[i], expected[i]), max_ulps)
+        << tag << " at index " << i << ": " << actual[i] << " vs "
+        << expected[i];
   }
 }
 

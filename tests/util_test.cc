@@ -359,6 +359,61 @@ TEST(ThreadPoolTest, NestedParallelForCompletes) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ThreadPoolTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  // The inner fan-out throws inside a worker task; the exception must climb
+  // through both fork-join levels to the outermost caller.
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&pool](int64_t) {
+                                  pool.ParallelFor(16, [](int64_t i) {
+                                    if (i == 11) {
+                                      throw std::runtime_error("inner boom");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&count](int64_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ConcurrentThrowersYieldExactlyOneException) {
+  ThreadPool pool(4);
+  // Every index throws; workers race to record the first exception, and
+  // exactly one std::runtime_error must surface per call.
+  for (int round = 0; round < 5; ++round) {
+    int caught = 0;
+    try {
+      pool.ParallelFor(32, [](int64_t i) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      });
+    } catch (const std::runtime_error&) {
+      caught++;
+    }
+    EXPECT_EQ(caught, 1) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionAbandonsRemainingIndices) {
+  ThreadPool pool(2);
+  // After the throw, unclaimed indices are abandoned rather than executed:
+  // a huge loop must terminate long before covering its full range.
+  std::atomic<int64_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(1'000'000,
+                                [&executed](int64_t i) {
+                                  executed.fetch_add(1);
+                                  if (i == 0) {
+                                    throw std::runtime_error("stop");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 1'000'000);
+  // And the same pool object keeps working afterwards.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&sum](int64_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
 TEST(ThreadPoolTest, InWorkerThreadFlag) {
   EXPECT_FALSE(ThreadPool::InWorkerThread());
   ThreadPool pool(2);
