@@ -7,14 +7,118 @@
 // the single-task variants pay two inferences per request while the
 // multi-task ODNET/ODNET-G pay one.
 
+// `--train-step-sweep` instead runs the embedding-vocab scaling sweep:
+// per-train-step time for vocab in {1k, 10k, 100k} under the forced-dense
+// (pre-sparse) optimizer path, the default dense-equivalent sparse path,
+// and the lazy sparse path, written machine-readably to
+// BENCH_train_step.json. ODNET_BENCH_SMOKE=1 shrinks the step counts so CI
+// can watch for gross regressions without paying full timing fidelity.
+
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/optim/optimizer.h"
 #include "src/serving/evaluator.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
 
-int main() {
+namespace {
+
+// One synthetic train step over an embedding-table-dominated model:
+// lookup(batch 128) -> 16x32 MLP -> squared-logit loss, then the full
+// ZeroGrad / Backward / ClipGradNorm / Adam::Step sequence the real
+// trainer runs. Returns microseconds per step.
+double TimeTrainSteps(int64_t vocab, int mode_id, int warmup, int steps) {
+  using namespace odnet;
+  const int64_t dim = 16;
+  const int64_t hidden = 32;
+  const int64_t batch = 128;
+  util::Rng rng(1234);
+  tensor::Tensor table =
+      tensor::Tensor::Randn({vocab, dim}, &rng, 0.05f, /*requires_grad=*/true);
+  tensor::Tensor w1 = tensor::Tensor::Randn({dim, hidden}, &rng, 0.05f, true);
+  tensor::Tensor w2 = tensor::Tensor::Randn({hidden, 1}, &rng, 0.05f, true);
+  optim::Adam opt({table, w1, w2}, 0.01);
+  if (mode_id == 0) opt.set_force_dense(true);
+  if (mode_id == 2) opt.set_sparse_update_mode(optim::SparseUpdateMode::kLazy);
+  util::Rng idx_rng(777);  // identical index stream for every mode
+  auto step = [&]() {
+    std::vector<int64_t> indices(static_cast<size_t>(batch));
+    for (int64_t& ix : indices) ix = idx_rng.UniformInt(0, vocab - 1);
+    opt.ZeroGrad();
+    tensor::Tensor emb = tensor::EmbeddingLookup(table, indices, {batch});
+    tensor::Tensor h = tensor::Relu(tensor::MatMul(emb, w1));
+    tensor::Tensor logits = tensor::MatMul(h, w2);
+    tensor::Tensor loss = tensor::Mean(tensor::Mul(logits, logits));
+    loss.Backward();
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+  };
+  for (int i = 0; i < warmup; ++i) step();
+  odnet::util::Stopwatch watch;
+  for (int i = 0; i < steps; ++i) step();
+  return watch.ElapsedMillis() * 1000.0 / static_cast<double>(steps);
+}
+
+int RunTrainStepSweep() {
+  using namespace odnet;
+  const bool smoke = std::getenv("ODNET_BENCH_SMOKE") != nullptr;
+  const int warmup = smoke ? 1 : 5;
+  const int steps = smoke ? 3 : 100;
+  const int64_t vocabs[] = {1000, 10000, 100000};
+  const char* mode_names[] = {"dense", "dense-equivalent", "lazy"};
+
+  std::printf(
+      "=== Train-step embedding sweep (batch 128, dim 16, %d steps%s) ===\n",
+      steps, smoke ? ", smoke" : "");
+  util::AsciiTable table({"Vocab", "Mode", "us/step", "Speedup vs dense"});
+  std::string json = "{\n  \"bench\": \"train_step\",\n  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"batch\": 128,\n  \"dim\": 16,\n  \"steps\": " +
+          std::to_string(steps) + ",\n  \"results\": [\n";
+  bool first = true;
+  for (int64_t vocab : vocabs) {
+    double dense_us = 0.0;
+    for (int mode = 0; mode < 3; ++mode) {
+      const double us = TimeTrainSteps(vocab, mode, warmup, steps);
+      if (mode == 0) dense_us = us;
+      const double speedup = us > 0.0 ? dense_us / us : 0.0;
+      table.AddRow({std::to_string(vocab), mode_names[mode],
+                    util::FormatFixed(us, 1),
+                    util::FormatFixed(speedup, 2) + "x"});
+      if (!first) json += ",\n";
+      first = false;
+      json += "    {\"vocab\": " + std::to_string(vocab) + ", \"mode\": \"" +
+              mode_names[mode] +
+              "\", \"us_per_step\": " + util::FormatFixed(us, 2) +
+              ", \"speedup_vs_dense\": " + util::FormatFixed(speedup, 3) + "}";
+      std::printf("finished vocab=%lld mode=%s\n",
+                  static_cast<long long>(vocab), mode_names[mode]);
+      std::fflush(stdout);
+    }
+  }
+  json += "\n  ]\n}\n";
+  std::printf("\n");
+  table.Print();
+  std::ofstream out("BENCH_train_step.json");
+  out << json;
+  out.close();
+  std::printf("\nwrote BENCH_train_step.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--train-step-sweep") == 0) {
+    return RunTrainStepSweep();
+  }
   using namespace odnet;
   bench::BenchScale scale = bench::BenchScale::FromEnv();
   // Timing does not need the full workload; keep runs brisk.

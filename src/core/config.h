@@ -2,6 +2,7 @@
 #define ODNET_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace odnet {
 namespace core {
@@ -33,6 +34,13 @@ struct OdnetConfig {
   int64_t t_long = 10;   // kept long-term sequence length
   int64_t t_short = 5;   // kept short-term sequence length
   uint64_t seed = 1234;
+
+  /// Optimizer treatment of row-sparse embedding gradients:
+  /// "dense-equivalent" (default) — per-step cost scales with batch-distinct
+  /// rows while staying bitwise identical to dense updates; "lazy" —
+  /// untouched rows are skipped with deferred decay catch-up, an intentional
+  /// numerics change (DESIGN.md §9).
+  std::string sparse_embedding_updates = "dense-equivalent";
 };
 
 }  // namespace core

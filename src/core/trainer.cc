@@ -1,8 +1,13 @@
 #include "src/core/trainer.h"
 
 #include <algorithm>
+#include <future>
+#include <memory>
+#include <utility>
 
+#include "src/tensor/compute_context.h"
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace odnet {
@@ -26,6 +31,13 @@ TrainStats OdnetTrainer::Train() {
   TrainStats stats;
 
   optim::Adam optimizer(model_->Parameters(), config.learning_rate);
+  if (config.sparse_embedding_updates == "lazy") {
+    optimizer.set_sparse_update_mode(optim::SparseUpdateMode::kLazy);
+  } else {
+    ODNET_CHECK(config.sparse_embedding_updates == "dense-equivalent")
+        << "unknown sparse_embedding_updates mode: "
+        << config.sparse_embedding_updates;
+  }
   model_->Train();
 
   // A shuffled copy so sample order is independent of generator order.
@@ -34,15 +46,36 @@ TrainStats OdnetTrainer::Train() {
   ODNET_CHECK_GT(n, 0) << "empty training set";
   const int64_t bs = config.batch_size;
 
+  // Batch encoding is a pure function of the (already shuffled) sample
+  // span — no RNG, no shared mutable state — so batch k+1 can be encoded
+  // on the pool while step k runs without changing sample order or RNG
+  // consumption. Falls back to inline encoding when no pool exists.
+  std::shared_ptr<util::ThreadPool> pool =
+      tensor::ComputeContext::Get().shared_pool();
+
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     shuffle_rng_.Shuffle(&samples);
     double epoch_loss = 0.0;
     int64_t batches = 0;
+    data::OdBatch current = encoder_.EncodeJoint(
+        samples, 0, static_cast<size_t>(std::min(bs, n)));
     for (int64_t start = 0; start < n; start += bs) {
-      const int64_t end = std::min(start + bs, n);
-      data::OdBatch batch = encoder_.EncodeJoint(
-          samples, static_cast<size_t>(start), static_cast<size_t>(end));
-      tensor::Tensor loss = model_->Loss(batch);
+      const int64_t next_start = start + bs;
+      data::OdBatch next;
+      std::future<void> prefetch;
+      if (next_start < n) {
+        const int64_t next_end = std::min(next_start + bs, n);
+        auto encode_next = [&samples, &next, next_start, next_end, this]() {
+          next = encoder_.EncodeJoint(samples, static_cast<size_t>(next_start),
+                                      static_cast<size_t>(next_end));
+        };
+        if (pool != nullptr) {
+          prefetch = pool->Submit(encode_next);
+        } else {
+          encode_next();
+        }
+      }
+      tensor::Tensor loss = model_->Loss(current);
       optimizer.ZeroGrad();
       loss.Backward();
       optimizer.ClipGradNorm(5.0);
@@ -50,6 +83,8 @@ TrainStats OdnetTrainer::Train() {
       epoch_loss += loss.item();
       ++batches;
       ++stats.steps;
+      if (prefetch.valid()) prefetch.get();
+      if (next_start < n) current = std::move(next);
     }
     epoch_loss /= static_cast<double>(std::max<int64_t>(batches, 1));
     if (epoch == 0) stats.first_epoch_loss = epoch_loss;

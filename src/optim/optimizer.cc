@@ -1,11 +1,93 @@
 #include "src/optim/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
 
+#include "src/tensor/compute_context.h"
 #include "src/util/check.h"
 
 namespace odnet {
 namespace optim {
+
+namespace {
+
+using tensor::internal::TensorImpl;
+
+tensor::ComputeContext& Ctx() { return tensor::ComputeContext::Get(); }
+
+// Fixed chunk grid for the ClipGradNorm partial-sum reduction. Boundaries
+// depend only on each parameter's shape — never on the thread count or on
+// gradient sparsity — so the per-chunk partial sums (and therefore the
+// clipped gradients) are bitwise identical for every pool width and for
+// sparse vs dense gradients.
+constexpr int64_t kClipChunkElems = 8192;
+
+struct ClipChunk {
+  TensorImpl* impl;
+  int64_t begin;  // element offsets into impl->grad
+  int64_t end;
+};
+
+// A state row is droppable from the active set only when every element is
+// exactly +0.0f: a -0.0f survives (the dense decay would turn it into +0.0f
+// through `b * -0.0f + 0.0f`, which skipping could not reproduce).
+bool RowExactlyPositiveZero(const float* row, int64_t width) {
+  for (int64_t j = 0; j < width; ++j) {
+    if (row[j] != 0.0f || std::signbit(row[j])) return false;
+  }
+  return true;
+}
+
+// Rebuilds the active-row set after a dense step: a row is active when any
+// element of either state buffer is not exactly +0.0f.
+std::vector<int64_t> ScanActiveRows(int64_t vocab, int64_t width,
+                                    const float* s1, const float* s2) {
+  std::vector<uint8_t> flags(static_cast<size_t>(vocab), 0);
+  Ctx().ParallelFor(vocab, Ctx().GrainFor(width), [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const bool zero =
+          RowExactlyPositiveZero(s1 + r * width, width) &&
+          (s2 == nullptr || RowExactlyPositiveZero(s2 + r * width, width));
+      flags[static_cast<size_t>(r)] = zero ? 0 : 1;
+    }
+  });
+  std::vector<int64_t> rows;
+  for (int64_t r = 0; r < vocab; ++r) {
+    if (flags[static_cast<size_t>(r)]) rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<int64_t> SortedDifference(const std::vector<int64_t>& a,
+                                      const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<int64_t> SortedUnion(const std::vector<int64_t>& a,
+                                 const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+// Runs `body(row_index_position)` for every listed row across the pool.
+// Each position is written by exactly one worker (disjoint rows).
+template <typename Body>
+void ParallelOverRows(const std::vector<int64_t>& rows, int64_t width,
+                      Body&& body) {
+  Ctx().ParallelFor(static_cast<int64_t>(rows.size()), Ctx().GrainFor(width),
+                    [&](int64_t rb, int64_t re) {
+                      for (int64_t r = rb; r < re; ++r) body(r);
+                    });
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<tensor::Tensor> params)
     : params_(std::move(params)) {
@@ -15,53 +97,227 @@ Optimizer::Optimizer(std::vector<tensor::Tensor> params)
   }
 }
 
+bool Optimizer::RowSparseGrad(size_t i) const {
+  if (force_dense_) return false;
+  const TensorImpl* impl = params_[i].impl();
+  return impl->grad_rows_valid && impl->shape.size() == 2 &&
+         impl->grad.size() == impl->data().size();
+}
+
 void Optimizer::ZeroGrad() {
-  for (tensor::Tensor& p : params_) p.ZeroGrad();
+  for (tensor::Tensor& p : params_) {
+    if (force_dense_) {
+      TensorImpl* impl = p.impl();
+      impl->EnsureGrad();
+      impl->grad.assign(impl->data().size(), 0.0f);
+      impl->ResetGradRows();
+    } else {
+      p.ZeroGrad();  // row-sparse fast path when metadata allows
+    }
+  }
 }
 
 double Optimizer::ClipGradNorm(double max_norm) {
   ODNET_CHECK_GT(max_norm, 0.0);
-  double sq = 0.0;
-  for (tensor::Tensor& p : params_) {
-    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  // Build the fixed chunk grid (row-aligned for rank-2 params so the
+  // sparse path can skip whole untouched rows inside a chunk — the skipped
+  // terms are exact +0.0 squares, so the partial sums match the dense ones
+  // bit for bit).
+  std::vector<ClipChunk> chunks;
+  std::vector<uint8_t> chunk_sparse;
+  int64_t effective_work = 0;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TensorImpl* impl = params_[i].impl();
+    impl->EnsureGrad();
+    const int64_t n = static_cast<int64_t>(impl->grad.size());
+    if (n == 0) continue;
+    const bool sparse = RowSparseGrad(i);
+    int64_t chunk = kClipChunkElems;
+    if (impl->shape.size() == 2) {
+      const int64_t width = impl->shape[1];
+      chunk = std::max<int64_t>(width, kClipChunkElems / width * width);
+    }
+    for (int64_t b = 0; b < n; b += chunk) {
+      chunks.push_back({impl, b, std::min(n, b + chunk)});
+      chunk_sparse.push_back(sparse ? 1 : 0);
+    }
+    effective_work +=
+        sparse ? static_cast<int64_t>(impl->grad_rows.size()) * impl->shape[1]
+               : n;
   }
-  double norm = std::sqrt(sq);
+
+  std::vector<double> partial(chunks.size(), 0.0);
+  auto reduce = [&](int64_t cb, int64_t ce) {
+    for (int64_t c = cb; c < ce; ++c) {
+      const ClipChunk& ck = chunks[c];
+      const float* g = ck.impl->grad.data();
+      double sq = 0.0;
+      if (chunk_sparse[static_cast<size_t>(c)]) {
+        const int64_t width = ck.impl->shape[1];
+        const std::vector<int64_t>& rows = ck.impl->grad_rows;
+        auto it = std::lower_bound(rows.begin(), rows.end(), ck.begin / width);
+        for (; it != rows.end() && *it * width < ck.end; ++it) {
+          const float* row = g + *it * width;
+          for (int64_t j = 0; j < width; ++j) {
+            sq += static_cast<double>(row[j]) * row[j];
+          }
+        }
+      } else {
+        for (int64_t i = ck.begin; i < ck.end; ++i) {
+          sq += static_cast<double>(g[i]) * g[i];
+        }
+      }
+      partial[static_cast<size_t>(c)] = sq;
+    }
+  };
+  // Fan out only when the gradient volume warrants a dispatch; either way
+  // the partials (and their combine order below) are identical.
+  if (effective_work >= Ctx().parallel_threshold()) {
+    Ctx().ParallelFor(static_cast<int64_t>(chunks.size()), 1, reduce);
+  } else {
+    reduce(0, static_cast<int64_t>(chunks.size()));
+  }
+
+  double sq = 0.0;
+  for (double ps : partial) sq += ps;  // ordered combine
+  const double norm = std::sqrt(sq);
+
   if (norm > max_norm) {
-    float scale = static_cast<float>(max_norm / (norm + 1e-12));
-    for (tensor::Tensor& p : params_) {
-      for (float& g : *p.mutable_grad()) g *= scale;
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (size_t i = 0; i < params_.size(); ++i) {
+      TensorImpl* impl = params_[i].impl();
+      float* g = impl->grad.data();
+      if (RowSparseGrad(i)) {
+        // Untouched rows are exactly +0.0; scaling them is a no-op.
+        const int64_t width = impl->shape[1];
+        const std::vector<int64_t>& rows = impl->grad_rows;
+        ParallelOverRows(rows, width, [&](int64_t r) {
+          float* row = g + rows[static_cast<size_t>(r)] * width;
+          for (int64_t j = 0; j < width; ++j) row[j] *= scale;
+        });
+      } else {
+        const int64_t n = static_cast<int64_t>(impl->grad.size());
+        Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b, int64_t e) {
+          for (int64_t j = b; j < e; ++j) g[j] *= scale;
+        });
+      }
     }
   }
   return norm;
 }
 
 Sgd::Sgd(std::vector<tensor::Tensor> params, double lr, double momentum)
-    : Optimizer(std::move(params)), momentum_(momentum) {
+    : Optimizer(std::move(params)), momentum_(0.0) {
   learning_rate_ = lr;
-  if (momentum_ != 0.0) {
+  set_momentum(momentum);
+}
+
+void Sgd::set_momentum(double momentum) {
+  if (momentum != 0.0 && velocity_.empty()) {
     velocity_.resize(params_.size());
     for (size_t i = 0; i < params_.size(); ++i) {
       velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
     }
+    active_rows_.assign(params_.size(), {});
+    dense_state_.assign(params_.size(), 0);
+  } else if (momentum == 0.0) {
+    velocity_.clear();
+    active_rows_.clear();
+    dense_state_.clear();
   }
+  momentum_ = momentum;
 }
 
 void Sgd::Step() {
   const float lr = static_cast<float>(learning_rate_);
+  const bool with_momentum = momentum_ != 0.0;
+  if (with_momentum) {
+    ODNET_CHECK_EQ(velocity_.size(), params_.size())
+        << "Sgd momentum enabled without velocity state; reconfigure via "
+           "set_momentum";
+  }
+  const float mu = static_cast<float>(momentum_);
   for (size_t i = 0; i < params_.size(); ++i) {
     tensor::Tensor& p = params_[i];
-    const std::vector<float>& g = p.grad();
+    TensorImpl* impl = p.impl();
+    impl->EnsureGrad();
+    const float* g = impl->grad.data();
     float* data = p.mutable_data();
-    if (momentum_ == 0.0) {
-      for (size_t j = 0; j < g.size(); ++j) data[j] -= lr * g[j];
-    } else {
-      const float mu = static_cast<float>(momentum_);
-      std::vector<float>& vel = velocity_[i];
-      for (size_t j = 0; j < g.size(); ++j) {
-        vel[j] = mu * vel[j] + g[j];
-        data[j] -= lr * vel[j];
+    const int64_t n = static_cast<int64_t>(impl->grad.size());
+
+    if (!RowSparseGrad(i)) {
+      if (!with_momentum) {
+        Ctx().ParallelFor(n, Ctx().GrainFor(2), [&](int64_t b, int64_t e) {
+          for (int64_t j = b; j < e; ++j) data[j] -= lr * g[j];
+        });
+      } else {
+        float* vel = velocity_[i].data();
+        Ctx().ParallelFor(n, Ctx().GrainFor(4), [&](int64_t b, int64_t e) {
+          for (int64_t j = b; j < e; ++j) {
+            vel[j] = mu * vel[j] + g[j];
+            data[j] -= lr * vel[j];
+          }
+        });
+        if (impl->shape.size() == 2) {
+          dense_state_[i] = 1;
+          active_rows_[i].clear();
+        }
       }
+      continue;
     }
+
+    const int64_t width = impl->shape[1];
+    const std::vector<int64_t>& touched = impl->grad_rows;
+    if (!with_momentum) {
+      // Untouched rows see exactly `data -= lr * (+0.0)`: a no-op.
+      ParallelOverRows(touched, width * 2, [&](int64_t r) {
+        const int64_t row = touched[static_cast<size_t>(r)];
+        const float* grow = g + row * width;
+        float* drow = data + row * width;
+        for (int64_t j = 0; j < width; ++j) drow[j] -= lr * grow[j];
+      });
+      continue;
+    }
+
+    float* vel = velocity_[i].data();
+    if (dense_state_[i]) {
+      active_rows_[i] =
+          ScanActiveRows(impl->shape[0], width, vel, /*s2=*/nullptr);
+      dense_state_[i] = 0;
+    }
+    // Touched rows: the full dense row update.
+    ParallelOverRows(touched, width * 4, [&](int64_t r) {
+      const int64_t row = touched[static_cast<size_t>(r)];
+      const float* grow = g + row * width;
+      float* vrow = vel + row * width;
+      float* drow = data + row * width;
+      for (int64_t j = 0; j < width; ++j) {
+        vrow[j] = mu * vrow[j] + grow[j];
+        drow[j] -= lr * vrow[j];
+      }
+    });
+    // Active-but-untouched rows: the dense update with g == +0.0 spelled
+    // out term by term (`mu * v + 0.0f`), so the bits match the dense loop
+    // exactly; rows whose velocity decays to all +0.0 drop out of the set.
+    std::vector<int64_t> decay_rows = SortedDifference(active_rows_[i], touched);
+    std::vector<uint8_t> still_active(decay_rows.size(), 0);
+    ParallelOverRows(decay_rows, width * 4, [&](int64_t r) {
+      const int64_t row = decay_rows[static_cast<size_t>(r)];
+      float* vrow = vel + row * width;
+      float* drow = data + row * width;
+      for (int64_t j = 0; j < width; ++j) {
+        vrow[j] = mu * vrow[j] + 0.0f;
+        drow[j] -= lr * vrow[j];
+      }
+      still_active[static_cast<size_t>(r)] =
+          RowExactlyPositiveZero(vrow, width) ? 0 : 1;
+    });
+    std::vector<int64_t> kept;
+    kept.reserve(decay_rows.size());
+    for (size_t r = 0; r < decay_rows.size(); ++r) {
+      if (still_active[r]) kept.push_back(decay_rows[r]);
+    }
+    active_rows_[i] = SortedUnion(kept, touched);
   }
 }
 
@@ -75,6 +331,9 @@ Adam::Adam(std::vector<tensor::Tensor> params, double lr, double beta1,
     m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
     v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
   }
+  active_rows_.assign(params_.size(), {});
+  dense_state_.assign(params_.size(), 0);
+  last_step_.resize(params_.size());
 }
 
 void Adam::Step() {
@@ -88,15 +347,116 @@ void Adam::Step() {
   const float eps = static_cast<float>(eps_);
   for (size_t i = 0; i < params_.size(); ++i) {
     tensor::Tensor& p = params_[i];
-    const std::vector<float>& g = p.grad();
+    TensorImpl* impl = p.impl();
+    impl->EnsureGrad();
+    const float* g = impl->grad.data();
     float* data = p.mutable_data();
-    std::vector<float>& m = m_[i];
-    std::vector<float>& v = v_[i];
-    for (size_t j = 0; j < g.size(); ++j) {
-      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
-      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
-      data[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = static_cast<int64_t>(impl->grad.size());
+
+    if (!RowSparseGrad(i)) {
+      Ctx().ParallelFor(n, Ctx().GrainFor(8), [&](int64_t b, int64_t e) {
+        for (int64_t j = b; j < e; ++j) {
+          m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+          v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+          data[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+        }
+      });
+      if (impl->shape.size() == 2) {
+        dense_state_[i] = 1;
+        active_rows_[i].clear();
+        if (mode_ == SparseUpdateMode::kLazy && !last_step_[i].empty()) {
+          last_step_[i].assign(last_step_[i].size(), t_);
+        }
+      }
+      continue;
     }
+
+    const int64_t vocab = impl->shape[0];
+    const int64_t width = impl->shape[1];
+    const std::vector<int64_t>& touched = impl->grad_rows;
+
+    if (mode_ == SparseUpdateMode::kLazy) {
+      // Rows not touched this step are skipped outright; their missed
+      // decay is applied as a catch-up multiplier when next touched. The
+      // active-row set is not maintained here, so flag it unknown — a
+      // later switch to dense-equivalent mode rescans instead of trusting
+      // a stale set.
+      dense_state_[i] = 1;
+      std::vector<int64_t>& last = last_step_[i];
+      if (last.empty()) last.assign(static_cast<size_t>(vocab), t_ - 1);
+      ParallelOverRows(touched, width * 8, [&](int64_t r) {
+        const int64_t row = touched[static_cast<size_t>(r)];
+        const float* grow = g + row * width;
+        float* mrow = m + row * width;
+        float* vrow = v + row * width;
+        float* drow = data + row * width;
+        const int64_t missed = t_ - 1 - last[static_cast<size_t>(row)];
+        if (missed > 0) {
+          const float mdecay =
+              static_cast<float>(std::pow(beta1_, static_cast<double>(missed)));
+          const float vdecay =
+              static_cast<float>(std::pow(beta2_, static_cast<double>(missed)));
+          for (int64_t j = 0; j < width; ++j) {
+            mrow[j] *= mdecay;
+            vrow[j] *= vdecay;
+          }
+        }
+        for (int64_t j = 0; j < width; ++j) {
+          mrow[j] = b1 * mrow[j] + (1.0f - b1) * grow[j];
+          vrow[j] = b2 * vrow[j] + (1.0f - b2) * grow[j] * grow[j];
+          drow[j] -= lr_t * mrow[j] / (std::sqrt(vrow[j]) + eps);
+        }
+        last[static_cast<size_t>(row)] = t_;
+      });
+      continue;
+    }
+
+    // Dense-equivalent: touched rows take the full update; active rows
+    // (nonzero m/v) still decay with the gradient term spelled out as an
+    // exact +0.0 so the bits match the dense loop; everything else is an
+    // exact no-op and is skipped.
+    if (dense_state_[i]) {
+      active_rows_[i] = ScanActiveRows(vocab, width, m, v);
+      dense_state_[i] = 0;
+    }
+    ParallelOverRows(touched, width * 8, [&](int64_t r) {
+      const int64_t row = touched[static_cast<size_t>(r)];
+      const float* grow = g + row * width;
+      float* mrow = m + row * width;
+      float* vrow = v + row * width;
+      float* drow = data + row * width;
+      for (int64_t j = 0; j < width; ++j) {
+        mrow[j] = b1 * mrow[j] + (1.0f - b1) * grow[j];
+        vrow[j] = b2 * vrow[j] + (1.0f - b2) * grow[j] * grow[j];
+        drow[j] -= lr_t * mrow[j] / (std::sqrt(vrow[j]) + eps);
+      }
+    });
+    std::vector<int64_t> decay_rows = SortedDifference(active_rows_[i], touched);
+    std::vector<uint8_t> still_active(decay_rows.size(), 0);
+    ParallelOverRows(decay_rows, width * 8, [&](int64_t r) {
+      const int64_t row = decay_rows[static_cast<size_t>(r)];
+      float* mrow = m + row * width;
+      float* vrow = v + row * width;
+      float* drow = data + row * width;
+      for (int64_t j = 0; j < width; ++j) {
+        mrow[j] = b1 * mrow[j] + 0.0f;
+        vrow[j] = b2 * vrow[j] + 0.0f;
+        drow[j] -= lr_t * mrow[j] / (std::sqrt(vrow[j]) + eps);
+      }
+      still_active[static_cast<size_t>(r)] =
+          (RowExactlyPositiveZero(mrow, width) &&
+           RowExactlyPositiveZero(vrow, width))
+              ? 0
+              : 1;
+    });
+    std::vector<int64_t> kept;
+    kept.reserve(decay_rows.size());
+    for (size_t r = 0; r < decay_rows.size(); ++r) {
+      if (still_active[r]) kept.push_back(decay_rows[r]);
+    }
+    active_rows_[i] = SortedUnion(kept, touched);
   }
 }
 
@@ -114,13 +474,36 @@ void AdaGrad::Step() {
   const float eps = static_cast<float>(eps_);
   for (size_t i = 0; i < params_.size(); ++i) {
     tensor::Tensor& p = params_[i];
-    const std::vector<float>& g = p.grad();
+    TensorImpl* impl = p.impl();
+    impl->EnsureGrad();
+    const float* g = impl->grad.data();
     float* data = p.mutable_data();
-    std::vector<float>& acc = accum_[i];
-    for (size_t j = 0; j < g.size(); ++j) {
-      acc[j] += g[j] * g[j];
-      data[j] -= lr * g[j] / (std::sqrt(acc[j]) + eps);
+    float* acc = accum_[i].data();
+    const int64_t n = static_cast<int64_t>(impl->grad.size());
+    if (RowSparseGrad(i)) {
+      // Untouched rows add an exact +0.0 to a never-negative accumulator
+      // and subtract an exact +0.0 from the weights: skipping is always
+      // bitwise neutral, no active set needed.
+      const int64_t width = impl->shape[1];
+      const std::vector<int64_t>& touched = impl->grad_rows;
+      ParallelOverRows(touched, width * 6, [&](int64_t r) {
+        const int64_t row = touched[static_cast<size_t>(r)];
+        const float* grow = g + row * width;
+        float* arow = acc + row * width;
+        float* drow = data + row * width;
+        for (int64_t j = 0; j < width; ++j) {
+          arow[j] += grow[j] * grow[j];
+          drow[j] -= lr * grow[j] / (std::sqrt(arow[j]) + eps);
+        }
+      });
+      continue;
     }
+    Ctx().ParallelFor(n, Ctx().GrainFor(6), [&](int64_t b, int64_t e) {
+      for (int64_t j = b; j < e; ++j) {
+        acc[j] += g[j] * g[j];
+        data[j] -= lr * g[j] / (std::sqrt(acc[j]) + eps);
+      }
+    });
   }
 }
 

@@ -781,6 +781,45 @@ Tensor Stack(const std::vector<Tensor>& inputs) {
                            });
 }
 
+namespace {
+
+// Backward plan for EmbeddingLookup, built once at forward time: lookup
+// positions grouped by table row (CSR layout), rows sorted ascending and
+// per-row positions ascending. The grouped scatter then owns each
+// destination row exclusively (parallel-safe) while accumulating every
+// element in the same position order as the serial i-ascending scatter, so
+// the result is bitwise identical regardless of thread count. `rows` doubles
+// as the touched-row list recorded on the table's grad metadata.
+struct EmbeddingBackwardPlan {
+  std::vector<int64_t> rows;       // sorted unique table rows
+  std::vector<int64_t> offsets;    // rows.size() + 1 CSR offsets
+  std::vector<int64_t> positions;  // lookup positions grouped by row
+  std::vector<int64_t> indices;    // original lookup order (reference path)
+};
+
+EmbeddingBackwardPlan BuildEmbeddingBackwardPlan(
+    const std::vector<int64_t>& indices) {
+  EmbeddingBackwardPlan plan;
+  plan.indices = indices;
+  const int64_t count = static_cast<int64_t>(indices.size());
+  std::vector<std::pair<int64_t, int64_t>> by_row(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) by_row[i] = {indices[i], i};
+  std::sort(by_row.begin(), by_row.end());
+  plan.offsets.push_back(0);
+  plan.positions.resize(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    if (plan.rows.empty() || plan.rows.back() != by_row[i].first) {
+      plan.rows.push_back(by_row[i].first);
+      plan.offsets.push_back(i);
+    }
+    plan.positions[i] = by_row[i].second;
+    plan.offsets.back() = i + 1;
+  }
+  return plan;
+}
+
+}  // namespace
+
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
                        const Shape& index_shape) {
   ODNET_CHECK(table.defined());
@@ -788,34 +827,74 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
   ODNET_CHECK_EQ(static_cast<int64_t>(indices.size()), Numel(index_shape));
   const int64_t vocab = table.dim(0);
   const int64_t dim = table.dim(1);
+  const int64_t count = static_cast<int64_t>(indices.size());
+
+  for (int64_t i = 0; i < count; ++i) {
+    ODNET_CHECK_GE(indices[i], 0) << "embedding index out of range";
+    ODNET_CHECK_LT(indices[i], vocab) << "embedding index out of range";
+  }
 
   Shape out_shape = index_shape;
   out_shape.push_back(dim);
-  std::vector<float> out(static_cast<size_t>(indices.size()) *
+  std::vector<float> out(static_cast<size_t>(count) *
                          static_cast<size_t>(dim));
   const float* src = table.data();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    int64_t row = indices[i];
-    ODNET_CHECK_GE(row, 0);
-    ODNET_CHECK_LT(row, vocab) << "embedding index out of range";
-    std::memcpy(out.data() + static_cast<int64_t>(i) * dim, src + row * dim,
-                static_cast<size_t>(dim) * sizeof(float));
+  if (RefMode()) {
+    reference::EmbeddingLookupForward(src, indices.data(), count, dim,
+                                      out.data());
+  } else {
+    float* po = out.data();
+    const int64_t* pi = indices.data();
+    ParallelElementwise(count, dim, [=](int64_t i) {
+      std::memcpy(po + i * dim, src + pi[i] * dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+    });
   }
 
-  std::vector<int64_t> idx_copy = indices;
-  return Tensor::MakeForOp(
+  auto plan = std::make_shared<const EmbeddingBackwardPlan>(
+      BuildEmbeddingBackwardPlan(indices));
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), {table},
-      [idx_copy, dim](TensorImpl* self) {
+      [plan, dim](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
-        // Scatter-add: duplicate indices alias table rows, so this stays
-        // serial (deterministic accumulation order).
-        for (size_t i = 0; i < idx_copy.size(); ++i) {
-          const float* g = self->grad.data() + static_cast<int64_t>(i) * dim;
-          float* dst = parent->grad.data() + idx_copy[i] * dim;
-          for (int64_t j = 0; j < dim; ++j) dst[j] += g[j];
+        // Record which rows this scatter touches before writing (the only
+        // writer keeping the table's row-sparsity metadata alive; see
+        // sparse_aware_backward below).
+        parent->MarkGradRows(plan->rows);
+        const float* g = self->grad.data();
+        float* dst = parent->grad.data();
+        if (RefMode()) {
+          reference::EmbeddingLookupBackward(
+              g, plan->indices.data(),
+              static_cast<int64_t>(plan->indices.size()), dim, dst);
+          return;
         }
+        // Grouped scatter: each worker owns whole destination rows, and
+        // per-row accumulation follows ascending lookup position — the
+        // serial scatter's order — so results are thread-count invariant.
+        const int64_t num_rows = static_cast<int64_t>(plan->rows.size());
+        const int64_t avg_positions =
+            num_rows == 0
+                ? 1
+                : (static_cast<int64_t>(plan->positions.size()) + num_rows -
+                   1) /
+                      num_rows;
+        Ctx().ParallelFor(
+            num_rows, Ctx().GrainFor(dim * avg_positions),
+            [&](int64_t rb, int64_t re) {
+              for (int64_t r = rb; r < re; ++r) {
+                float* drow = dst + plan->rows[r] * dim;
+                for (int64_t o = plan->offsets[r]; o < plan->offsets[r + 1];
+                     ++o) {
+                  const float* grow = g + plan->positions[o] * dim;
+                  for (int64_t j = 0; j < dim; ++j) drow[j] += grow[j];
+                }
+              }
+            });
       });
+  result.impl()->sparse_aware_backward = true;
+  return result;
 }
 
 Tensor Sum(const Tensor& a) {

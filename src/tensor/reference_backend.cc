@@ -210,6 +210,22 @@ void SumAxisBackward(const float* g, float* da, int64_t outer,
   }
 }
 
+void EmbeddingLookupForward(const float* table, const int64_t* indices,
+                            int64_t count, int64_t dim, float* out) {
+  for (int64_t i = 0; i < count; ++i) {
+    const float* row = table + indices[i] * dim;
+    for (int64_t j = 0; j < dim; ++j) out[i * dim + j] = row[j];
+  }
+}
+
+void EmbeddingLookupBackward(const float* g, const int64_t* indices,
+                             int64_t count, int64_t dim, float* dtable) {
+  for (int64_t i = 0; i < count; ++i) {
+    float* dst = dtable + indices[i] * dim;
+    for (int64_t j = 0; j < dim; ++j) dst[j] += g[i * dim + j];
+  }
+}
+
 void SoftmaxForward(const float* a, float* out, int64_t rows, int64_t cols) {
   for (int64_t r = 0; r < rows; ++r) {
     const float* x = a + r * cols;

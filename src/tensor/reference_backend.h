@@ -98,6 +98,17 @@ void SumAxisForward(const float* a, float* out, int64_t outer,
 void SumAxisBackward(const float* g, float* da, int64_t outer,
                      int64_t axis_dim, int64_t inner);
 
+// -- Embedding lookup -------------------------------------------------------
+
+/// out[i] = table[indices[i]] row copy, i ascending, one element at a time.
+void EmbeddingLookupForward(const float* table, const int64_t* indices,
+                            int64_t count, int64_t dim, float* out);
+
+/// dtable[indices[i]] += g[i] scatter-add with i ascending — the serial
+/// order the optimized grouped scatter reproduces per destination row.
+void EmbeddingLookupBackward(const float* g, const int64_t* indices,
+                             int64_t count, int64_t dim, float* dtable);
+
 // -- Softmax ----------------------------------------------------------------
 
 /// Row-wise stable softmax: max, exp(x - max) summed ascending, multiply by

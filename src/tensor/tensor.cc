@@ -155,12 +155,36 @@ const std::vector<float>& Tensor::grad() const {
 std::vector<float>* Tensor::mutable_grad() {
   ODNET_CHECK(defined());
   impl_->EnsureGrad();
+  // The caller may write anywhere; the row list would go stale.
+  impl_->MarkGradDense();
   return &impl_->grad;
 }
 
 void Tensor::ZeroGrad() {
   ODNET_CHECK(defined());
-  impl_->grad.assign(impl_->data().size(), 0.0f);
+  internal::TensorImpl* impl = impl_.get();
+  if (impl->grad_rows_valid && impl->grad.size() == impl->data().size()) {
+    // Row-sparse fast path: only the touched rows can hold nonzeros.
+    const int64_t width = impl->shape[1];
+    for (int64_t row : impl->grad_rows) {
+      float* dst = impl->grad.data() + row * width;
+      std::fill(dst, dst + width, 0.0f);
+    }
+    impl->grad_rows.clear();
+    return;
+  }
+  impl->grad.assign(impl->data().size(), 0.0f);
+  impl->ResetGradRows();
+}
+
+bool Tensor::grad_rows_valid() const {
+  ODNET_CHECK(defined());
+  return impl_->grad_rows_valid;
+}
+
+const std::vector<int64_t>& Tensor::grad_rows() const {
+  ODNET_CHECK(defined());
+  return impl_->grad_rows;
 }
 
 Tensor Tensor::Clone() const {
@@ -258,12 +282,21 @@ void Tensor::Backward() {
 
   // Seed: d(out)/d(out) = 1.
   impl_->EnsureGrad();
+  impl_->MarkGradDense();
   for (float& g : impl_->grad) g += 1.0f;
 
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     internal::TensorImpl* node = *it;
     if (node->backward_fn) {
-      for (auto& parent : node->parents) parent->EnsureGrad();
+      for (auto& parent : node->parents) {
+        parent->EnsureGrad();
+        // The closure may scatter anywhere into this parent's grad; only
+        // ops that maintain the touched-row list themselves (see
+        // sparse_aware_backward) keep the row metadata alive.
+        if (!node->sparse_aware_backward && parent->requires_grad) {
+          parent->MarkGradDense();
+        }
+      }
       node->backward_fn(node);
     }
   }

@@ -1,8 +1,10 @@
 #ifndef ODNET_TENSOR_TENSOR_H_
 #define ODNET_TENSOR_TENSOR_H_
 
+#include <algorithm>
 #include <functional>
 #include <initializer_list>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,11 +40,56 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl*)> backward_fn;
 
+  // Row-sparsity metadata over `grad`, valid only for rank-2 tensors (the
+  // embedding tables). When `grad_rows_valid` is true, every nonzero of
+  // `grad` lives in a row listed in `grad_rows` (sorted ascending, deduped);
+  // rows outside the list are exactly +0.0f everywhere. Backward marks a
+  // parent dense before running a node's closure unless the node opted in
+  // via `sparse_aware_backward` (EmbeddingLookup, which calls MarkGradRows
+  // itself), so any op that scatters into a table keeps the invariant
+  // conservatively correct. Consumers (optimizer, ClipGradNorm) use the
+  // list to skip untouched rows.
+  bool grad_rows_valid = false;
+  std::vector<int64_t> grad_rows;
+  bool sparse_aware_backward = false;
+
   std::vector<float>& data() { return *storage; }
   const std::vector<float>& data() const { return *storage; }
 
   void EnsureGrad() {
-    if (grad.size() != data().size()) grad.assign(data().size(), 0.0f);
+    if (grad.size() != data().size()) {
+      grad.assign(data().size(), 0.0f);
+      ResetGradRows();
+    }
+  }
+
+  /// Grad is all zeros: the touched-row set becomes valid and empty (rank-2
+  /// only; other ranks never carry row metadata).
+  void ResetGradRows() {
+    grad_rows.clear();
+    grad_rows_valid = shape.size() == 2;
+  }
+
+  /// Grad may have nonzeros anywhere; drop the row list.
+  void MarkGradDense() {
+    grad_rows_valid = false;
+    grad_rows.clear();
+  }
+
+  /// Merges `rows` (sorted ascending, deduped) into the touched-row set.
+  /// No-op when the grad is already marked dense.
+  void MarkGradRows(const std::vector<int64_t>& rows) {
+    if (!grad_rows_valid) return;
+    if (grad_rows.empty()) {
+      grad_rows = rows;
+      return;
+    }
+    if (rows.empty()) return;
+    std::vector<int64_t> merged;
+    merged.reserve(grad_rows.size() + rows.size());
+    std::set_union(grad_rows.begin(), grad_rows.end(), rows.begin(),
+                   rows.end(), std::back_inserter(merged));
+    grad_rows = std::move(merged);
   }
 };
 
@@ -127,8 +174,18 @@ class Tensor {
 
   /// Gradient buffer (zeros until Backward touches it).
   const std::vector<float>& grad() const;
+  /// Mutable grad access drops any row-sparsity metadata (the caller may
+  /// write anywhere); sparse-aware consumers use impl() directly.
   std::vector<float>* mutable_grad();
   void ZeroGrad();
+
+  /// True when every nonzero of grad lives in a row listed by grad_rows()
+  /// (rank-2 leaves written only by EmbeddingLookup backward). See
+  /// internal::TensorImpl::grad_rows.
+  bool grad_rows_valid() const;
+  /// Touched rows, sorted ascending and deduped. Only meaningful when
+  /// grad_rows_valid().
+  const std::vector<int64_t>& grad_rows() const;
 
   /// Deep copy with no autograd history.
   Tensor Clone() const;

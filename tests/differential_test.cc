@@ -25,6 +25,7 @@
 #include "gtest/gtest.h"
 #include "src/baselines/odnet_recommender.h"
 #include "src/core/config.h"
+#include "src/optim/optimizer.h"
 #include "src/data/fliggy_simulator.h"
 #include "src/data/types.h"
 #include "src/metrics/metrics.h"
@@ -333,6 +334,100 @@ TEST(DifferentialOpTest, EmbeddingLookup) {
               }
               return tensor::EmbeddingLookup(table, indices, index_shape);
             });
+  }
+}
+
+TEST(DifferentialOpTest, EmbeddingLookupDuplicateHeavy) {
+  // Large lookup counts with tiny vocabularies: every row collects many
+  // duplicate contributions, stressing the grouped-scatter accumulation
+  // order against the serial reference scatter.
+  for (uint64_t variant = 0; variant < 3; ++variant) {
+    CheckOp("EmbeddingLookupDup/v" + std::to_string(variant), 5500 + variant,
+            [](std::vector<Tensor>* leaves, util::Rng* rng) {
+              const int64_t vocab = rng->UniformInt(2, 4);
+              const int64_t dim = rng->UniformInt(1, 6);
+              Tensor table = testing::RandomTensor({vocab, dim}, rng, true);
+              leaves->push_back(table);
+              const int64_t count = rng->UniformInt(24, 48);
+              Shape index_shape = {count};
+              std::vector<int64_t> indices;
+              for (int64_t i = 0; i < count; ++i) {
+                indices.push_back(rng->UniformInt(0, vocab - 1));
+              }
+              return tensor::EmbeddingLookup(table, indices, index_shape);
+            });
+  }
+}
+
+// ------------------------------------------------------------- train step --
+
+// A complete optimization loop over an embedding table and a dense
+// projection: lookup -> matmul -> squared loss, ZeroGrad/Backward/
+// ClipGradNorm/Adam::Step for several steps, with some rows left untouched
+// for stretches. Pure function of its inputs, so the sparse path (default)
+// must reproduce the forced-dense pre-sparse path bit for bit at every
+// (threads, threshold) point and under the reference backend.
+std::vector<float> RunEmbeddingTrainLoop(bool force_dense,
+                                         optim::SparseUpdateMode mode) {
+  util::Rng rng(97531);
+  Tensor table = testing::RandomTensor({12, 3}, &rng, true);
+  Tensor w = testing::RandomTensor({3, 1}, &rng, true);
+  optim::Adam opt({table, w}, 0.05);
+  opt.set_sparse_update_mode(mode);
+  opt.set_force_dense(force_dense);
+  std::vector<float> out;
+  for (int step = 0; step < 6; ++step) {
+    std::vector<int64_t> indices;
+    for (int i = 0; i < 5; ++i) indices.push_back(rng.UniformInt(0, 11));
+    opt.ZeroGrad();
+    Tensor emb = tensor::EmbeddingLookup(table, indices, {5});
+    Tensor h = tensor::MatMul(emb, w);
+    Tensor loss = tensor::Sum(tensor::Mul(h, h));
+    loss.Backward();
+    opt.ClipGradNorm(0.5);
+    opt.Step();
+    out.push_back(loss.item());
+  }
+  out.insert(out.end(), table.vec().begin(), table.vec().end());
+  out.insert(out.end(), w.vec().begin(), w.vec().end());
+  return out;
+}
+
+TEST(DifferentialTrainStepTest, SparseAdamMatchesDenseAcrossThreads) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetNumThreads(1);
+  ctx.SetParallelThreshold(16384);
+  // Oracle: the pre-sparse dense path, serial.
+  const std::vector<float> oracle = RunEmbeddingTrainLoop(
+      /*force_dense=*/true, optim::SparseUpdateMode::kDenseEquivalent);
+  for (int threads : {1, 2, 8}) {
+    for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
+      ctx.SetNumThreads(threads);
+      ctx.SetParallelThreshold(threshold);
+      const std::string tag = " [threads=" + std::to_string(threads) +
+                              " threshold=" + std::to_string(threshold) + "]";
+      testing::ExpectUlpClose(
+          RunEmbeddingTrainLoop(false,
+                                optim::SparseUpdateMode::kDenseEquivalent),
+          oracle, /*max_ulps=*/0, "TrainStep/sparse" + tag);
+      testing::ExpectUlpClose(
+          RunEmbeddingTrainLoop(true,
+                                optim::SparseUpdateMode::kDenseEquivalent),
+          oracle, /*max_ulps=*/0, "TrainStep/dense" + tag);
+    }
+  }
+  // Under the reference backend the embedding forward/backward kernels are
+  // swapped for the naive oracle versions; the trained weights must not
+  // move by a single bit.
+  {
+    BackendGuard reference(Backend::kReference);
+    ctx.SetNumThreads(1);
+    ctx.SetParallelThreshold(16384);
+    testing::ExpectUlpClose(
+        RunEmbeddingTrainLoop(false,
+                              optim::SparseUpdateMode::kDenseEquivalent),
+        oracle, /*max_ulps=*/0, "TrainStep/reference");
   }
 }
 

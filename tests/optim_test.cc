@@ -1,8 +1,11 @@
 #include "src/optim/optimizer.h"
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "src/tensor/compute_context.h"
 #include "src/tensor/ops.h"
 
 namespace odnet {
@@ -99,6 +102,201 @@ TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
   loss.Backward();
   opt.ClipGradNorm(10.0);
   EXPECT_NEAR(x.grad()[0], 0.5f, 1e-6f);
+}
+
+// Scripted training loop over a [6, 2] embedding table: a mix of sparse
+// lookup steps (with duplicates and never-touched rows), one fully dense
+// step (so the touched-row metadata drops and the optimizer rebuilds its
+// active-row set), and gradient clipping tight enough to actually rescale.
+// Returns the final weights.
+template <typename OptimizerT>
+std::vector<float> RunScriptedEmbeddingTraining(OptimizerT* opt,
+                                                tensor::Tensor table) {
+  const std::vector<std::vector<int64_t>> batches = {
+      {0, 2, 2}, {1}, {/*dense step*/}, {0, 5}, {2, 2, 2, 1}, {4}};
+  int step = 0;
+  for (const auto& idx : batches) {
+    opt->ZeroGrad();
+    if (step == 2) {
+      tensor::Sum(tensor::Mul(table, table)).Backward();
+    } else {
+      tensor::Tensor out = tensor::EmbeddingLookup(
+          table, idx, {static_cast<int64_t>(idx.size())});
+      tensor::Sum(tensor::MulScalar(out, 1.5f + static_cast<float>(step)))
+          .Backward();
+    }
+    opt->ClipGradNorm(0.5);
+    opt->Step();
+    ++step;
+  }
+  return table.vec();
+}
+
+tensor::Tensor ScriptedTable() {
+  return Tensor::FromVector({6, 2},
+                            {0.5f, -0.25f, 1.0f, 2.0f, -1.5f, 0.75f, 0.1f,
+                             -0.9f, 3.0f, -2.0f, 0.4f, 0.6f},
+                            /*requires_grad=*/true);
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+TEST(AdamTest, DenseEquivalentSparseModeIsBitwiseDense) {
+  Tensor t1 = ScriptedTable();
+  Adam a1({t1}, 0.05);
+  auto sparse = RunScriptedEmbeddingTraining(&a1, t1);
+
+  Tensor t2 = ScriptedTable();
+  Adam a2({t2}, 0.05);
+  a2.set_force_dense(true);  // the pre-sparse dense code path
+  auto dense = RunScriptedEmbeddingTraining(&a2, t2);
+
+  ExpectBitwiseEqual(sparse, dense);
+}
+
+TEST(SgdTest, MomentumSparseModeIsBitwiseDense) {
+  Tensor t1 = ScriptedTable();
+  Sgd s1({t1}, 0.05, 0.9);
+  auto sparse = RunScriptedEmbeddingTraining(&s1, t1);
+
+  Tensor t2 = ScriptedTable();
+  Sgd s2({t2}, 0.05, 0.9);
+  s2.set_force_dense(true);
+  auto dense = RunScriptedEmbeddingTraining(&s2, t2);
+
+  ExpectBitwiseEqual(sparse, dense);
+}
+
+TEST(AdaGradTest, SparseModeIsBitwiseDense) {
+  Tensor t1 = ScriptedTable();
+  AdaGrad g1({t1}, 0.1);
+  auto sparse = RunScriptedEmbeddingTraining(&g1, t1);
+
+  Tensor t2 = ScriptedTable();
+  AdaGrad g2({t2}, 0.1);
+  g2.set_force_dense(true);
+  auto dense = RunScriptedEmbeddingTraining(&g2, t2);
+
+  ExpectBitwiseEqual(sparse, dense);
+}
+
+TEST(AdamTest, LazyModeFreezesUntouchedRowsOnly) {
+  // Row 0 is touched every step; row 1 only on the first. Lazy mode must
+  // leave row 1's weights frozen after its last touch, while keeping row
+  // 0's trajectory bitwise equal to dense-equivalent mode (same gradients,
+  // same clip scale, zero catch-up for always-touched rows).
+  const std::vector<std::vector<int64_t>> batches = {{0, 1}, {0}, {0}, {0}};
+  auto run = [&](SparseUpdateMode mode) {
+    Tensor table = Tensor::FromVector({2, 2}, {1.0f, -1.0f, 2.0f, -2.0f},
+                                      /*requires_grad=*/true);
+    Adam opt({table}, 0.05);
+    opt.set_sparse_update_mode(mode);
+    std::vector<float> row1_after_step0;
+    int step = 0;
+    for (const auto& idx : batches) {
+      opt.ZeroGrad();
+      tensor::Tensor out = tensor::EmbeddingLookup(
+          table, idx, {static_cast<int64_t>(idx.size())});
+      tensor::Sum(tensor::Mul(out, out)).Backward();
+      opt.ClipGradNorm(5.0);
+      opt.Step();
+      if (step == 0) {
+        row1_after_step0 = {table.vec()[2], table.vec()[3]};
+      }
+      ++step;
+    }
+    return std::make_pair(table.vec(), row1_after_step0);
+  };
+
+  auto [lazy_final, lazy_row1_mid] = run(SparseUpdateMode::kLazy);
+  auto [dense_final, dense_row1_mid] = run(SparseUpdateMode::kDenseEquivalent);
+
+  // Identical state right after the step that touched both rows.
+  EXPECT_EQ(lazy_row1_mid, dense_row1_mid);
+  // Row 0 (always touched): bitwise identical across modes.
+  EXPECT_EQ(lazy_final[0], dense_final[0]);
+  EXPECT_EQ(lazy_final[1], dense_final[1]);
+  // Row 1: frozen under lazy once untouched...
+  EXPECT_EQ(lazy_final[2], lazy_row1_mid[0]);
+  EXPECT_EQ(lazy_final[3], lazy_row1_mid[1]);
+  // ...but still decaying under dense-equivalent (nonzero m keeps moving).
+  EXPECT_NE(dense_final[2], dense_row1_mid[0]);
+}
+
+TEST(SgdTest, ReconfigureMomentumBetweenSteps) {
+  auto do_step = [](Sgd* opt, Tensor* x) {
+    opt->ZeroGrad();
+    tensor::Sum(tensor::Mul(*x, *x)).Backward();
+    opt->Step();
+  };
+
+  // set_momentum after construction behaves exactly like constructing with
+  // momentum: fresh zero velocity either way.
+  Tensor xa = Tensor::FromVector({2}, {1.0f, -2.0f}, /*requires_grad=*/true);
+  Sgd a({xa}, 0.1, 0.9);
+  Tensor xb = Tensor::FromVector({2}, {1.0f, -2.0f}, /*requires_grad=*/true);
+  Sgd b({xb}, 0.1);
+  b.set_momentum(0.9);
+  for (int i = 0; i < 3; ++i) {
+    do_step(&a, &xa);
+    do_step(&b, &xb);
+  }
+  ExpectBitwiseEqual(xa.vec(), xb.vec());
+
+  // Toggling momentum off discards state; re-enabling allocates it fresh,
+  // so further steps are safe (this used to index a missing buffer).
+  b.set_momentum(0.0);
+  do_step(&b, &xb);
+  b.set_momentum(0.5);
+  do_step(&b, &xb);
+  EXPECT_TRUE(std::isfinite(xb.vec()[0]));
+  EXPECT_TRUE(std::isfinite(xb.vec()[1]));
+}
+
+TEST(OptimizerTest, ClipGradNormThreadCountAndSparsityInvariant) {
+  auto& ctx = tensor::ComputeContext::Get();
+  const int prev_threads = ctx.num_threads();
+  const int64_t prev_threshold = ctx.parallel_threshold();
+
+  auto run = [](bool force_dense) {
+    // Mixed parameter set: a row-sparse embedding grad plus a dense one.
+    Tensor table = ScriptedTable();
+    Tensor w = Tensor::FromVector({4}, {2.0f, -3.0f, 4.0f, -5.0f},
+                                  /*requires_grad=*/true);
+    Sgd opt({table, w}, 0.1);
+    opt.set_force_dense(force_dense);
+    opt.ZeroGrad();
+    tensor::Tensor out = tensor::EmbeddingLookup(table, {0, 3, 3, 5}, {4});
+    tensor::Tensor loss = tensor::Add(tensor::Sum(tensor::Mul(out, out)),
+                                      tensor::Sum(tensor::Mul(w, w)));
+    loss.Backward();
+    double norm = opt.ClipGradNorm(1.0);
+    std::vector<float> grads = table.grad();
+    grads.insert(grads.end(), w.grad().begin(), w.grad().end());
+    return std::make_pair(norm, grads);
+  };
+
+  ctx.SetNumThreads(1);
+  auto [norm_ref, grads_ref] = run(/*force_dense=*/false);
+  for (int threads : {1, 2, 8}) {
+    for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
+      ctx.SetNumThreads(threads);
+      ctx.SetParallelThreshold(threshold);
+      auto [norm_sparse, grads_sparse] = run(/*force_dense=*/false);
+      auto [norm_dense, grads_dense] = run(/*force_dense=*/true);
+      EXPECT_EQ(norm_ref, norm_sparse);
+      EXPECT_EQ(norm_ref, norm_dense);
+      ExpectBitwiseEqual(grads_ref, grads_sparse);
+      ExpectBitwiseEqual(grads_ref, grads_dense);
+    }
+  }
+
+  ctx.SetNumThreads(prev_threads);
+  ctx.SetParallelThreshold(prev_threshold);
 }
 
 TEST(ExponentialDecayTest, DecaySchedule) {

@@ -272,6 +272,58 @@ TEST(OpsTest, EmbeddingLookup2dIndexShape) {
   ExpectTensorNear(out, {1, 2, 3, 4, 3, 4, 5, 6});
 }
 
+TEST(OpsTest, EmbeddingLookupDuplicateIndicesAccumulate) {
+  // Duplicated rows must sum their upstream gradients, under both backends.
+  for (Backend backend : {Backend::kOptimized, Backend::kReference}) {
+    BackendGuard guard(backend);
+    Tensor table = Tensor::FromVector({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8},
+                                      /*requires_grad=*/true);
+    Tensor out = EmbeddingLookup(table, {2, 0, 2, 2}, {4});
+    Tensor w = Tensor::FromVector({4, 2}, {1, 1, 1, 1, 1, 1, 1, 1});
+    Sum(Mul(out, w)).Backward();
+    // Row 2 looked up three times, row 0 once, rows 1/3 never.
+    ExpectTensorNear(Tensor::FromVector({4, 2}, table.grad()),
+                     {1, 1, 0, 0, 3, 3, 0, 0});
+  }
+}
+
+TEST(OpsTest, EmbeddingLookupEmptyIndices) {
+  Tensor table = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6},
+                                    /*requires_grad=*/true);
+  Tensor out = EmbeddingLookup(table, {}, {0});
+  EXPECT_EQ(out.shape(), (Shape{0, 2}));
+  Sum(out).Backward();
+  for (float g : table.grad()) EXPECT_EQ(g, 0.0f);
+  EXPECT_TRUE(table.grad_rows_valid());
+  EXPECT_TRUE(table.grad_rows().empty());
+}
+
+TEST(OpsTest, EmbeddingLookupOutOfRangeDeath) {
+  Tensor table = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  EXPECT_DEATH(EmbeddingLookup(table, {3}, {1}), "out of range");
+  EXPECT_DEATH(EmbeddingLookup(table, {-1}, {1}), "out of range");
+}
+
+TEST(OpsTest, EmbeddingLookupRecordsTouchedRows) {
+  Tensor table = Tensor::FromVector({5, 2}, std::vector<float>(10, 1.0f),
+                                    /*requires_grad=*/true);
+  Tensor out = EmbeddingLookup(table, {3, 1, 3, 0}, {4});
+  Sum(out).Backward();
+  EXPECT_TRUE(table.grad_rows_valid());
+  EXPECT_EQ(table.grad_rows(), (std::vector<int64_t>{0, 1, 3}));
+
+  // ZeroGrad resets the set to valid-and-empty and clears only what was
+  // touched (the buffer must come back fully zero).
+  table.ZeroGrad();
+  EXPECT_TRUE(table.grad_rows_valid());
+  EXPECT_TRUE(table.grad_rows().empty());
+  for (float g : table.grad()) EXPECT_EQ(g, 0.0f);
+
+  // An op that scatters densely into the table invalidates the metadata.
+  Sum(Mul(table, table)).Backward();
+  EXPECT_FALSE(table.grad_rows_valid());
+}
+
 TEST(OpsTest, SumAndMean) {
   Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
   EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
