@@ -1,11 +1,38 @@
 // Micro-benchmarks of the HSG substrate and ODNET serving path.
+//
+// `--plan-sweep` instead runs the capture/replay comparison: steady-state
+// eager vs plan-replay timing for the serving forward (PredictPlanned) and
+// the train step (TrainStepPlan), at 1 and 8 threads, plus the inference
+// memory-plan statistics, written machine-readably to
+// BENCH_plan_replay.json. ODNET_BENCH_SMOKE=1 shrinks iteration counts so
+// CI can watch for gross regressions without paying full timing fidelity.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "src/baselines/odnet_recommender.h"
 #include "src/core/hsg_builder.h"
+#include "src/core/odnet_model.h"
+#include "src/data/encoding.h"
 #include "src/data/fliggy_simulator.h"
+#include "src/data/temporal_features.h"
+#include "src/optim/optimizer.h"
+#include "src/serving/batch_scorer.h"
 #include "src/serving/evaluator.h"
+#include "src/tensor/buffer_arena.h"
+#include "src/tensor/compute_context.h"
+#include "src/tensor/graph_plan.h"
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+#include "src/util/string_util.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
 
 namespace {
 
@@ -92,6 +119,290 @@ void BM_OdnetInference(benchmark::State& state) {
 }
 BENCHMARK(BM_OdnetInference)->Arg(10)->Arg(30);
 
+// ------------------------------------------------------------ plan sweep --
+
+struct PlanRow {
+  std::string section;
+  int threads = 0;
+  double eager_us = 0.0;
+  double replay_us = 0.0;
+};
+
+// The timed serving batch matches the chunked ranking path: ScoreChunked
+// slices requests into serving::kScoreChunkSize-row chunks, so that is the
+// shape steady-state plan replay serves.
+constexpr size_t kServingBatch = serving::kScoreChunkSize;
+
+// Steady-state serving cost: eager Predict vs captured-plan PredictPlanned
+// on the same batch. The capture itself happens during warmup, so the timed
+// region measures pure replay. Both paths are timed in alternating rounds
+// and the per-iteration minimum is kept: min-of-rounds is robust against
+// the scheduler noise of a small shared machine.
+PlanRow TimeServing(int threads, int warmup, int iters, int rounds) {
+  tensor::ComputeContext::Get().SetNumThreads(threads);
+  const data::OdDataset& dataset = Dataset();
+  core::OdnetConfig config;
+  config.use_hsgc = false;  // serving cost without the sampling host stages
+  core::OdnetModel model(nullptr, dataset.num_users, dataset.num_cities,
+                         config);
+  data::TemporalFeatureIndex temporal(dataset, dataset.num_cities, 800);
+  data::BatchEncoder encoder(&dataset, &temporal,
+                             data::SequenceSpec{config.t_long,
+                                                config.t_short});
+  data::OdBatch batch =
+      encoder.EncodeJoint(dataset.train_samples, 0, kServingBatch);
+
+  PlanRow row;
+  row.section = "serving";
+  row.threads = threads;
+  row.eager_us = row.replay_us = 1e300;
+  for (int i = 0; i < warmup; ++i) (void)model.Predict(batch);
+  for (int i = 0; i < warmup; ++i) (void)model.PredictPlanned(batch);
+  util::Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) (void)model.Predict(batch);
+    row.eager_us =
+        std::min(row.eager_us, watch.ElapsedMillis() * 1000.0 / iters);
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) (void)model.PredictPlanned(batch);
+    row.replay_us =
+        std::min(row.replay_us, watch.ElapsedMillis() * 1000.0 / iters);
+  }
+  ODNET_CHECK(model.serving_plan_stats().replays >= iters);
+  return row;
+}
+
+// Raw capture/replay overhead on a deep chain of small ops — the regime
+// plan replay targets: per-op graph construction (impl allocation, closure
+// setup, shape propagation) is the dominant eager cost, and Replay()
+// eliminates all of it while running the very same kernels. The eager side
+// runs the optimized path (NoGrad + thread-local arena leases), so the
+// measured gap is plan replay vs the best eager execution, not vs a straw
+// man.
+PlanRow TimeMicroGraph(int threads, int warmup, int iters, int rounds) {
+  tensor::ComputeContext::Get().SetNumThreads(threads);
+  constexpr int kLayers = 32;
+  util::Rng rng(9119);
+  tensor::Tensor x = tensor::Tensor::Randn({4, 8}, &rng);
+  // Contractive multiplier keeps the 32-fold product bounded.
+  tensor::Tensor a = tensor::Tensor::Randn({4, 8}, &rng, 0.3f);
+  tensor::Tensor b = tensor::Tensor::Randn({4, 8}, &rng, 0.3f);
+  auto program = [&x, &a, &b]() {
+    tensor::Tensor h = x;
+    for (int l = 0; l < kLayers; ++l) {
+      h = tensor::Add(tensor::Mul(h, a), b);  // near-zero compute per op
+    }
+    return std::vector<tensor::Tensor>{tensor::Softmax(h)};
+  };
+  auto run_eager = [&program]() {
+    tensor::NoGradGuard guard;
+    tensor::ArenaScope arena(tensor::BufferArena::ThreadLocal());
+    return program()[0].vec();  // copied out before the scope resets
+  };
+  std::vector<tensor::Tensor> captured;
+  std::shared_ptr<tensor::GraphPlan> plan =
+      tensor::GraphPlan::CaptureInference(program, &captured, {x});
+  ODNET_CHECK(run_eager() == plan->Replay({x})[0].vec());
+
+  PlanRow row;
+  row.section = "micro_graph";
+  row.threads = threads;
+  row.eager_us = row.replay_us = 1e300;
+  for (int i = 0; i < warmup; ++i) {
+    (void)run_eager();
+    (void)plan->Replay({x});
+  }
+  util::Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) (void)run_eager();
+    row.eager_us =
+        std::min(row.eager_us, watch.ElapsedMillis() * 1000.0 / iters);
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) (void)plan->Replay({x});
+    row.replay_us =
+        std::min(row.replay_us, watch.ElapsedMillis() * 1000.0 / iters);
+  }
+  return row;
+}
+
+// One training setup for TimeTrainStep: the embedding-dominated synthetic
+// model of bench_table5 with its own optimizer state and index stream, so
+// twin setups evolve bitwise identically (the dense-equivalent sparse path
+// guarantees it) and neither path inherits the other's optimizer history —
+// the active-row set of the sparse Adam grows with coverage, so sharing
+// state would bill whichever path runs later for the larger set.
+struct TrainSetup {
+  static constexpr int64_t kVocab = 10000;
+  static constexpr int64_t kDim = 16;
+  static constexpr int64_t kHidden = 32;
+  static constexpr int64_t kBatch = 128;
+
+  TrainSetup()
+      : rng(1234),
+        table(tensor::Tensor::Randn({kVocab, kDim}, &rng, 0.05f,
+                                    /*requires_grad=*/true)),
+        w1(tensor::Tensor::Randn({kDim, kHidden}, &rng, 0.05f, true)),
+        w2(tensor::Tensor::Randn({kHidden, 1}, &rng, 0.05f, true)),
+        opt({table, w1, w2}, 0.01),
+        idx_rng(777),
+        indices(static_cast<size_t>(kBatch), 0) {}
+
+  tensor::Tensor Program() {
+    tensor::Tensor emb = tensor::EmbeddingLookup(table, indices, {kBatch});
+    tensor::Tensor h = tensor::Relu(tensor::MatMul(emb, w1));
+    tensor::Tensor logits = tensor::MatMul(h, w2);
+    return tensor::Mean(tensor::Mul(logits, logits));
+  }
+
+  void Step(bool planned) {
+    for (int64_t& ix : indices) ix = idx_rng.UniformInt(0, kVocab - 1);
+    if (planned) {
+      if (plan == nullptr) {
+        plan = tensor::TrainStepPlan::Capture([this] { return Program(); });
+      } else {
+        plan->ReplayForward();
+      }
+      opt.ZeroGrad();
+      plan->ReplayBackward();
+    } else {
+      tensor::Tensor loss = Program();
+      opt.ZeroGrad();
+      loss.Backward();
+    }
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+  }
+
+  util::Rng rng;
+  tensor::Tensor table, w1, w2;
+  optim::Adam opt;
+  util::Rng idx_rng;
+  std::vector<int64_t> indices;
+  std::unique_ptr<tensor::TrainStepPlan> plan;
+};
+
+// Steady-state train-step cost: full eager tape build + Backward vs
+// TrainStepPlan ReplayForward/ReplayBackward, around identical optimizer
+// work on twin setups. Both paths are timed in alternating rounds and the
+// per-iteration minimum is kept (as in TimeServing).
+PlanRow TimeTrainStep(int threads, int warmup, int iters, int rounds) {
+  tensor::ComputeContext::Get().SetNumThreads(threads);
+  TrainSetup eager;
+  TrainSetup planned;
+
+  PlanRow row;
+  row.section = "train_step";
+  row.threads = threads;
+  row.eager_us = row.replay_us = 1e300;
+  for (int i = 0; i < warmup; ++i) eager.Step(false);
+  for (int i = 0; i < warmup; ++i) planned.Step(true);
+  util::Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) eager.Step(false);
+    row.eager_us =
+        std::min(row.eager_us, watch.ElapsedMillis() * 1000.0 / iters);
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) planned.Step(true);
+    row.replay_us =
+        std::min(row.replay_us, watch.ElapsedMillis() * 1000.0 / iters);
+  }
+  return row;
+}
+
+int RunPlanSweep() {
+  const bool smoke = std::getenv("ODNET_BENCH_SMOKE") != nullptr;
+  const int warmup = smoke ? 2 : 10;
+  const int iters = smoke ? 3 : 40;
+  const int rounds = smoke ? 1 : 5;
+
+  std::printf("=== Plan capture/replay sweep (%d iters x %d rounds%s) ===\n",
+              iters, rounds, smoke ? ", smoke" : "");
+  std::vector<PlanRow> rows;
+  for (int threads : {1, 8}) {
+    rows.push_back(TimeMicroGraph(threads, warmup, iters * 4, rounds));
+    std::printf("finished micro_graph threads=%d\n", threads);
+    std::fflush(stdout);
+    rows.push_back(TimeServing(threads, warmup, iters, rounds));
+    std::printf("finished serving threads=%d\n", threads);
+    std::fflush(stdout);
+    rows.push_back(TimeTrainStep(threads, warmup, iters, rounds));
+    std::printf("finished train_step threads=%d\n", threads);
+    std::fflush(stdout);
+  }
+
+  // Memory-plan statistics of the serving plan (thread-independent).
+  tensor::ComputeContext::Get().SetNumThreads(1);
+  const data::OdDataset& dataset = Dataset();
+  core::OdnetConfig config;
+  config.use_hsgc = false;
+  core::OdnetModel model(nullptr, dataset.num_users, dataset.num_cities,
+                         config);
+  data::TemporalFeatureIndex temporal(dataset, dataset.num_cities, 800);
+  data::BatchEncoder encoder(&dataset, &temporal,
+                             data::SequenceSpec{config.t_long,
+                                                config.t_short});
+  (void)model.PredictPlanned(
+      encoder.EncodeJoint(dataset.train_samples, 0, kServingBatch));
+  const tensor::MemoryPlanStats memory = model.serving_plan_stats().memory;
+
+  util::AsciiTable table(
+      {"Section", "Threads", "Eager us", "Replay us", "Speedup"});
+  std::string json = "{\n  \"bench\": \"plan_replay\",\n  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"iters\": " + std::to_string(iters) +
+          ",\n  \"results\": [\n";
+  bool first = true;
+  for (const PlanRow& row : rows) {
+    const double speedup =
+        row.replay_us > 0.0 ? row.eager_us / row.replay_us : 0.0;
+    table.AddRow({row.section, std::to_string(row.threads),
+                  util::FormatFixed(row.eager_us, 1),
+                  util::FormatFixed(row.replay_us, 1),
+                  util::FormatFixed(speedup, 2) + "x"});
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"section\": \"" + row.section +
+            "\", \"threads\": " + std::to_string(row.threads) +
+            ", \"eager_us\": " + util::FormatFixed(row.eager_us, 2) +
+            ", \"replay_us\": " + util::FormatFixed(row.replay_us, 2) +
+            ", \"speedup\": " + util::FormatFixed(speedup, 3) + "}";
+  }
+  json += "\n  ],\n  \"memory_plan\": {\"num_nodes\": " +
+          std::to_string(memory.num_nodes) +
+          ", \"num_values\": " + std::to_string(memory.num_values) +
+          ", \"num_buffers\": " + std::to_string(memory.num_buffers) +
+          ", \"requested_bytes\": " + std::to_string(memory.requested_bytes) +
+          ", \"peak_bytes\": " + std::to_string(memory.peak_bytes) +
+          ", \"reuse_ratio\": " + util::FormatFixed(memory.reuse_ratio, 3) +
+          "}\n}\n";
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nmemory plan: %lld values -> %lld buffers, %lld -> %lld bytes "
+      "(reuse %.0f%%)\n",
+      static_cast<long long>(memory.num_values),
+      static_cast<long long>(memory.num_buffers),
+      static_cast<long long>(memory.requested_bytes),
+      static_cast<long long>(memory.peak_bytes), memory.reuse_ratio * 100.0);
+  std::ofstream out("BENCH_plan_replay.json");
+  out << json;
+  out.close();
+  std::printf("wrote BENCH_plan_replay.json\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--plan-sweep") == 0) {
+    return RunPlanSweep();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -43,7 +43,10 @@ std::vector<OdScore> OdnetRecommender::Score(
   for (size_t start = 0; start < samples.size(); start += bs) {
     size_t end = std::min(start + bs, samples.size());
     data::OdBatch batch = encoder.EncodeJoint(samples, start, end);
-    auto [po, pd] = model_->Predict(batch);
+    // Served through the per-shape plan cache: every full-size chunk after
+    // the first replays a captured plan (the ragged tail chunk gets its own
+    // plan). Bitwise identical to eager Predict.
+    auto [po, pd] = model_->PredictPlanned(batch);
     for (size_t i = 0; i < po.size(); ++i) {
       out.push_back(OdScore{po[i], pd[i]});
     }

@@ -35,6 +35,15 @@ struct OdnetConfig {
   int64_t t_short = 5;   // kept short-term sequence length
   uint64_t seed = 1234;
 
+  /// Capture the train step into a TrainStepPlan on the first batch of each
+  /// shape signature and replay it for subsequent batches (DESIGN.md §10).
+  /// Replay is bitwise identical to the eager step; default off so the
+  /// long-standing eager path stays the reference.
+  bool capture_train_plan = false;
+  /// Capture per-shape inference plans in PredictPlanned/serving so
+  /// steady-state scoring performs zero graph construction (DESIGN.md §10).
+  bool capture_serving_plans = true;
+
   /// Optimizer treatment of row-sparse embedding gradients:
   /// "dense-equivalent" (default) — per-step cost scales with batch-distinct
   /// rows while staying bitwise identical to dense updates; "lazy" —

@@ -1,5 +1,6 @@
 #include "src/core/hsgc.h"
 
+#include "src/tensor/graph_plan.h"
 #include "src/tensor/ops.h"
 
 namespace odnet {
@@ -30,33 +31,44 @@ Hsgc::Hsgc(const graph::HeterogeneousSpatialGraph* graph, graph::Metapath rho,
         std::make_unique<nn::Linear>(2 * d_, d_, rng, /*bias=*/true));
     RegisterModule("w" + std::to_string(k), step_weights_.back().get());
   }
+  all_cities_.resize(static_cast<size_t>(graph_->num_cities()));
+  for (int64_t c = 0; c < graph_->num_cities(); ++c) {
+    all_cities_[static_cast<size_t>(c)] = c;
+  }
+  city_ws_.resize(static_cast<size_t>(config_.exploration_depth));
+  user_ws_.resize(static_cast<size_t>(config_.exploration_depth));
 }
 
 Tensor Hsgc::AggregateStep(const Tensor& self_emb, const Tensor& neighbor_emb,
-                           const std::vector<float>& pad,
-                           const std::vector<float>& spatial, int64_t n,
+                           const std::vector<float>* pad,
+                           const std::vector<float>* spatial, int64_t n,
                            int64_t step) const {
   const int64_t cap = config_.neighbor_cap;
   // Attention scores (Eq. 1): dot(self, neighbor), optionally scaled by the
   // spatial weight w_ij when the center node is a city.
   Tensor self3 = tensor::Reshape(self_emb, {n, 1, d_});
   Tensor scores = tensor::SumAxis(tensor::Mul(self3, neighbor_emb), -1);
-  if (!spatial.empty()) {
-    Tensor w = Tensor::FromVector({n, cap}, spatial);
+  if (spatial != nullptr) {
+    Tensor w = tensor::HostTensor({n, cap}, [spatial](float* out) {
+      std::copy(spatial->begin(), spatial->end(), out);
+    });
     scores = tensor::Mul(scores, w);
   }
   scores = tensor::Relu(scores);
   // Mask out padded neighbor slots before the softmax.
-  std::vector<float> additive(pad.size());
-  for (size_t i = 0; i < pad.size(); ++i) {
-    additive[i] = pad[i] > 0.5f ? 0.0f : -1e9f;
-  }
-  scores = tensor::Add(scores, Tensor::FromVector({n, cap}, additive));
+  Tensor additive = tensor::HostTensor({n, cap}, [pad](float* out) {
+    for (size_t i = 0; i < pad->size(); ++i) {
+      out[i] = (*pad)[i] > 0.5f ? 0.0f : -1e9f;
+    }
+  });
+  scores = tensor::Add(scores, additive);
   Tensor alpha = tensor::Softmax(scores);  // [n, cap]
   // Zero contributions from rows whose slots are all padded (isolated
   // nodes): multiply by the pad indicator.
-  Tensor alpha_masked =
-      tensor::Mul(alpha, Tensor::FromVector({n, cap}, pad));
+  Tensor pad_t = tensor::HostTensor({n, cap}, [pad](float* out) {
+    std::copy(pad->begin(), pad->end(), out);
+  });
+  Tensor alpha_masked = tensor::Mul(alpha, pad_t);
   Tensor alpha3 = tensor::Reshape(alpha_masked, {n, cap, 1});
   Tensor aggregated = tensor::SumAxis(tensor::Mul(alpha3, neighbor_emb), 1);
   // Line 5: ReLU(W^k . CONCAT(self, aggregated)).
@@ -71,38 +83,42 @@ Hsgc::State Hsgc::Forward() {
 
   State state;
   // Level 0: e^0 = M_T h (line 1 of Algorithm 1), over all cities.
-  std::vector<int64_t> all_cities(static_cast<size_t>(n));
-  for (int64_t c = 0; c < n; ++c) all_cities[static_cast<size_t>(c)] = c;
   state.city_levels.push_back(
-      transform_.Forward(city_features_.Forward(all_cities)));
+      transform_.Forward(city_features_.Forward(all_cities_)));
 
   for (int64_t k = 1; k <= config_.exploration_depth; ++k) {
-    // Sample each city's metapath neighbor cities (cap 5).
-    std::vector<int64_t> nbr_ids(static_cast<size_t>(n * cap), 0);
-    std::vector<float> pad(static_cast<size_t>(n * cap), 0.0f);
-    std::vector<float> spatial;
-    if (config_.use_spatial_weights) {
-      spatial.assign(static_cast<size_t>(n * cap), 0.0f);
-    }
-    for (int64_t c = 0; c < n; ++c) {
-      std::vector<int64_t> nbrs =
-          graph_->SampleCityNeighborCities(c, rho_, cap, &sample_rng_);
-      for (size_t j = 0; j < nbrs.size(); ++j) {
-        size_t idx = static_cast<size_t>(c * cap) + j;
-        nbr_ids[idx] = nbrs[j];
-        pad[idx] = 1.0f;
-        if (config_.use_spatial_weights) {
-          spatial[idx] =
-              static_cast<float>(graph_->SpatialWeight(c, nbrs[j]) *
-                                 static_cast<double>(n));  // rescale to O(1)
+    // Sample each city's metapath neighbor cities (cap 5) into the level's
+    // stable workspace. Under capture the whole sampling loop is a recorded
+    // host stage, re-run per replay so the RNG stream matches eager.
+    LevelWs* ws = &city_ws_[static_cast<size_t>(k - 1)];
+    tensor::PlanHostStage([this, ws, n, cap]() {
+      ws->nbr_ids.assign(static_cast<size_t>(n * cap), 0);
+      ws->pad.assign(static_cast<size_t>(n * cap), 0.0f);
+      if (config_.use_spatial_weights) {
+        ws->spatial.assign(static_cast<size_t>(n * cap), 0.0f);
+      } else {
+        ws->spatial.clear();
+      }
+      for (int64_t c = 0; c < n; ++c) {
+        std::vector<int64_t> nbrs =
+            graph_->SampleCityNeighborCities(c, rho_, cap, &sample_rng_);
+        for (size_t j = 0; j < nbrs.size(); ++j) {
+          size_t idx = static_cast<size_t>(c * cap) + j;
+          ws->nbr_ids[idx] = nbrs[j];
+          ws->pad[idx] = 1.0f;
+          if (config_.use_spatial_weights) {
+            ws->spatial[idx] =
+                static_cast<float>(graph_->SpatialWeight(c, nbrs[j]) *
+                                   static_cast<double>(n));  // rescale to O(1)
+          }
         }
       }
-    }
+    });
     const Tensor& prev = state.city_levels.back();
-    Tensor nbr_emb =
-        tensor::EmbeddingLookup(prev, nbr_ids, {n, cap});
-    state.city_levels.push_back(
-        AggregateStep(prev, nbr_emb, pad, spatial, n, k));
+    Tensor nbr_emb = tensor::EmbeddingLookup(prev, ws->nbr_ids, {n, cap});
+    state.city_levels.push_back(AggregateStep(
+        prev, nbr_emb, &ws->pad,
+        config_.use_spatial_weights ? &ws->spatial : nullptr, n, k));
   }
   return state;
 }
@@ -123,21 +139,27 @@ Tensor Hsgc::EmbedUsers(const State& state,
   // city tables of the previous level.
   Tensor user_emb = transform_.Forward(user_features_.Forward(user_ids));
   for (int64_t k = 1; k <= config_.exploration_depth; ++k) {
-    std::vector<int64_t> nbr_ids(static_cast<size_t>(batch * cap), 0);
-    std::vector<float> pad(static_cast<size_t>(batch * cap), 0.0f);
-    for (int64_t i = 0; i < batch; ++i) {
-      std::vector<int64_t> nbrs = graph_->SampleUserNeighborCities(
-          user_ids[static_cast<size_t>(i)], rho_, cap, &sample_rng_);
-      for (size_t j = 0; j < nbrs.size(); ++j) {
-        size_t idx = static_cast<size_t>(i * cap) + j;
-        nbr_ids[idx] = nbrs[j];
-        pad[idx] = 1.0f;
+    LevelWs* ws = &user_ws_[static_cast<size_t>(k - 1)];
+    const std::vector<int64_t>* ids = &user_ids;
+    tensor::PlanHostStage([this, ws, ids, batch, cap]() {
+      ws->nbr_ids.assign(static_cast<size_t>(batch * cap), 0);
+      ws->pad.assign(static_cast<size_t>(batch * cap), 0.0f);
+      for (int64_t i = 0; i < batch; ++i) {
+        std::vector<int64_t> nbrs = graph_->SampleUserNeighborCities(
+            (*ids)[static_cast<size_t>(i)], rho_, cap, &sample_rng_);
+        for (size_t j = 0; j < nbrs.size(); ++j) {
+          size_t idx = static_cast<size_t>(i * cap) + j;
+          ws->nbr_ids[idx] = nbrs[j];
+          ws->pad[idx] = 1.0f;
+        }
       }
-    }
+    });
     Tensor nbr_emb = tensor::EmbeddingLookup(
-        state.city_levels[static_cast<size_t>(k - 1)], nbr_ids, {batch, cap});
+        state.city_levels[static_cast<size_t>(k - 1)], ws->nbr_ids,
+        {batch, cap});
     // Users use the plain dot-product branch of Eq. 1 (no spatial weight).
-    user_emb = AggregateStep(user_emb, nbr_emb, pad, /*spatial=*/{}, batch, k);
+    user_emb = AggregateStep(user_emb, nbr_emb, &ws->pad, /*spatial=*/nullptr,
+                             batch, k);
   }
   return user_emb;
 }

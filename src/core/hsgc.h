@@ -51,7 +51,10 @@ class Hsgc : public nn::Module {
                              const tensor::Shape& index_shape) const;
 
   /// Level-K embeddings of `user_ids` ([N, d]): runs the user-side chain
-  /// of Algorithm 1 against the state's city tables.
+  /// of Algorithm 1 against the state's city tables. When a plan capture is
+  /// active, the caller must keep the `user_ids` vector *object* alive and
+  /// address-stable across replays (a bound-batch field), and call this at
+  /// most once per capture (the per-level sampling workspaces are members).
   tensor::Tensor EmbedUsers(const State& state,
                             const std::vector<int64_t>& user_ids);
 
@@ -59,13 +62,27 @@ class Hsgc : public nn::Module {
   graph::Metapath metapath() const { return rho_; }
 
  private:
+  /// Stable per-level sampling workspace. The neighbor re-sampling loops
+  /// run inside PlanHostStage closures that write into these members, and
+  /// the downstream lookup/mask tensors read them through HostTensor /
+  /// EmbeddingLookup — so a captured plan re-samples into the very same
+  /// vectors on every replay (advancing sample_rng_ exactly as an eager
+  /// pass would).
+  struct LevelWs {
+    std::vector<int64_t> nbr_ids;  // [N * cap], 0 at pads
+    std::vector<float> pad;        // [N * cap], 1 = real neighbor
+    std::vector<float> spatial;    // [N * cap] w_ij, cities only
+  };
+
   /// One aggregation step: given self embeddings [N, d] and per-row
   /// neighbor ids/pad ([N, cap]), computes e^k via Eq. 1 + line 5.
-  /// `spatial` is the optional per-row w_ij matrix ([N, cap], cities only).
+  /// `spatial` is the optional per-row w_ij matrix ([N, cap], cities
+  /// only; null for the user chain). Both vectors must be address-stable
+  /// workspace members (HostTensor closures capture them).
   tensor::Tensor AggregateStep(const tensor::Tensor& self_emb,
                                const tensor::Tensor& neighbor_emb,
-                               const std::vector<float>& pad,
-                               const std::vector<float>& spatial, int64_t n,
+                               const std::vector<float>* pad,
+                               const std::vector<float>* spatial, int64_t n,
                                int64_t step) const;
 
   const graph::HeterogeneousSpatialGraph* graph_;
@@ -77,6 +94,10 @@ class Hsgc : public nn::Module {
   nn::Embedding city_features_;  // h_v for city nodes
   nn::Linear transform_;         // M_T
   std::vector<std::unique_ptr<nn::Linear>> step_weights_;  // W^k, k=1..K
+
+  std::vector<int64_t> all_cities_;     // [num_cities] identity id list
+  std::vector<LevelWs> city_ws_;        // per level k = 1..K
+  std::vector<LevelWs> user_ws_;        // per level k = 1..K
 
   mutable util::Rng sample_rng_;
 };

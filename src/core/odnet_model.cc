@@ -61,8 +61,10 @@ Tensor RoleEncoder::Forward(const data::TaskBatch& batch) {
   Tensor v_l = pec_.Forward(e_long, batch.long_pad, e_short, batch.short_pad);
 
   // q = [v_L ; e_user ; e_lbs ; e_cand ; x_st]  (Fig. 4, bottom).
-  Tensor x_st = Tensor::FromVector(
-      {b, data::TemporalFeatureIndex::kDim}, std::vector<float>(batch.xst));
+  const std::vector<float>* xst = &batch.xst;
+  Tensor x_st = tensor::HostTensor(
+      {b, data::TemporalFeatureIndex::kDim},
+      [xst](float* out) { std::copy(xst->begin(), xst->end(), out); });
   return tensor::Concat({v_l, e_user, e_lbs, e_cand, x_st}, -1);
 }
 
@@ -96,10 +98,12 @@ OdnetModel::Output OdnetModel::Forward(const data::OdBatch& batch) {
 Tensor OdnetModel::Loss(const data::OdBatch& batch) {
   Output out = Forward(batch);
   const int64_t b = batch.origin.batch;
-  Tensor labels_o = Tensor::FromVector({b, 1},
-                                       std::vector<float>(batch.origin.labels));
-  Tensor labels_d = Tensor::FromVector(
-      {b, 1}, std::vector<float>(batch.destination.labels));
+  const std::vector<float>* lo = &batch.origin.labels;
+  const std::vector<float>* ld = &batch.destination.labels;
+  Tensor labels_o = tensor::HostTensor(
+      {b, 1}, [lo](float* o) { std::copy(lo->begin(), lo->end(), o); });
+  Tensor labels_d = tensor::HostTensor(
+      {b, 1}, [ld](float* o) { std::copy(ld->begin(), ld->end(), o); });
   Tensor loss_o = tensor::BceWithLogits(out.logit_o, labels_o);  // Eq. 9
   Tensor loss_d = tensor::BceWithLogits(out.logit_d, labels_d);  // Eq. 10
   // Eq. 8 with learnable theta. Unconstrained, d(Loss)/d(theta) =
@@ -117,6 +121,9 @@ Tensor OdnetModel::Loss(const data::OdBatch& batch) {
 std::pair<std::vector<double>, std::vector<double>> OdnetModel::Predict(
     const data::OdBatch& batch) {
   tensor::NoGradGuard guard;
+  // Op results lease from the thread's arena for the duration of the call;
+  // the probabilities are copied out before the scope resets it.
+  tensor::ArenaScope arena(tensor::BufferArena::ThreadLocal());
   Output out = Forward(batch);
   Tensor p_o = tensor::Sigmoid(out.logit_o);
   Tensor p_d = tensor::Sigmoid(out.logit_d);
@@ -124,6 +131,52 @@ std::pair<std::vector<double>, std::vector<double>> OdnetModel::Predict(
   std::vector<double> pd(p_d.vec().begin(), p_d.vec().end());
   return {std::move(po), std::move(pd)};
 }
+
+namespace {
+
+std::string ShapeSignature(const data::OdBatch& batch) {
+  return std::to_string(batch.origin.batch) + "x" +
+         std::to_string(batch.origin.t_long) + "x" +
+         std::to_string(batch.origin.t_short);
+}
+
+}  // namespace
+
+std::pair<std::vector<double>, std::vector<double>> OdnetModel::PredictPlanned(
+    const data::OdBatch& batch) {
+  if (!config_.capture_serving_plans) return Predict(batch);
+  const std::string sig = ShapeSignature(batch);
+  auto it = serving_plans_.find(sig);
+  if (it == serving_plans_.end()) {
+    // First batch of this shape: capture (which IS one eager run).
+    ServingPlan entry;
+    entry.bound = std::make_unique<data::OdBatch>(batch);
+    const data::OdBatch* bound = entry.bound.get();
+    std::vector<Tensor> outs;
+    entry.plan = tensor::GraphPlan::CaptureInference(
+        [this, bound]() {
+          Output out = Forward(*bound);
+          return std::vector<Tensor>{tensor::Sigmoid(out.logit_o),
+                                     tensor::Sigmoid(out.logit_d)};
+        },
+        &outs);
+    ++serving_plan_stats_.captures;
+    serving_plan_stats_.memory = entry.plan->memory_stats();
+    serving_plans_.emplace(sig, std::move(entry));
+    std::vector<double> po(outs[0].vec().begin(), outs[0].vec().end());
+    std::vector<double> pd(outs[1].vec().begin(), outs[1].vec().end());
+    return {std::move(po), std::move(pd)};
+  }
+  // Steady state: refresh the bound batch in place and replay.
+  data::CopyOdBatchContents(batch, it->second.bound.get());
+  const std::vector<Tensor>& outs = it->second.plan->Replay();
+  ++serving_plan_stats_.replays;
+  std::vector<double> po(outs[0].vec().begin(), outs[0].vec().end());
+  std::vector<double> pd(outs[1].vec().begin(), outs[1].vec().end());
+  return {std::move(po), std::move(pd)};
+}
+
+void OdnetModel::InvalidateServingPlans() { serving_plans_.clear(); }
 
 std::vector<double> OdnetModel::ServeScores(const data::OdBatch& batch) {
   auto [po, pd] = Predict(batch);

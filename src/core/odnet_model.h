@@ -1,7 +1,9 @@
 #ifndef ODNET_CORE_ODNET_MODEL_H_
 #define ODNET_CORE_ODNET_MODEL_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "src/graph/hsg.h"
 #include "src/nn/linear.h"
 #include "src/nn/module.h"
+#include "src/tensor/graph_plan.h"
 #include "src/util/rng.h"
 
 namespace odnet {
@@ -71,9 +74,33 @@ class OdnetModel : public nn::Module {
   /// task losses of Eq. 9-10.
   tensor::Tensor Loss(const data::OdBatch& batch);
 
-  /// Inference (no tape): per-sample (p_O, p_D) probabilities.
+  /// Inference (no tape): per-sample (p_O, p_D) probabilities. Eager, with
+  /// op results leased from the thread's BufferArena for the duration of
+  /// the call.
   std::pair<std::vector<double>, std::vector<double>> Predict(
       const data::OdBatch& batch);
+
+  /// Like Predict, but served through a captured GraphPlan: the first batch
+  /// of each shape signature (batch size, t_long, t_short) is an eager
+  /// capture, subsequent same-shape batches replay the plan with zero graph
+  /// construction or storage allocation. Bitwise identical to Predict. A
+  /// shape change falls back to an eager capture of a new plan. With
+  /// config.capture_serving_plans off this IS Predict.
+  std::pair<std::vector<double>, std::vector<double>> PredictPlanned(
+      const data::OdBatch& batch);
+
+  /// Counters and memory-plan stats of the serving plan cache.
+  struct ServingPlanStats {
+    int64_t captures = 0;  // plans captured (distinct shape signatures)
+    int64_t replays = 0;   // batches served by plan replay
+    tensor::MemoryPlanStats memory;  // of the most recent capture
+  };
+  const ServingPlanStats& serving_plan_stats() const {
+    return serving_plan_stats_;
+  }
+
+  /// Drops all captured serving plans (next batches re-capture).
+  void InvalidateServingPlans();
 
   /// Serving score of Eq. 11: theta * p_O + (1 - theta) * p_D.
   std::vector<double> ServeScores(const data::OdBatch& batch);
@@ -84,12 +111,22 @@ class OdnetModel : public nn::Module {
   const OdnetConfig& config() const { return config_; }
 
  private:
+  /// One cached serving plan: the plan plus the bound batch object its host
+  /// closures point at (unique_ptr for address stability across map ops).
+  struct ServingPlan {
+    std::unique_ptr<data::OdBatch> bound;
+    std::shared_ptr<tensor::GraphPlan> plan;
+  };
+
   OdnetConfig config_;
   util::Rng init_rng_;  // initialization stream; must precede the encoders
   RoleEncoder origin_encoder_;
   RoleEncoder destination_encoder_;
   OdJlc jlc_;
   tensor::Tensor theta_raw_;  // theta = 0.3 + 0.4*sigmoid(raw), in (0.3, 0.7)
+
+  std::map<std::string, ServingPlan> serving_plans_;  // by shape signature
+  ServingPlanStats serving_plan_stats_;
 };
 
 }  // namespace core

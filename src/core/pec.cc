@@ -1,5 +1,7 @@
 #include "src/core/pec.h"
 
+#include <algorithm>
+
 #include "src/tensor/ops.h"
 
 namespace odnet {
@@ -28,38 +30,42 @@ Tensor Pec::Forward(const Tensor& long_emb, const std::vector<float>& long_pad,
   ODNET_CHECK_EQ(static_cast<int64_t>(long_pad.size()), batch * t_long);
   ODNET_CHECK_EQ(static_cast<int64_t>(short_pad.size()), batch * t_short);
 
-  // Additive key masks for the encoders.
-  auto additive = [](const std::vector<float>& pad) {
-    std::vector<float> m(pad.size());
-    for (size_t i = 0; i < pad.size(); ++i) {
-      m[i] = pad[i] > 0.5f ? 0.0f : -1e9f;
-    }
-    return m;
+  // Additive key masks for the encoders. HostTensor closures point at the
+  // caller's pad vectors (bound-batch fields when captured into a plan, so
+  // replays see the refreshed batch).
+  auto additive = [](const std::vector<float>* pad) {
+    return [pad](float* out) {
+      for (size_t i = 0; i < pad->size(); ++i) {
+        out[i] = (*pad)[i] > 0.5f ? 0.0f : -1e9f;
+      }
+    };
   };
   Tensor long_mask =
-      Tensor::FromVector({batch, t_long}, additive(long_pad));
+      tensor::HostTensor({batch, t_long}, additive(&long_pad));
   Tensor short_mask =
-      Tensor::FromVector({batch, t_short}, additive(short_pad));
+      tensor::HostTensor({batch, t_short}, additive(&short_pad));
 
   // Encoding layer (Eq. 3) on both behaviour matrices.
   Tensor encoded_long = long_encoder_.Forward(long_emb, long_mask);
   Tensor encoded_short = short_encoder_.Forward(short_emb, short_mask);
 
   // Masked average pooling of the encoded short-term matrix -> v_S.
-  Tensor pad_s = Tensor::FromVector({batch, t_short, 1}, [&] {
-    std::vector<float> p(short_pad);
-    return p;
-  }());
+  const std::vector<float>* sp = &short_pad;
+  Tensor pad_s = tensor::HostTensor({batch, t_short, 1}, [sp](float* out) {
+    std::copy(sp->begin(), sp->end(), out);
+  });
   Tensor summed = tensor::SumAxis(tensor::Mul(encoded_short, pad_s), 1);
-  std::vector<float> counts(static_cast<size_t>(batch), 0.0f);
-  for (int64_t b = 0; b < batch; ++b) {
-    float c = 0.0f;
-    for (int64_t i = 0; i < t_short; ++i) {
-      c += short_pad[static_cast<size_t>(b * t_short + i)];
-    }
-    counts[static_cast<size_t>(b)] = std::max(c, 1.0f);
-  }
-  Tensor v_s = tensor::Div(summed, Tensor::FromVector({batch, 1}, counts));
+  Tensor counts =
+      tensor::HostTensor({batch, 1}, [sp, batch, t_short](float* out) {
+        for (int64_t b = 0; b < batch; ++b) {
+          float c = 0.0f;
+          for (int64_t i = 0; i < t_short; ++i) {
+            c += (*sp)[static_cast<size_t>(b * t_short + i)];
+          }
+          out[b] = std::max(c, 1.0f);
+        }
+      });
+  Tensor v_s = tensor::Div(summed, counts);
 
   // Dot-product attention (Eq. 4-5) focusing E_L-hat through v_S; padded
   // long-term positions are excluded from the keys.

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <future>
+#include <map>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/graph_plan.h"
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
@@ -53,6 +57,24 @@ TrainStats OdnetTrainer::Train() {
   std::shared_ptr<util::ThreadPool> pool =
       tensor::ComputeContext::Get().shared_pool();
 
+  // Captured train-step plans keyed by shape signature (batch size and
+  // sequence lengths; the optimizer's sparse mode rides along so a config
+  // change can never replay a stale plan). A signature miss falls back to
+  // eager execution — the capture itself IS one eager step — and caches the
+  // new plan; steady state then replays the retained tape per batch with no
+  // graph construction (DESIGN.md §10).
+  struct PlanEntry {
+    std::unique_ptr<data::OdBatch> bound;  // stable host object for closures
+    std::unique_ptr<tensor::TrainStepPlan> plan;
+  };
+  std::map<std::string, PlanEntry> plans;
+  auto signature = [&config](const data::OdBatch& b) {
+    return std::to_string(b.origin.batch) + "x" +
+           std::to_string(b.origin.t_long) + "x" +
+           std::to_string(b.origin.t_short) + "|" +
+           config.sparse_embedding_updates;
+  };
+
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     shuffle_rng_.Shuffle(&samples);
     double epoch_loss = 0.0;
@@ -75,12 +97,37 @@ TrainStats OdnetTrainer::Train() {
           encode_next();
         }
       }
-      tensor::Tensor loss = model_->Loss(current);
-      optimizer.ZeroGrad();
-      loss.Backward();
-      optimizer.ClipGradNorm(5.0);
-      optimizer.Step();
-      epoch_loss += loss.item();
+      double loss_value = 0.0;
+      if (config.capture_train_plan) {
+        auto it = plans.find(signature(current));
+        if (it == plans.end()) {
+          PlanEntry entry;
+          entry.bound = std::make_unique<data::OdBatch>(current);
+          const data::OdBatch* bound = entry.bound.get();
+          entry.plan = tensor::TrainStepPlan::Capture(
+              [this, bound]() { return model_->Loss(*bound); });
+          it = plans.emplace(signature(current), std::move(entry)).first;
+        } else {
+          data::CopyOdBatchContents(current, it->second.bound.get());
+          it->second.plan->ReplayForward();
+        }
+        optimizer.ZeroGrad();
+        it->second.plan->ReplayBackward();
+        optimizer.ClipGradNorm(5.0);
+        optimizer.Step();
+        loss_value = it->second.plan->loss().item();
+      } else {
+        // Eager step; op results lease from the thread's arena and are
+        // recycled when the scope resets it after the optimizer update.
+        tensor::ArenaScope arena(tensor::BufferArena::ThreadLocal());
+        tensor::Tensor loss = model_->Loss(current);
+        optimizer.ZeroGrad();
+        loss.Backward();
+        optimizer.ClipGradNorm(5.0);
+        optimizer.Step();
+        loss_value = loss.item();
+      }
+      epoch_loss += loss_value;
       ++batches;
       ++stats.steps;
       if (prefetch.valid()) prefetch.get();

@@ -124,5 +124,31 @@ OdBatch BatchEncoder::EncodeJoint(const std::vector<Sample>& samples,
                  EncodeDestination(samples, begin, end)};
 }
 
+void CopyTaskBatchContents(const TaskBatch& src, TaskBatch* dst) {
+  ODNET_CHECK(dst != nullptr);
+  ODNET_CHECK_EQ(src.batch, dst->batch) << "batch size changed under a plan";
+  ODNET_CHECK_EQ(src.t_long, dst->t_long) << "t_long changed under a plan";
+  ODNET_CHECK_EQ(src.t_short, dst->t_short) << "t_short changed under a plan";
+  // Vector assignment reuses the destination's capacity; the field objects
+  // themselves (what plan closures point at) never move.
+  dst->user_ids = src.user_ids;
+  dst->current_city = src.current_city;
+  dst->candidate = src.candidate;
+  dst->labels = src.labels;
+  dst->long_seq = src.long_seq;
+  dst->long_pad = src.long_pad;
+  dst->short_seq = src.short_seq;
+  dst->short_pad = src.short_pad;
+  dst->long_day_gap = src.long_day_gap;
+  dst->long_dist_gap = src.long_dist_gap;
+  dst->xst = src.xst;
+}
+
+void CopyOdBatchContents(const OdBatch& src, OdBatch* dst) {
+  ODNET_CHECK(dst != nullptr);
+  CopyTaskBatchContents(src.origin, &dst->origin);
+  CopyTaskBatchContents(src.destination, &dst->destination);
+}
+
 }  // namespace data
 }  // namespace odnet

@@ -53,6 +53,16 @@ struct OdBatch {
   TaskBatch destination;  // destination-aware view, labels = label_d
 };
 
+/// Copies `src`'s contents into `*dst` WITHOUT changing the addresses of
+/// dst's field objects (each vector is assigned element-wise into place).
+/// This is how captured execution plans are fed a new batch: the plan's
+/// host closures hold pointers to the bound batch's field vectors, so
+/// refreshing the contents in place makes the next replay see the new
+/// data. Dimensions (batch, t_long, t_short) must match the bound batch —
+/// shape changes require capturing a new plan — and are CHECKed.
+void CopyTaskBatchContents(const TaskBatch& src, TaskBatch* dst);
+void CopyOdBatchContents(const OdBatch& src, OdBatch* dst);
+
 /// \brief Translates (UserHistory, Sample) rows into padded id batches.
 ///
 /// The origin view of a booking sequence is its origin-city sequence, the

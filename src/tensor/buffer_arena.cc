@@ -1,0 +1,99 @@
+#include "src/tensor/buffer_arena.h"
+
+#include <algorithm>
+
+#include "src/tensor/graph_plan.h"
+
+namespace odnet {
+namespace tensor {
+
+namespace {
+
+thread_local BufferArena* g_current_arena = nullptr;
+
+}  // namespace
+
+BufferArena::BufferArena()
+    : generation_(std::make_shared<std::atomic<uint64_t>>(0)) {
+  current_lease_ = std::make_shared<ArenaLease>();
+  current_lease_->generation = generation_;
+  current_lease_->acquired = 0;
+}
+
+BufferArena::Buffer BufferArena::Acquire(int64_t numel) {
+  ODNET_CHECK_GE(numel, 0);
+  Pool& pool = pools_[numel];
+  Buffer out;
+  out.lease = current_lease_;
+  ++stats_.total_acquires;
+  ++stats_.live_buffers;
+  if (pool.next < pool.buffers.size()) {
+    out.storage = pool.buffers[pool.next++];
+    out.fresh = false;
+    ++stats_.reuse_hits;
+    return out;
+  }
+  // Fresh vector: zero-initialized by the language.
+  out.storage =
+      std::make_shared<std::vector<float>>(static_cast<size_t>(numel));
+  out.fresh = true;
+  pool.buffers.push_back(out.storage);
+  ++pool.next;
+  stats_.bytes_held += numel * static_cast<int64_t>(sizeof(float));
+  return out;
+}
+
+void BufferArena::Reset() {
+  const uint64_t next_gen =
+      generation_->fetch_add(1, std::memory_order_acq_rel) + 1;
+  current_lease_ = std::make_shared<ArenaLease>();
+  current_lease_->generation = generation_;
+  current_lease_->acquired = next_gen;
+  for (auto& [numel, pool] : pools_) {
+    (void)numel;
+    pool.next = 0;
+  }
+  stats_.live_buffers = 0;
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  Stats s = stats_;
+  s.generation = generation_->load(std::memory_order_acquire);
+  return s;
+}
+
+BufferArena* BufferArena::ThreadLocal() {
+  thread_local BufferArena arena;
+  return &arena;
+}
+
+BufferArena* CurrentArena() { return g_current_arena; }
+
+ArenaScope::ArenaScope(BufferArena* arena)
+    : arena_(arena), previous_(g_current_arena) {
+  ODNET_CHECK(arena != nullptr);
+  g_current_arena = arena;
+}
+
+ArenaScope::~ArenaScope() {
+  g_current_arena = previous_;
+  arena_->Reset();
+}
+
+OpBuffer AllocOpResult(int64_t numel, ZeroInit zero) {
+  BufferArena* arena = g_current_arena;
+  if (arena == nullptr || capture::Active()) {
+    // Owned path: value-initialized vector, already all-zero.
+    return OpBuffer{
+        std::make_shared<std::vector<float>>(static_cast<size_t>(numel)),
+        nullptr};
+  }
+  BufferArena::Buffer buf = arena->Acquire(numel);
+  if (zero == ZeroInit::kZeroed && !buf.fresh) {
+    std::fill(buf.storage->begin(), buf.storage->end(), 0.0f);
+  }
+  return OpBuffer{std::move(buf.storage), std::move(buf.lease)};
+}
+
+}  // namespace tensor
+}  // namespace odnet

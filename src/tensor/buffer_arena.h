@@ -1,0 +1,156 @@
+#ifndef ODNET_TENSOR_BUFFER_ARENA_H_
+#define ODNET_TENSOR_BUFFER_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace tensor {
+
+/// \brief Validity token for arena-leased storage.
+///
+/// Every buffer handed out by a BufferArena carries the lease of the arena
+/// generation it was acquired in. BufferArena::Reset() bumps the generation,
+/// which invalidates every outstanding lease at once without freeing or
+/// touching the buffers themselves — the arena recycles them for the next
+/// step. TensorImpl::data() CHECKs the lease, so a tensor (or a zero-copy
+/// view) that outlives its arena's Reset() dies loudly on first touch
+/// instead of silently reading recycled memory.
+///
+/// The generation counter is shared-owned so a lease stays safely checkable
+/// even if the arena itself has been destroyed (in which case the buffer is
+/// simply permanent and the lease reports the generation it captured).
+struct ArenaLease {
+  std::shared_ptr<const std::atomic<uint64_t>> generation;
+  uint64_t acquired = 0;
+
+  bool valid() const {
+    return generation == nullptr ||
+           generation->load(std::memory_order_acquire) == acquired;
+  }
+};
+
+/// \brief Bump-pointer recycling pools for op-result buffers.
+///
+/// Buffers are pooled by element count: Acquire(n) returns a recycled
+/// n-float buffer when one is free in the current generation, else allocates
+/// a fresh one and adds it to the pool. Reset() rewinds every pool's bump
+/// index and bumps the generation (invalidating all leases handed out since
+/// the previous Reset), so a steady-state workload that runs the same graph
+/// shape per step reaches zero heap allocation after the first step.
+///
+/// Not thread-safe: an arena belongs to one thread (ThreadLocal()) or one
+/// replay-buffer set. Parallel kernel *workers* never allocate op results —
+/// allocation happens on the dispatching thread — so per-thread arenas
+/// compose with the pool backend.
+class BufferArena {
+ public:
+  /// One leased buffer: the storage plus the generation lease to stamp onto
+  /// the TensorImpl. `fresh` is true when the vector was newly allocated
+  /// (and is therefore already zero-initialized by the language).
+  struct Buffer {
+    std::shared_ptr<std::vector<float>> storage;
+    std::shared_ptr<ArenaLease> lease;
+    bool fresh = false;
+  };
+
+  BufferArena();
+  ~BufferArena() = default;
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  /// Returns an `numel`-float buffer leased until the next Reset().
+  /// Recycled buffers contain the previous generation's values; callers
+  /// that accumulate into the buffer must request zeroing via
+  /// AllocOpResult (which only pays the fill on the recycled path).
+  Buffer Acquire(int64_t numel);
+
+  /// Retires every buffer handed out since the last Reset: bumps the
+  /// generation (hard-invalidating outstanding leases) and rewinds the
+  /// pools. The buffers themselves are kept for recycling.
+  void Reset();
+
+  struct Stats {
+    int64_t bytes_held = 0;      // total bytes of pooled buffers
+    int64_t live_buffers = 0;    // handed out this generation
+    int64_t total_acquires = 0;  // lifetime Acquire() calls
+    int64_t reuse_hits = 0;      // acquires served by recycling
+    uint64_t generation = 0;
+  };
+  Stats stats() const;
+
+  /// The calling thread's serving arena (one per thread, created lazily).
+  /// Used by ArenaScope in the eager serving/training hot loops.
+  static BufferArena* ThreadLocal();
+
+ private:
+  struct Pool {
+    std::vector<std::shared_ptr<std::vector<float>>> buffers;
+    size_t next = 0;  // bump index into `buffers`
+  };
+
+  std::unordered_map<int64_t, Pool> pools_;
+  std::shared_ptr<std::atomic<uint64_t>> generation_;
+  std::shared_ptr<ArenaLease> current_lease_;  // shared by this generation
+  Stats stats_;
+};
+
+/// The arena op results on the calling thread currently lease from, or
+/// nullptr (the default) for plain owned allocation.
+BufferArena* CurrentArena();
+
+/// \brief RAII install of an arena as the calling thread's op-result
+/// allocator; Reset()s the arena on scope exit (the per-step lifetime).
+///
+/// Nests: the previous arena (usually none) is restored on exit. Ops record
+/// the lease on their result tensors, so any tensor escaping the scope
+/// CHECK-fails on access rather than aliasing recycled memory; tensors that
+/// must survive call Clone() (deep copy to owned storage) inside the scope.
+class ArenaScope {
+ public:
+  explicit ArenaScope(BufferArena* arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  BufferArena* arena_;
+  BufferArena* previous_;
+};
+
+/// Allocation request for an op-result buffer.
+enum class ZeroInit {
+  /// The kernel fully overwrites its output: skip the zero fill on the
+  /// recycled-arena path (owned vectors are zero-initialized by the
+  /// language either way).
+  kSkip,
+  /// The kernel accumulates into its output (MatMul, SumAxis): the buffer
+  /// must start all-zero.
+  kZeroed,
+};
+
+/// An op-result buffer: either owned (fresh vector, null lease) or leased
+/// from the thread's current arena.
+struct OpBuffer {
+  std::shared_ptr<std::vector<float>> storage;
+  std::shared_ptr<ArenaLease> lease;  // null => owned
+
+  float* data() { return storage->data(); }
+};
+
+/// Allocates an op-result buffer of `numel` floats. Uses CurrentArena()
+/// when one is installed — except during graph capture, where results must
+/// be owned (a captured tape or plan retains its buffers across arena
+/// resets). ZeroInit::kZeroed guarantees an all-zero buffer; kSkip may
+/// return recycled garbage that the kernel must fully overwrite.
+OpBuffer AllocOpResult(int64_t numel, ZeroInit zero);
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_BUFFER_ARENA_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/graph_plan.h"
 #include "src/tensor/reference_backend.h"
 
 namespace odnet {
@@ -20,7 +22,8 @@ ComputeContext& Ctx() { return ComputeContext::Get(); }
 // True when the calling thread selected the reference oracle backend:
 // kernels below route to the naive serial implementations in
 // reference_backend.cc instead of the parallel tiled ones. Checked at
-// forward *and* backward execution time.
+// forward *and* backward execution time — and at *replay* time, since the
+// recorded plan kernels are the very closures below.
 bool RefMode() { return ComputeContext::backend() == Backend::kReference; }
 
 // MatMul tiling: process kMatMulRowBlock output rows against
@@ -336,51 +339,61 @@ void BinaryBackward(BinaryKind kind, const Shape& out_shape,
 Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   ODNET_CHECK(a.defined() && b.defined());
   Shape out_shape = BroadcastOrDie(a.shape(), b.shape());
-  std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-
-  if (RefMode()) {
-    reference::BinaryForward(kind, out_shape, a.shape(), b.shape(), pa, pb,
-                             po);
-  } else if (SameShape(a.shape(), b.shape())) {
-    // Fast path: no broadcasting.
-    const int64_t n = static_cast<int64_t>(out.size());
-    WithBinaryKernel(kind, [&](auto op) {
-      ParallelElementwise(n, 1, [&](int64_t i) { po[i] = op(pa[i], pb[i]); });
-    });
-  } else {
-    WithBinaryKernel(kind, [&](auto op) {
-      BroadcastIterate(out_shape, a.shape(), b.shape(),
-                       [&](int64_t i, int64_t ia, int64_t ib) {
-                         po[i] = op(pa[ia], pb[ib]);
-                       });
-    });
-  }
-
   Shape a_shape = a.shape();
   Shape b_shape = b.shape();
-  return Tensor::MakeForOp(
+  OpBuffer out = AllocOpResult(Numel(out_shape), ZeroInit::kSkip);
+
+  // The forward kernel, shared verbatim between the eager call below and
+  // the replay node (so replay is bitwise identical by construction).
+  auto run = [kind, out_shape, a_shape, b_shape](const float* pa,
+                                                 const float* pb, float* po) {
+    if (RefMode()) {
+      reference::BinaryForward(kind, out_shape, a_shape, b_shape, pa, pb, po);
+    } else if (SameShape(a_shape, b_shape)) {
+      // Fast path: no broadcasting.
+      const int64_t n = Numel(out_shape);
+      WithBinaryKernel(kind, [&](auto op) {
+        ParallelElementwise(n, 1,
+                            [&](int64_t i) { po[i] = op(pa[i], pb[i]); });
+      });
+    } else {
+      WithBinaryKernel(kind, [&](auto op) {
+        BroadcastIterate(out_shape, a_shape, b_shape,
+                         [&](int64_t i, int64_t ia, int64_t ib) {
+                           po[i] = op(pa[ia], pb[ib]);
+                         });
+      });
+    }
+  };
+  run(a.data(), b.data(), out.data());
+
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), {a, b},
       [kind, out_shape, a_shape, b_shape](TensorImpl* self) {
         BinaryBackward(kind, out_shape, a_shape, b_shape, self);
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a, b}, [run](const ReplayPtrs& p) {
+      run(p.in[0], p.in[1], p.out);
+    });
+  }
+  return result;
 }
 
 template <typename FwdFn, typename BwdFn>
 Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
   ODNET_CHECK(a.defined());
-  std::vector<float> out(a.vec().size());
-  const float* pa = a.data();
-  float* po = out.data();
-  const int64_t n = static_cast<int64_t>(out.size());
-  if (RefMode()) {
-    reference::UnaryForward(n, pa, po, fwd);
-  } else {
-    ParallelElementwise(n, 1, [&](int64_t i) { po[i] = fwd(pa[i]); });
-  }
-  return Tensor::MakeForOp(
+  const int64_t n = a.numel();
+  OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
+  auto run = [fwd, n](const float* pa, float* po) {
+    if (RefMode()) {
+      reference::UnaryForward(n, pa, po, fwd);
+    } else {
+      ParallelElementwise(n, 1, [&](int64_t i) { po[i] = fwd(pa[i]); });
+    }
+  };
+  run(a.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
       a.shape(), std::move(out), {a}, [bwd](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
@@ -397,6 +410,11 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
           pg[i] += g[i] * bwd(px[i], py[i]);
         });
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
+  return result;
 }
 
 }  // namespace
@@ -490,24 +508,28 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   }
 
   Shape out_shape = ra == 3 ? Shape{batch, m, n} : Shape{m, n};
-  std::vector<float> out(static_cast<size_t>(batch * m * n), 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
+  // The optimized forward accumulates into the output, so the buffer must
+  // start all-zero (the reference kernel fully overwrites; zeroing is
+  // harmless there).
+  OpBuffer out = AllocOpResult(batch * m * n, ZeroInit::kZeroed);
 
-  if (RefMode()) {
-    reference::MatMulForward(pa, pb, po, batch, m, k, n, b_batched);
-  } else {
-    // Tiled forward over global output rows r = bt*m + i; A's row is
-    // pa + r*k and C's row is po + r*n. Workers own disjoint row ranges.
-    Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
-                      [=](int64_t row_begin, int64_t row_end) {
-                        MatMulForwardRows(pa, pb, po, row_begin, row_end, m, k,
-                                          n, b_batched);
-                      });
-  }
+  auto run = [batch, m, k, n, b_batched](const float* pa, const float* pb,
+                                         float* po) {
+    if (RefMode()) {
+      reference::MatMulForward(pa, pb, po, batch, m, k, n, b_batched);
+    } else {
+      // Tiled forward over global output rows r = bt*m + i; A's row is
+      // pa + r*k and C's row is po + r*n. Workers own disjoint row ranges.
+      Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
+                        [=](int64_t row_begin, int64_t row_end) {
+                          MatMulForwardRows(pa, pb, po, row_begin, row_end, m,
+                                            k, n, b_batched);
+                        });
+    }
+  };
+  run(a.data(), b.data(), out.data());
 
-  return Tensor::MakeForOp(
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), {a, b},
       [batch, m, k, n, b_batched](TensorImpl* self) {
         TensorImpl* ia = self->parents[0].get();
@@ -564,6 +586,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           }
         }
       });
+  if (capture::Active()) {
+    capture::RecordOp(
+        result, {a, b},
+        [run](const ReplayPtrs& p) { run(p.in[0], p.in[1], p.out); },
+        /*zero_init_output=*/true);
+  }
+  return result;
 }
 
 Tensor TransposeLast2(const Tensor& a) {
@@ -575,23 +604,24 @@ Tensor TransposeLast2(const Tensor& a) {
   const int64_t rows = in_shape[in_shape.size() - 2];
   const int64_t cols = in_shape[in_shape.size() - 1];
   const int64_t batch = Numel(in_shape) / (rows * cols);
-  std::vector<float> out(a.vec().size());
-  const float* pa = a.data();
-  float* po = out.data();
-  if (RefMode()) {
-    reference::TransposeLast2Forward(pa, po, batch, rows, cols);
-  } else {
-    ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
-      const float* src = pa + bt * rows * cols;
-      float* dst = po + bt * rows * cols;
-      for (int64_t i = 0; i < rows; ++i) {
-        for (int64_t j = 0; j < cols; ++j) {
-          dst[j * rows + i] = src[i * cols + j];
+  OpBuffer out = AllocOpResult(a.numel(), ZeroInit::kSkip);
+  auto run = [batch, rows, cols](const float* pa, float* po) {
+    if (RefMode()) {
+      reference::TransposeLast2Forward(pa, po, batch, rows, cols);
+    } else {
+      ParallelElementwise(batch, rows * cols, [&](int64_t bt) {
+        const float* src = pa + bt * rows * cols;
+        float* dst = po + bt * rows * cols;
+        for (int64_t i = 0; i < rows; ++i) {
+          for (int64_t j = 0; j < cols; ++j) {
+            dst[j * rows + i] = src[i * cols + j];
+          }
         }
-      }
-    });
-  }
-  return Tensor::MakeForOp(
+      });
+    }
+  };
+  run(a.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), {a}, [rows, cols, batch](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
@@ -612,6 +642,11 @@ Tensor TransposeLast2(const Tensor& a) {
           }
         });
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
+  return result;
 }
 
 Tensor Reshape(const Tensor& a, const Shape& new_shape) {
@@ -622,21 +657,30 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
     // Oracle semantics for the zero-copy view: a plain materialized copy
     // with elementwise gradient routing. The differential tests compare
     // this against the aliasing view node below.
-    std::vector<float> out = a.vec();
-    return Tensor::MakeForOp(new_shape, std::move(out), {a},
-                             [](TensorImpl* self) {
-                               TensorImpl* parent = self->parents[0].get();
-                               if (!parent->requires_grad) return;
-                               const float* g = self->grad.data();
-                               float* pg = parent->grad.data();
-                               const int64_t n =
-                                   static_cast<int64_t>(self->grad.size());
-                               for (int64_t i = 0; i < n; ++i) pg[i] += g[i];
-                             });
+    const int64_t n = a.numel();
+    OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
+    auto run = [n](const float* pa, float* po) {
+      std::memcpy(po, pa, static_cast<size_t>(n) * sizeof(float));
+    };
+    run(a.data(), out.data());
+    Tensor result = Tensor::MakeForOp(
+        new_shape, std::move(out), {a}, [](TensorImpl* self) {
+          TensorImpl* parent = self->parents[0].get();
+          if (!parent->requires_grad) return;
+          const float* g = self->grad.data();
+          float* pg = parent->grad.data();
+          const int64_t gn = static_cast<int64_t>(self->grad.size());
+          for (int64_t i = 0; i < gn; ++i) pg[i] += g[i];
+        });
+    if (capture::Active()) {
+      capture::RecordOp(result, {a},
+                        [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+    }
+    return result;
   }
   // Zero-copy: the view aliases the parent's storage; only the grad buffer
   // is per-node, routed back elementwise.
-  return Tensor::MakeViewForOp(new_shape, a, [](TensorImpl* self) {
+  Tensor result = Tensor::MakeViewForOp(new_shape, a, [](TensorImpl* self) {
     TensorImpl* parent = self->parents[0].get();
     if (!parent->requires_grad) return;
     const float* g = self->grad.data();
@@ -644,6 +688,8 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
     ParallelElementwise(static_cast<int64_t>(self->grad.size()), 1,
                         [&](int64_t i) { pg[i] += g[i]; });
   });
+  if (capture::Active()) capture::RecordAlias(result, a);
+  return result;
 }
 
 Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
@@ -675,24 +721,31 @@ Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
   int64_t inner = 1;
   for (int d = axis + 1; d < rank; ++d) inner *= first[static_cast<size_t>(d)];
 
-  std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
   std::vector<int64_t> axis_dims;
   axis_dims.reserve(inputs.size());
   for (const Tensor& t : inputs) axis_dims.push_back(t.dim(axis));
 
-  int64_t offset = 0;
-  for (size_t idx = 0; idx < inputs.size(); ++idx) {
-    const float* src = inputs[idx].data();
-    const int64_t ad = axis_dims[idx];
-    for (int64_t o = 0; o < outer; ++o) {
-      std::memcpy(out.data() + (o * concat_dim + offset) * inner,
-                  src + o * ad * inner,
-                  static_cast<size_t>(ad * inner) * sizeof(float));
+  OpBuffer out = AllocOpResult(Numel(out_shape), ZeroInit::kSkip);
+  auto run = [outer, inner, concat_dim, axis_dims](const float* const* in,
+                                                   float* po) {
+    int64_t offset = 0;
+    for (size_t idx = 0; idx < axis_dims.size(); ++idx) {
+      const float* src = in[idx];
+      const int64_t ad = axis_dims[idx];
+      for (int64_t o = 0; o < outer; ++o) {
+        std::memcpy(po + (o * concat_dim + offset) * inner,
+                    src + o * ad * inner,
+                    static_cast<size_t>(ad * inner) * sizeof(float));
+      }
+      offset += ad;
     }
-    offset += ad;
-  }
+  };
+  std::vector<const float*> in_ptrs;
+  in_ptrs.reserve(inputs.size());
+  for (const Tensor& t : inputs) in_ptrs.push_back(t.data());
+  run(in_ptrs.data(), out.data());
 
-  return Tensor::MakeForOp(
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), inputs,
       [outer, inner, concat_dim, axis_dims](TensorImpl* self) {
         int64_t offset = 0;
@@ -710,6 +763,11 @@ Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
           offset += ad;
         }
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, inputs,
+                      [run](const ReplayPtrs& p) { run(p.in, p.out); });
+  }
+  return result;
 }
 
 Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
@@ -731,15 +789,17 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
   for (int d = axis + 1; d < rank; ++d) inner *= in_shape[static_cast<size_t>(d)];
   const int64_t in_axis = in_shape[static_cast<size_t>(axis)];
 
-  std::vector<float> out(static_cast<size_t>(Numel(out_shape)));
-  const float* src = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    std::memcpy(out.data() + o * length * inner,
-                src + (o * in_axis + start) * inner,
-                static_cast<size_t>(length * inner) * sizeof(float));
-  }
+  OpBuffer out = AllocOpResult(Numel(out_shape), ZeroInit::kSkip);
+  auto run = [outer, inner, in_axis, start, length](const float* src,
+                                                    float* po) {
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + o * length * inner, src + (o * in_axis + start) * inner,
+                  static_cast<size_t>(length * inner) * sizeof(float));
+    }
+  };
+  run(a.data(), out.data());
 
-  return Tensor::MakeForOp(
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), {a},
       [outer, inner, in_axis, start, length](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
@@ -750,6 +810,11 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
           for (int64_t i = 0; i < length * inner; ++i) dst[i] += g[i];
         }
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
+  return result;
 }
 
 Tensor Stack(const std::vector<Tensor>& inputs) {
@@ -762,30 +827,44 @@ Tensor Stack(const std::vector<Tensor>& inputs) {
   out_shape.push_back(static_cast<int64_t>(inputs.size()));
   out_shape.insert(out_shape.end(), unit.begin(), unit.end());
   const int64_t unit_n = Numel(unit);
-  std::vector<float> out(static_cast<size_t>(unit_n * inputs.size()));
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    std::memcpy(out.data() + static_cast<int64_t>(i) * unit_n,
-                inputs[i].data(), static_cast<size_t>(unit_n) * sizeof(float));
+  const size_t count = inputs.size();
+  OpBuffer out = AllocOpResult(unit_n * static_cast<int64_t>(count),
+                               ZeroInit::kSkip);
+  auto run = [unit_n, count](const float* const* in, float* po) {
+    for (size_t i = 0; i < count; ++i) {
+      std::memcpy(po + static_cast<int64_t>(i) * unit_n, in[i],
+                  static_cast<size_t>(unit_n) * sizeof(float));
+    }
+  };
+  std::vector<const float*> in_ptrs;
+  in_ptrs.reserve(count);
+  for (const Tensor& t : inputs) in_ptrs.push_back(t.data());
+  run(in_ptrs.data(), out.data());
+
+  Tensor result = Tensor::MakeForOp(
+      out_shape, std::move(out), inputs, [unit_n](TensorImpl* self) {
+        for (size_t i = 0; i < self->parents.size(); ++i) {
+          TensorImpl* parent = self->parents[i].get();
+          if (!parent->requires_grad) continue;
+          const float* g =
+              self->grad.data() + static_cast<int64_t>(i) * unit_n;
+          for (int64_t j = 0; j < unit_n; ++j) {
+            parent->grad[static_cast<size_t>(j)] += g[j];
+          }
+        }
+      });
+  if (capture::Active()) {
+    capture::RecordOp(result, inputs,
+                      [run](const ReplayPtrs& p) { run(p.in, p.out); });
   }
-  return Tensor::MakeForOp(out_shape, std::move(out), inputs,
-                           [unit_n](TensorImpl* self) {
-                             for (size_t i = 0; i < self->parents.size(); ++i) {
-                               TensorImpl* parent = self->parents[i].get();
-                               if (!parent->requires_grad) continue;
-                               const float* g = self->grad.data() +
-                                                static_cast<int64_t>(i) * unit_n;
-                               for (int64_t j = 0; j < unit_n; ++j) {
-                                 parent->grad[static_cast<size_t>(j)] += g[j];
-                               }
-                             }
-                           });
+  return result;
 }
 
 namespace {
 
-// Backward plan for EmbeddingLookup, built once at forward time: lookup
-// positions grouped by table row (CSR layout), rows sorted ascending and
-// per-row positions ascending. The grouped scatter then owns each
+// Backward plan for EmbeddingLookup, built once per forward (in grad mode):
+// lookup positions grouped by table row (CSR layout), rows sorted ascending
+// and per-row positions ascending. The grouped scatter then owns each
 // destination row exclusively (parallel-safe) while accumulating every
 // element in the same position order as the serial i-ascending scatter, so
 // the result is bitwise identical regardless of thread count. `rows` doubles
@@ -818,6 +897,21 @@ EmbeddingBackwardPlan BuildEmbeddingBackwardPlan(
   return plan;
 }
 
+// Shared forward/backward state of one EmbeddingLookup node. The forward
+// kernel (eager and replay alike) reads the *live* index vector — whose
+// object address the caller keeps stable when the op is captured into a
+// plan — revalidates bounds, and (when the table needs grad) rebuilds the
+// CSR backward plan for the current indices; the backward closure then
+// consumes the freshest plan. Inference skips the plan build entirely.
+struct EmbeddingOpState {
+  const std::vector<int64_t>* live_indices = nullptr;
+  int64_t expected_count = 0;
+  int64_t vocab = 0;
+  int64_t dim = 0;
+  bool needs_plan = false;
+  std::shared_ptr<const EmbeddingBackwardPlan> plan;
+};
+
 }  // namespace
 
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
@@ -829,35 +923,54 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
   const int64_t dim = table.dim(1);
   const int64_t count = static_cast<int64_t>(indices.size());
 
-  for (int64_t i = 0; i < count; ++i) {
-    ODNET_CHECK_GE(indices[i], 0) << "embedding index out of range";
-    ODNET_CHECK_LT(indices[i], vocab) << "embedding index out of range";
-  }
+  auto state = std::make_shared<EmbeddingOpState>();
+  state->live_indices = &indices;
+  state->expected_count = count;
+  state->vocab = vocab;
+  state->dim = dim;
+  state->needs_plan = table.requires_grad() && GradModeEnabled();
 
   Shape out_shape = index_shape;
   out_shape.push_back(dim);
-  std::vector<float> out(static_cast<size_t>(count) *
-                         static_cast<size_t>(dim));
-  const float* src = table.data();
-  if (RefMode()) {
-    reference::EmbeddingLookupForward(src, indices.data(), count, dim,
-                                      out.data());
-  } else {
-    float* po = out.data();
-    const int64_t* pi = indices.data();
-    ParallelElementwise(count, dim, [=](int64_t i) {
-      std::memcpy(po + i * dim, src + pi[i] * dim,
-                  static_cast<size_t>(dim) * sizeof(float));
-    });
-  }
+  OpBuffer out = AllocOpResult(count * dim, ZeroInit::kSkip);
 
-  auto plan = std::make_shared<const EmbeddingBackwardPlan>(
-      BuildEmbeddingBackwardPlan(indices));
+  auto run = [state](const float* src, float* po) {
+    const std::vector<int64_t>& idx = *state->live_indices;
+    ODNET_CHECK_EQ(static_cast<int64_t>(idx.size()), state->expected_count)
+        << "embedding index count changed under a captured plan "
+           "(invalidate and re-capture on shape change)";
+    const int64_t count = state->expected_count;
+    const int64_t dim = state->dim;
+    const int64_t vocab = state->vocab;
+    for (int64_t i = 0; i < count; ++i) {
+      ODNET_CHECK_GE(idx[i], 0) << "embedding index out of range";
+      ODNET_CHECK_LT(idx[i], vocab) << "embedding index out of range";
+    }
+    if (RefMode()) {
+      reference::EmbeddingLookupForward(src, idx.data(), count, dim, po);
+    } else {
+      const int64_t* pi = idx.data();
+      ParallelElementwise(count, dim, [=](int64_t i) {
+        std::memcpy(po + i * dim, src + pi[i] * dim,
+                    static_cast<size_t>(dim) * sizeof(float));
+      });
+    }
+    if (state->needs_plan) {
+      state->plan = std::make_shared<const EmbeddingBackwardPlan>(
+          BuildEmbeddingBackwardPlan(idx));
+    }
+  };
+  run(table.data(), out.data());
+
   Tensor result = Tensor::MakeForOp(
-      out_shape, std::move(out), {table},
-      [plan, dim](TensorImpl* self) {
+      out_shape, std::move(out), {table}, [state](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        const std::shared_ptr<const EmbeddingBackwardPlan> plan = state->plan;
+        ODNET_CHECK(plan != nullptr)
+            << "EmbeddingLookup backward without a forward-built plan (the "
+               "table did not require grad at forward time)";
+        const int64_t dim = state->dim;
         // Record which rows this scatter touches before writing (the only
         // writer keeping the table's row-sparsity metadata alive; see
         // sparse_aware_backward below).
@@ -894,22 +1007,37 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
             });
       });
   result.impl()->sparse_aware_backward = true;
+  if (capture::Active()) {
+    capture::RecordOp(result, {table},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
   return result;
 }
 
 Tensor Sum(const Tensor& a) {
   ODNET_CHECK(a.defined());
+  const int64_t n = a.numel();
+  OpBuffer out = AllocOpResult(1, ZeroInit::kSkip);
   // Full reduction: kept serial so the accumulation order (and thus the
   // result bits) never depends on the thread count.
-  double total = 0.0;
-  for (float x : a.vec()) total += x;
-  return Tensor::MakeForOp({}, {static_cast<float>(total)}, {a},
-                           [](TensorImpl* self) {
-                             TensorImpl* parent = self->parents[0].get();
-                             if (!parent->requires_grad) return;
-                             const float g = self->grad[0];
-                             for (float& pg : parent->grad) pg += g;
-                           });
+  auto run = [n](const float* pa, float* po) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) total += pa[i];
+    po[0] = static_cast<float>(total);
+  };
+  run(a.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
+      {}, std::move(out), {a}, [](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        const float g = self->grad[0];
+        for (float& pg : parent->grad) pg += g;
+      });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
+  return result;
 }
 
 Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
@@ -934,24 +1062,26 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
     }
   }
 
-  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
-  const float* src = a.data();
-  float* po = out.data();
-  if (RefMode()) {
-    reference::SumAxisForward(src, po, outer, axis_dim, inner);
-  } else {
-    // Each outer block owns out[o*inner, (o+1)*inner): disjoint, and the
-    // per-element sum over the axis keeps its serial order.
-    ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
-      for (int64_t k = 0; k < axis_dim; ++k) {
-        const float* row = src + (o * axis_dim + k) * inner;
-        float* dst = po + o * inner;
-        for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
-      }
-    });
-  }
+  // The optimized path accumulates into the output (reference overwrites).
+  OpBuffer out = AllocOpResult(outer * inner, ZeroInit::kZeroed);
+  auto run = [outer, inner, axis_dim](const float* src, float* po) {
+    if (RefMode()) {
+      reference::SumAxisForward(src, po, outer, axis_dim, inner);
+    } else {
+      // Each outer block owns out[o*inner, (o+1)*inner): disjoint, and the
+      // per-element sum over the axis keeps its serial order.
+      ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
+        for (int64_t k = 0; k < axis_dim; ++k) {
+          const float* row = src + (o * axis_dim + k) * inner;
+          float* dst = po + o * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
+        }
+      });
+    }
+  };
+  run(a.data(), out.data());
 
-  return Tensor::MakeForOp(
+  Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), {a},
       [outer, inner, axis_dim](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
@@ -970,6 +1100,12 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
           }
         });
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); },
+                      /*zero_init_output=*/true);
+  }
+  return result;
 }
 
 Tensor Mean(const Tensor& a) {
@@ -991,27 +1127,28 @@ Tensor Softmax(const Tensor& a) {
   ODNET_CHECK_GE(a.rank(), 1);
   const int64_t cols = a.dim(-1);
   const int64_t rows = a.numel() / cols;
-  std::vector<float> out(a.vec().size());
-  const float* src = a.data();
-  float* po = out.data();
-  if (RefMode()) {
-    reference::SoftmaxForward(src, po, rows, cols);
-  } else {
-    ParallelElementwise(rows, cols, [&](int64_t r) {
-      const float* x = src + r * cols;
-      float* y = po + r * cols;
-      float max_val = x[0];
-      for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
-      float total = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) {
-        y[c] = std::exp(x[c] - max_val);
-        total += y[c];
-      }
-      const float inv = 1.0f / total;
-      for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
-    });
-  }
-  return Tensor::MakeForOp(
+  OpBuffer out = AllocOpResult(a.numel(), ZeroInit::kSkip);
+  auto run = [rows, cols](const float* src, float* po) {
+    if (RefMode()) {
+      reference::SoftmaxForward(src, po, rows, cols);
+    } else {
+      ParallelElementwise(rows, cols, [&](int64_t r) {
+        const float* x = src + r * cols;
+        float* y = po + r * cols;
+        float max_val = x[0];
+        for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
+        float total = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+          y[c] = std::exp(x[c] - max_val);
+          total += y[c];
+        }
+        const float inv = 1.0f / total;
+        for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
+      });
+    }
+  };
+  run(a.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
       a.shape(), std::move(out), {a}, [rows, cols](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
@@ -1034,6 +1171,11 @@ Tensor Softmax(const Tensor& a) {
           }
         });
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
+  return result;
 }
 
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
@@ -1043,57 +1185,73 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
   // Inference / p == 0 is the identity: return the input itself (zero-copy,
   // no tape node) instead of materializing a scaled-by-1 copy. The oracle
   // backend materializes a plain identity node instead, so the differential
-  // tests check the zero-copy fast path against copy semantics.
+  // tests check the zero-copy fast path against copy semantics. Neither
+  // path consumes the Rng, so capture/replay order is unaffected.
   if (!training || p == 0.0f) {
     if (!RefMode()) return a;
-    std::vector<float> out = a.vec();
-    return Tensor::MakeForOp(a.shape(), std::move(out), {a},
-                             [](TensorImpl* self) {
-                               TensorImpl* parent = self->parents[0].get();
-                               if (!parent->requires_grad) return;
-                               const float* g = self->grad.data();
-                               float* pg = parent->grad.data();
-                               const int64_t n =
-                                   static_cast<int64_t>(self->grad.size());
-                               for (int64_t i = 0; i < n; ++i) pg[i] += g[i];
-                             });
+    const int64_t n = a.numel();
+    OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
+    auto run = [n](const float* pa, float* po) {
+      std::memcpy(po, pa, static_cast<size_t>(n) * sizeof(float));
+    };
+    run(a.data(), out.data());
+    Tensor result = Tensor::MakeForOp(
+        a.shape(), std::move(out), {a}, [](TensorImpl* self) {
+          TensorImpl* parent = self->parents[0].get();
+          if (!parent->requires_grad) return;
+          const float* g = self->grad.data();
+          float* pg = parent->grad.data();
+          const int64_t gn = static_cast<int64_t>(self->grad.size());
+          for (int64_t i = 0; i < gn; ++i) pg[i] += g[i];
+        });
+    if (capture::Active()) {
+      capture::RecordOp(result, {a},
+                        [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+    }
+    return result;
   }
   ODNET_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
-  // Mask draws stay serial: the Rng stream must not depend on thread count
-  // (or on the backend — the oracle path consumes the same draws).
-  std::vector<float> mask(a.vec().size());
-  for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
-  std::vector<float> out(a.vec().size());
-  const float* src = a.data();
-  const float* pm = mask.data();
-  float* po = out.data();
-  if (RefMode()) {
-    const int64_t n = static_cast<int64_t>(out.size());
-    for (int64_t i = 0; i < n; ++i) po[i] = src[i] * pm[i];
-  } else {
-    ParallelElementwise(static_cast<int64_t>(out.size()), 1,
-                        [&](int64_t i) { po[i] = src[i] * pm[i]; });
+  const int64_t n = a.numel();
+  // The mask lives in shared state: the forward kernel redraws it from the
+  // op's Rng on every execution — eager or replay, in node order, so the
+  // Rng stream advances identically either way — and the backward closure
+  // reads whatever the latest forward drew. The Rng must outlive any plan
+  // this node is captured into (model-owned Rngs satisfy this).
+  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  auto run = [mask, p, scale, rng, n](const float* src, float* po) {
+    // Mask draws stay serial: the Rng stream must not depend on thread
+    // count (or on the backend — the oracle path consumes the same draws).
+    for (float& m : *mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+    const float* pm = mask->data();
+    if (RefMode()) {
+      for (int64_t i = 0; i < n; ++i) po[i] = src[i] * pm[i];
+    } else {
+      ParallelElementwise(n, 1, [&](int64_t i) { po[i] = src[i] * pm[i]; });
+    }
+  };
+  OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
+  run(a.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
+      a.shape(), std::move(out), {a}, [mask](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        const float* g = self->grad.data();
+        const float* pm = mask->data();
+        float* pg = parent->grad.data();
+        const int64_t gn = static_cast<int64_t>(mask->size());
+        if (RefMode()) {
+          for (int64_t i = 0; i < gn; ++i) pg[i] += g[i] * pm[i];
+          return;
+        }
+        ParallelElementwise(gn, 1, [&](int64_t i) { pg[i] += g[i] * pm[i]; });
+      });
+  if (capture::Active()) {
+    capture::NoteHostData();  // the kernel draws from the shared host Rng
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
   }
-  return Tensor::MakeForOp(a.shape(), std::move(out), {a},
-                           [mask](TensorImpl* self) {
-                             TensorImpl* parent = self->parents[0].get();
-                             if (!parent->requires_grad) return;
-                             const float* g = self->grad.data();
-                             const float* pm = mask.data();
-                             float* pg = parent->grad.data();
-                             const int64_t n =
-                                 static_cast<int64_t>(mask.size());
-                             if (RefMode()) {
-                               for (int64_t i = 0; i < n; ++i) {
-                                 pg[i] += g[i] * pm[i];
-                               }
-                               return;
-                             }
-                             ParallelElementwise(
-                                 n, 1,
-                                 [&](int64_t i) { pg[i] += g[i] * pm[i]; });
-                           });
+  return result;
 }
 
 Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
@@ -1103,20 +1261,22 @@ Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
       << ShapeToString(targets.shape());
   const int64_t n = logits.numel();
   ODNET_CHECK_GT(n, 0);
-  const float* x = logits.data();
-  const float* t = targets.data();
+  OpBuffer out = AllocOpResult(1, ZeroInit::kSkip);
   // loss_i = max(x,0) - x*t + log(1 + exp(-|x|))  (stable)
   // Serial: a full reduction whose accumulation order must not depend on
   // the thread count.
-  double total = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    float xi = x[i];
-    total += std::max(xi, 0.0f) - xi * t[i] +
-             std::log1p(std::exp(-std::fabs(xi)));
-  }
-  float mean = static_cast<float>(total / static_cast<double>(n));
-  return Tensor::MakeForOp(
-      {}, {mean}, {logits, targets}, [n](TensorImpl* self) {
+  auto run = [n](const float* x, const float* t, float* po) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      float xi = x[i];
+      total += std::max(xi, 0.0f) - xi * t[i] +
+               std::log1p(std::exp(-std::fabs(xi)));
+    }
+    po[0] = static_cast<float>(total / static_cast<double>(n));
+  };
+  run(logits.data(), targets.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
+      {}, std::move(out), {logits, targets}, [n](TensorImpl* self) {
         TensorImpl* xl = self->parents[0].get();
         TensorImpl* tg = self->parents[1].get();
         const float g = self->grad[0] / static_cast<float>(n);
@@ -1148,11 +1308,31 @@ Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
           }
         }
       });
+  if (capture::Active()) {
+    capture::RecordOp(result, {logits, targets}, [run](const ReplayPtrs& p) {
+      run(p.in[0], p.in[1], p.out);
+    });
+  }
+  return result;
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
   Tensor diff = Sub(pred, target);
   return Mean(Mul(diff, diff));
+}
+
+Tensor HostTensor(const Shape& shape, std::function<void(float*)> fill) {
+  ODNET_CHECK(fill != nullptr);
+  const int64_t n = Numel(shape);
+  OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
+  fill(out.data());
+  Tensor result = Tensor::MakeForOp(shape, std::move(out), {}, nullptr);
+  if (capture::Active()) {
+    capture::NoteHostData();  // `fill` reads host state the caller mutates
+    capture::RecordOp(result, {},
+                      [fill](const ReplayPtrs& p) { fill(p.out); });
+  }
+  return result;
 }
 
 }  // namespace tensor

@@ -2,6 +2,7 @@
 #define ODNET_TENSOR_OPS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/tensor/tensor.h"
@@ -97,6 +98,18 @@ Tensor Softmax(const Tensor& a);
 /// When `training` is false or p == 0 it returns `a` itself (zero-copy
 /// identity; no tape node is added, gradients flow to `a` directly).
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training);
+
+// -- Host data ---------------------------------------------------------------------
+
+/// A tensor whose contents are produced by a host closure: `fill` must fully
+/// overwrite its [Numel(shape)]-float argument. Capture-aware replacement
+/// for FromVector on per-batch host data (labels, masks, padded id grids):
+/// when a plan capture is active the closure is recorded and re-run into the
+/// same buffer on every replay, so `fill` must read only *objects* that the
+/// caller keeps alive and address-stable across replays (stable workspace
+/// members, bound-batch fields) — never temporaries. No tape node is
+/// created; the result never requires grad.
+Tensor HostTensor(const Shape& shape, std::function<void(float*)> fill);
 
 // -- Losses -----------------------------------------------------------------------
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "src/tensor/graph_plan.h"
+
 namespace odnet {
 namespace tensor {
 
@@ -197,10 +199,12 @@ Tensor Tensor::Clone() const {
 Tensor Tensor::Detach() const {
   ODNET_CHECK(defined());
   // Shares the values (as the header promises) without the tape: cheap, and
-  // storage is only ever mutated through leaf parameters.
+  // storage is only ever mutated through leaf parameters. The lease travels
+  // with the storage: a detached alias of arena-backed data expires with it.
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = impl_->shape;
   impl->storage = impl_->storage;
+  impl->lease = impl_->lease;
   impl->id = g_next_tensor_id.fetch_add(1);
   return Tensor(std::move(impl));
 }
@@ -221,6 +225,7 @@ std::string Tensor::ToString(int64_t max_values) const {
 Tensor Tensor::MakeForOp(Shape shape, std::vector<float> data,
                          std::vector<Tensor> parents,
                          std::function<void(internal::TensorImpl*)> backward) {
+  capture::NoteTensorCreated();
   Tensor out(NewImpl(std::move(shape), std::move(data)));
   bool any_grad = false;
   for (const Tensor& p : parents) {
@@ -238,6 +243,36 @@ Tensor Tensor::MakeForOp(Shape shape, std::vector<float> data,
   return out;
 }
 
+Tensor Tensor::MakeForOp(Shape shape, OpBuffer buffer,
+                         std::vector<Tensor> parents,
+                         std::function<void(internal::TensorImpl*)> backward) {
+  capture::NoteTensorCreated();
+  Tensor out(NewImpl(std::move(shape), std::move(buffer.storage)));
+  out.impl_->lease = std::move(buffer.lease);
+  bool any_grad = false;
+  for (const Tensor& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any_grad = true;
+      break;
+    }
+  }
+  if (any_grad && GradModeEnabled()) {
+    out.impl_->requires_grad = true;
+    out.impl_->parents.reserve(parents.size());
+    for (const Tensor& p : parents) out.impl_->parents.push_back(p.impl_ptr());
+    out.impl_->backward_fn = std::move(backward);
+  }
+  return out;
+}
+
+Tensor Tensor::WrapStorage(Shape shape,
+                           std::shared_ptr<std::vector<float>> storage,
+                           std::shared_ptr<ArenaLease> lease) {
+  Tensor out(NewImpl(std::move(shape), std::move(storage)));
+  out.impl_->lease = std::move(lease);
+  return out;
+}
+
 Tensor Tensor::MakeViewForOp(
     Shape shape, const Tensor& parent,
     std::function<void(internal::TensorImpl*)> backward) {
@@ -245,7 +280,11 @@ Tensor Tensor::MakeViewForOp(
   ODNET_CHECK_EQ(Numel(shape), parent.numel())
       << "view shape " << ShapeToString(shape) << " over "
       << ShapeToString(parent.shape());
+  capture::NoteTensorCreated();
   Tensor out(NewImpl(std::move(shape), parent.impl_->storage));
+  // The view aliases the parent's buffer, so it expires with the parent's
+  // arena lease.
+  out.impl_->lease = parent.impl_->lease;
   if (parent.requires_grad() && GradModeEnabled()) {
     out.impl_->requires_grad = true;
     out.impl_->parents.push_back(parent.impl_ptr());
@@ -254,21 +293,19 @@ Tensor Tensor::MakeViewForOp(
   return out;
 }
 
-void Tensor::Backward() {
-  ODNET_CHECK(defined());
-  ODNET_CHECK(impl_->requires_grad)
-      << "Backward() on a tensor that does not require grad";
+namespace internal {
 
+std::vector<TensorImpl*> BuildBackwardTopo(TensorImpl* root) {
   // Deterministic reverse topological order via iterative DFS.
-  std::vector<internal::TensorImpl*> topo;
-  std::unordered_set<internal::TensorImpl*> visited;
-  std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
-  stack.emplace_back(impl_.get(), 0);
-  visited.insert(impl_.get());
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
   while (!stack.empty()) {
     auto& [node, child_idx] = stack.back();
     if (child_idx < node->parents.size()) {
-      internal::TensorImpl* parent = node->parents[child_idx].get();
+      TensorImpl* parent = node->parents[child_idx].get();
       ++child_idx;
       if (parent->requires_grad && !visited.count(parent)) {
         visited.insert(parent);
@@ -279,14 +316,18 @@ void Tensor::Backward() {
       stack.pop_back();
     }
   }
+  return topo;
+}
 
+void SeedAndRunBackward(TensorImpl* root,
+                        const std::vector<TensorImpl*>& topo) {
   // Seed: d(out)/d(out) = 1.
-  impl_->EnsureGrad();
-  impl_->MarkGradDense();
-  for (float& g : impl_->grad) g += 1.0f;
+  root->EnsureGrad();
+  root->MarkGradDense();
+  for (float& g : root->grad) g += 1.0f;
 
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    internal::TensorImpl* node = *it;
+    TensorImpl* node = *it;
     if (node->backward_fn) {
       for (auto& parent : node->parents) {
         parent->EnsureGrad();
@@ -300,6 +341,17 @@ void Tensor::Backward() {
       node->backward_fn(node);
     }
   }
+}
+
+}  // namespace internal
+
+void Tensor::Backward() {
+  ODNET_CHECK(defined());
+  ODNET_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+  std::vector<internal::TensorImpl*> topo =
+      internal::BuildBackwardTopo(impl_.get());
+  internal::SeedAndRunBackward(impl_.get(), topo);
 }
 
 }  // namespace tensor

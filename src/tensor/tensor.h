@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/buffer_arena.h"
 #include "src/tensor/shape.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -32,6 +33,11 @@ namespace internal {
 struct TensorImpl {
   Shape shape;
   std::shared_ptr<std::vector<float>> storage;  // never null once constructed
+  // Null for owned storage; set when `storage` is leased from a BufferArena.
+  // Every data() access CHECKs the lease, so a tensor (or zero-copy view)
+  // outliving its arena's Reset() fails loudly instead of reading recycled
+  // memory. Views and Detach() copies carry their parent's lease.
+  std::shared_ptr<ArenaLease> lease;
   std::vector<float> grad;  // same size as data once touched by backward
   bool requires_grad = false;
   uint64_t id = 0;  // creation order; used for deterministic topo sort
@@ -53,8 +59,22 @@ struct TensorImpl {
   std::vector<int64_t> grad_rows;
   bool sparse_aware_backward = false;
 
-  std::vector<float>& data() { return *storage; }
-  const std::vector<float>& data() const { return *storage; }
+  std::vector<float>& data() {
+    CheckLease();
+    return *storage;
+  }
+  const std::vector<float>& data() const {
+    CheckLease();
+    return *storage;
+  }
+
+  void CheckLease() const {
+    if (lease != nullptr) {
+      ODNET_CHECK(lease->valid())
+          << "tensor storage outlived its arena generation (it escaped an "
+             "ArenaScope; Clone() inside the scope to keep a tensor)";
+    }
+  }
 
   void EnsureGrad() {
     if (grad.size() != data().size()) {
@@ -92,6 +112,18 @@ struct TensorImpl {
     grad_rows = std::move(merged);
   }
 };
+
+/// Deterministic reverse-topological order of the tape reachable from
+/// `root` through requires_grad parents (same order Tensor::Backward uses).
+/// A captured TrainStepPlan caches this list so replayed backward passes
+/// skip the per-step DFS.
+std::vector<TensorImpl*> BuildBackwardTopo(TensorImpl* root);
+
+/// Seeds d(root)/d(root) = 1 and runs the backward closures over `topo`
+/// (as built by BuildBackwardTopo) — the execution half of
+/// Tensor::Backward(), shared with TrainStepPlan::ReplayBackward so replay
+/// is bitwise identical to eager.
+void SeedAndRunBackward(TensorImpl* root, const std::vector<TensorImpl*>& topo);
 
 }  // namespace internal
 
@@ -210,6 +242,19 @@ class Tensor {
   static Tensor MakeForOp(Shape shape, std::vector<float> data,
                           std::vector<Tensor> parents,
                           std::function<void(internal::TensorImpl*)> backward);
+
+  /// Internal: like MakeForOp but over an AllocOpResult buffer, which may be
+  /// arena-leased (the lease is stamped onto the impl so escaping tensors
+  /// CHECK on access after the arena resets).
+  static Tensor MakeForOp(Shape shape, OpBuffer buffer,
+                          std::vector<Tensor> parents,
+                          std::function<void(internal::TensorImpl*)> backward);
+
+  /// Internal: wraps existing storage (no copy, no tape) under `shape`.
+  /// Used by plan replay to expose planned buffers as output tensors.
+  static Tensor WrapStorage(Shape shape,
+                            std::shared_ptr<std::vector<float>> storage,
+                            std::shared_ptr<ArenaLease> lease);
 
   /// Internal: zero-copy view node sharing `parent`'s storage under a new
   /// shape (numel must match). The view has its own grad buffer; `backward`

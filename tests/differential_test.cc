@@ -18,6 +18,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,7 +31,9 @@
 #include "src/data/types.h"
 #include "src/metrics/metrics.h"
 #include "src/serving/evaluator.h"
+#include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/graph_plan.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -545,114 +548,219 @@ TEST(DifferentialOpTest, Losses) {
 
 // --------------------------------------------------------- random op chains --
 
-// Seeded random graph fuzzer: grows a DAG by repeatedly applying a random
-// op to a random live node, then backprops a weighted sum of every live
-// node. All structural decisions derive from shapes and the seeded Rng, so
-// reference and optimized runs build the identical graph.
-TEST(DifferentialFuzzTest, RandomOpChains) {
-  constexpr int kChains = 24;
+// Seeded random graph fuzzer body: grows a DAG by repeatedly applying a
+// random op to a random live node, then backprops a weighted sum of every
+// live node. All structural decisions derive from shapes and the seeded
+// Rng, so reference and optimized runs build the identical graph. Shared
+// by the backend-differential and arena-differential tests below.
+void RunRandomChain(uint64_t s, std::vector<float>* out) {
   constexpr int kSteps = 8;
   constexpr int64_t kMaxLiveNumel = 2048;
+  util::Rng rng(s);
+  util::Rng mask_rng(s ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Tensor> leaves;
+  std::vector<Tensor> live;
+  Tensor x0 = testing::RandomTensor(testing::RandomShape(&rng, 1, 3, 4),
+                                    &rng, true);
+  leaves.push_back(x0);
+  live.push_back(x0);
+  for (int step = 0; step < kSteps; ++step) {
+    Tensor t = live[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+    const int choice = static_cast<int>(rng.UniformInt(0, 9));
+    Tensor y;
+    switch (choice) {
+      case 0: {  // squashing unaries keep magnitudes bounded
+        const int u = static_cast<int>(rng.UniformInt(0, 4));
+        y = u == 0   ? tensor::Relu(t)
+            : u == 1 ? tensor::LeakyRelu(t, 0.2f)
+            : u == 2 ? tensor::Sigmoid(t)
+            : u == 3 ? tensor::Tanh(t)
+                     : tensor::Neg(t);
+        break;
+      }
+      case 1: {  // binary against a fresh broadcast-shaped leaf
+        Shape sb = testing::RandomBroadcastVariant(t.shape(), &rng);
+        const int k = static_cast<int>(rng.UniformInt(0, 3));
+        Tensor b = k == 3
+                       ? testing::RandomTensor(sb, &rng, true, 0.5f,
+                                               2.5f)
+                       : testing::RandomTensor(sb, &rng, true);
+        leaves.push_back(b);
+        y = k == 0   ? tensor::Add(t, b)
+            : k == 1 ? tensor::Sub(t, b)
+            : k == 2 ? tensor::Mul(t, b)
+                     : tensor::Div(t, b);
+        break;
+      }
+      case 2: {  // flatten-then-matmul against a fresh weight
+        Tensor flat = tensor::Reshape(t, {1, t.numel()});
+        const int64_t r = rng.UniformInt(1, 3);
+        Tensor w = testing::RandomTensor({t.numel(), r}, &rng, true);
+        leaves.push_back(w);
+        y = tensor::MatMul(flat, w);
+        break;
+      }
+      case 3:
+        y = t.rank() > 0 ? tensor::Softmax(t) : tensor::Tanh(t);
+        break;
+      case 4: {
+        if (t.rank() > 0) {
+          const int ax = static_cast<int>(
+              rng.UniformInt(0, t.rank() - 1));
+          y = tensor::SumAxis(t, ax, rng.Bernoulli(0.5));
+        } else {
+          y = tensor::Tanh(t);
+        }
+        break;
+      }
+      case 5:
+        y = t.rank() >= 2 ? tensor::TransposeLast2(t)
+                          : tensor::Sigmoid(t);
+        break;
+      case 6:
+        y = tensor::Reshape(t, {t.numel()});
+        break;
+      case 7:
+        y = tensor::Dropout(t, 0.3f, &mask_rng, true);
+        break;
+      case 8: {  // self-concat: one impl appears as two parents
+        if (t.rank() > 0) {
+          const int ax = static_cast<int>(
+              rng.UniformInt(0, t.rank() - 1));
+          y = tensor::Concat({t, t}, ax);
+        } else {
+          y = tensor::Stack({t, t});
+        }
+        break;
+      }
+      default:
+        y = tensor::Stack({t, t});
+        break;
+    }
+    // Size cap keeps chains cheap; the decision depends only on
+    // shapes, so both backends grow the same graph.
+    if (y.numel() <= kMaxLiveNumel) live.push_back(y);
+  }
+  Tensor loss = tensor::Sum(live[0]);
+  for (size_t i = 1; i < live.size(); ++i) {
+    loss = tensor::Add(loss, tensor::Sum(live[i]));
+  }
+  for (Tensor& leaf : leaves) leaf.ZeroGrad();
+  loss.Backward();
+  Emit(loss, out);
+  for (const Tensor& t : live) Emit(t, out);
+  for (const Tensor& leaf : leaves) EmitGrad(leaf, out);
+}
+
+TEST(DifferentialFuzzTest, RandomOpChains) {
+  constexpr int kChains = 24;
   for (uint64_t chain = 0; chain < kChains; ++chain) {
-    ExpectBackendsAgree(
-        [](uint64_t s, std::vector<float>* out) {
-          util::Rng rng(s);
-          util::Rng mask_rng(s ^ 0x9e3779b97f4a7c15ULL);
-          std::vector<Tensor> leaves;
-          std::vector<Tensor> live;
-          Tensor x0 = testing::RandomTensor(testing::RandomShape(&rng, 1, 3, 4),
-                                            &rng, true);
-          leaves.push_back(x0);
-          live.push_back(x0);
-          for (int step = 0; step < kSteps; ++step) {
-            Tensor t = live[static_cast<size_t>(
-                rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
-            const int choice = static_cast<int>(rng.UniformInt(0, 9));
-            Tensor y;
-            switch (choice) {
-              case 0: {  // squashing unaries keep magnitudes bounded
-                const int u = static_cast<int>(rng.UniformInt(0, 4));
-                y = u == 0   ? tensor::Relu(t)
-                    : u == 1 ? tensor::LeakyRelu(t, 0.2f)
-                    : u == 2 ? tensor::Sigmoid(t)
-                    : u == 3 ? tensor::Tanh(t)
-                             : tensor::Neg(t);
-                break;
-              }
-              case 1: {  // binary against a fresh broadcast-shaped leaf
-                Shape sb = testing::RandomBroadcastVariant(t.shape(), &rng);
-                const int k = static_cast<int>(rng.UniformInt(0, 3));
-                Tensor b = k == 3
-                               ? testing::RandomTensor(sb, &rng, true, 0.5f,
-                                                       2.5f)
-                               : testing::RandomTensor(sb, &rng, true);
-                leaves.push_back(b);
-                y = k == 0   ? tensor::Add(t, b)
-                    : k == 1 ? tensor::Sub(t, b)
-                    : k == 2 ? tensor::Mul(t, b)
-                             : tensor::Div(t, b);
-                break;
-              }
-              case 2: {  // flatten-then-matmul against a fresh weight
-                Tensor flat = tensor::Reshape(t, {1, t.numel()});
-                const int64_t r = rng.UniformInt(1, 3);
-                Tensor w = testing::RandomTensor({t.numel(), r}, &rng, true);
-                leaves.push_back(w);
-                y = tensor::MatMul(flat, w);
-                break;
-              }
-              case 3:
-                y = t.rank() > 0 ? tensor::Softmax(t) : tensor::Tanh(t);
-                break;
-              case 4: {
-                if (t.rank() > 0) {
-                  const int ax = static_cast<int>(
-                      rng.UniformInt(0, t.rank() - 1));
-                  y = tensor::SumAxis(t, ax, rng.Bernoulli(0.5));
-                } else {
-                  y = tensor::Tanh(t);
-                }
-                break;
-              }
-              case 5:
-                y = t.rank() >= 2 ? tensor::TransposeLast2(t)
-                                  : tensor::Sigmoid(t);
-                break;
-              case 6:
-                y = tensor::Reshape(t, {t.numel()});
-                break;
-              case 7:
-                y = tensor::Dropout(t, 0.3f, &mask_rng, true);
-                break;
-              case 8: {  // self-concat: one impl appears as two parents
-                if (t.rank() > 0) {
-                  const int ax = static_cast<int>(
-                      rng.UniformInt(0, t.rank() - 1));
-                  y = tensor::Concat({t, t}, ax);
-                } else {
-                  y = tensor::Stack({t, t});
-                }
-                break;
-              }
-              default:
-                y = tensor::Stack({t, t});
-                break;
-            }
-            // Size cap keeps chains cheap; the decision depends only on
-            // shapes, so both backends grow the same graph.
-            if (y.numel() <= kMaxLiveNumel) live.push_back(y);
+    ExpectBackendsAgree(RunRandomChain, 8000 + chain,
+                        "Chain/" + std::to_string(chain));
+  }
+}
+
+// Arena differential: the same chains, run with op results leased from a
+// BufferArena. Consecutive scopes on one arena hand recycled — dirty —
+// buffers to every kernel flagged ZeroInit::kSkip, so any kernel that does
+// not actually overwrite its whole output (or any accumulating kernel
+// missing its kZeroed flag) diverges from the owned-allocation oracle here.
+TEST(DifferentialFuzzTest, ArenaScopedChainsMatchOwnedAllocation) {
+  constexpr int kChains = 12;
+  for (uint64_t chain = 0; chain < kChains; ++chain) {
+    const uint64_t seed = 8000 + chain;  // same chains as RandomOpChains
+    const std::vector<float> oracle = RunProgram(RunRandomChain, seed);
+    tensor::BufferArena arena;
+    for (int round = 0; round < 3; ++round) {  // round > 0 recycles buffers
+      tensor::ArenaScope scope(&arena);
+      testing::ExpectUlpClose(RunProgram(RunRandomChain, seed), oracle,
+                              /*max_ulps=*/0,
+                              "ArenaChain/" + std::to_string(chain) +
+                                  "/round" + std::to_string(round));
+    }
+    EXPECT_GT(arena.stats().reuse_hits, 0) << "chain " << chain;
+  }
+}
+
+// -------------------------------------------------------- capture/replay --
+
+// Replaying a captured plan must be bitwise identical to running the same
+// program eagerly — for every backend, thread count, and replay index. The
+// program routes all host data through HostTensor closures over stable
+// objects (the ODNET consumer pattern) and includes Dropout, so the test
+// also pins the RNG-stream contract: replay k consumes exactly the random
+// numbers eager run k would have consumed.
+TEST(DifferentialPlanTest, CaptureReplayMatchesEagerRunForRun) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  constexpr int kRuns = 4;
+  constexpr int64_t kB = 4;
+  constexpr int64_t kD = 6;
+  for (Backend backend : {Backend::kOptimized, Backend::kReference}) {
+    BackendGuard bg(backend);
+    for (int threads : {1, 2, 8}) {
+      ctx.SetNumThreads(threads);
+      ctx.SetParallelThreshold(1);
+
+      // Host-side state: contents refreshed per run, objects stable.
+      struct HostState {
+        util::Rng data_rng{515};
+        util::Rng mask_rng{707};
+        std::vector<float> values = std::vector<float>(kB * kD);
+        void Refresh() {
+          for (float& v : values) {
+            v = static_cast<float>(data_rng.UniformDouble(-1.0, 1.0));
           }
-          Tensor loss = tensor::Sum(live[0]);
-          for (size_t i = 1; i < live.size(); ++i) {
-            loss = tensor::Add(loss, tensor::Sum(live[i]));
-          }
-          for (Tensor& leaf : leaves) leaf.ZeroGrad();
-          loss.Backward();
-          Emit(loss, out);
-          for (const Tensor& t : live) Emit(t, out);
-          for (const Tensor& leaf : leaves) EmitGrad(leaf, out);
-        },
-        8000 + chain, "Chain/" + std::to_string(chain));
+        }
+      };
+      util::Rng weight_rng(99);
+      Tensor w1 = testing::RandomTensor({kD, 8}, &weight_rng);
+      Tensor w2 = testing::RandomTensor({8, 3}, &weight_rng);
+      auto program = [&w1, &w2](HostState* host) {
+        const std::vector<float>* vals = &host->values;
+        Tensor x = tensor::HostTensor({kB, kD}, [vals](float* out) {
+          std::copy(vals->begin(), vals->end(), out);
+        });
+        Tensor h = tensor::Tanh(tensor::MatMul(x, w1));
+        Tensor d = tensor::Dropout(h, 0.3f, &host->mask_rng, true);
+        return std::vector<Tensor>{tensor::Softmax(tensor::MatMul(d, w2))};
+      };
+
+      // Oracle stream: kRuns eager executions with persistent host RNGs.
+      HostState eager_host;
+      std::vector<float> eager_stream;
+      {
+        tensor::NoGradGuard no_grad;
+        for (int run = 0; run < kRuns; ++run) {
+          eager_host.Refresh();
+          Emit(program(&eager_host)[0], &eager_stream);
+        }
+      }
+
+      // Plan stream: identical fresh host state, capture once, replay the
+      // remaining runs.
+      HostState plan_host;
+      std::vector<float> plan_stream;
+      plan_host.Refresh();
+      std::vector<Tensor> captured;
+      std::shared_ptr<tensor::GraphPlan> plan =
+          tensor::GraphPlan::CaptureInference(
+              [&program, &plan_host]() { return program(&plan_host); },
+              &captured);
+      EXPECT_TRUE(plan->has_host_stages());
+      Emit(captured[0], &plan_stream);
+      for (int run = 1; run < kRuns; ++run) {
+        plan_host.Refresh();
+        Emit(plan->Replay()[0], &plan_stream);
+      }
+
+      testing::ExpectUlpClose(
+          plan_stream, eager_stream, /*max_ulps=*/0,
+          std::string("CaptureReplay [backend=") +
+              (backend == Backend::kReference ? "ref" : "opt") +
+              " threads=" + std::to_string(threads) + "]");
+    }
   }
 }
 

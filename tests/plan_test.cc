@@ -1,0 +1,598 @@
+// Capture/replay execution plans and arena-backed storage (DESIGN.md §10):
+//
+//  - BufferArena: bump-pointer recycling, generation leases, Reset()
+//    invalidation, ArenaScope escape detection (hard CHECK, not UB);
+//  - GraphPlan: capture-once/replay-many inference with a liveness-planned
+//    buffer assignment, bitwise identical to eager under every backend and
+//    thread count, concurrent replay over per-executor buffer sets;
+//  - TrainStepPlan: the retained-tape training step, bitwise identical to
+//    the eager loop it replaces;
+//  - the model/trainer consumers: PredictPlanned's per-shape plan cache
+//    (capture on shape change, replay on hit, invalidation) and the
+//    capture_train_plan trainer path.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/hsg_builder.h"
+#include "src/core/odnet_model.h"
+#include "src/core/trainer.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/data/temporal_features.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/buffer_arena.h"
+#include "src/tensor/compute_context.h"
+#include "src/tensor/graph_plan.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace odnet {
+namespace {
+
+using tensor::ArenaScope;
+using tensor::Backend;
+using tensor::BackendGuard;
+using tensor::BufferArena;
+using tensor::ComputeContext;
+using tensor::GraphPlan;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TrainStepPlan;
+
+class ComputeConfigGuard {
+ public:
+  ComputeConfigGuard()
+      : threads_(ComputeContext::Get().num_threads()),
+        threshold_(ComputeContext::Get().parallel_threshold()) {}
+  ~ComputeConfigGuard() {
+    ComputeContext::Get().SetNumThreads(threads_);
+    ComputeContext::Get().SetParallelThreshold(threshold_);
+  }
+
+ private:
+  int threads_;
+  int64_t threshold_;
+};
+
+// ------------------------------------------------------------ BufferArena --
+
+TEST(BufferArenaTest, ResetRecyclesBuffersBySize) {
+  BufferArena arena;
+  BufferArena::Buffer a = arena.Acquire(16);
+  BufferArena::Buffer b = arena.Acquire(16);
+  BufferArena::Buffer c = arena.Acquire(8);
+  EXPECT_TRUE(a.fresh);
+  EXPECT_TRUE(b.fresh);
+  EXPECT_TRUE(c.fresh);
+  EXPECT_NE(a.storage->data(), b.storage->data());
+  const float* a_ptr = a.storage->data();
+  const float* c_ptr = c.storage->data();
+
+  arena.Reset();
+  BufferArena::Buffer a2 = arena.Acquire(16);
+  BufferArena::Buffer c2 = arena.Acquire(8);
+  // Recycled in acquisition order, per size pool, without fresh allocation.
+  EXPECT_FALSE(a2.fresh);
+  EXPECT_FALSE(c2.fresh);
+  EXPECT_EQ(a2.storage->data(), a_ptr);
+  EXPECT_EQ(c2.storage->data(), c_ptr);
+
+  BufferArena::Stats stats = arena.stats();
+  EXPECT_EQ(stats.total_acquires, 5);
+  EXPECT_EQ(stats.reuse_hits, 2);
+  EXPECT_EQ(stats.live_buffers, 2);
+  EXPECT_EQ(stats.bytes_held,
+            static_cast<int64_t>((16 + 16 + 8) * sizeof(float)));
+}
+
+TEST(BufferArenaTest, ResetInvalidatesOutstandingLeases) {
+  BufferArena arena;
+  BufferArena::Buffer b = arena.Acquire(4);
+  ASSERT_NE(b.lease, nullptr);
+  EXPECT_TRUE(b.lease->valid());
+  arena.Reset();
+  EXPECT_FALSE(b.lease->valid());
+  // The next generation's lease is independent of the expired one.
+  BufferArena::Buffer b2 = arena.Acquire(4);
+  EXPECT_TRUE(b2.lease->valid());
+  EXPECT_FALSE(b.lease->valid());
+}
+
+TEST(ArenaScopeTest, OpResultsLeaseFromScopedArena) {
+  BufferArena arena;
+  {
+    ArenaScope scope(&arena);
+    Tensor a = Tensor::Full({4, 4}, 2.0f);
+    Tensor b = Tensor::Full({4, 4}, 3.0f);
+    Tensor sum = tensor::Add(a, b);
+    EXPECT_EQ(sum.data()[0], 5.0f);
+    // Factory tensors own their storage; op results lease from the arena.
+    EXPECT_EQ(a.impl()->lease, nullptr);
+    ASSERT_NE(sum.impl()->lease, nullptr);
+    EXPECT_TRUE(sum.impl()->lease->valid());
+  }
+  EXPECT_EQ(tensor::CurrentArena(), nullptr);
+  EXPECT_GT(arena.stats().generation, 0u);
+}
+
+TEST(ArenaScopeTest, EscapedOpResultDiesOnAccess) {
+  Tensor escaped;
+  BufferArena arena;
+  {
+    ArenaScope scope(&arena);
+    escaped = tensor::Mul(Tensor::Full({3}, 2.0f), Tensor::Full({3}, 4.0f));
+    EXPECT_EQ(escaped.data()[1], 8.0f);  // alive inside the scope
+  }
+  EXPECT_DEATH(escaped.data(), "outlived its arena generation");
+}
+
+TEST(ArenaScopeTest, EscapedReshapeViewDiesOnAccess) {
+  // A zero-copy view shares the leased storage, so a view that outlives the
+  // arena reset must die as loudly as the tensor it aliases (satellite of
+  // ISSUE: views pin the lease, never silently read recycled memory).
+  Tensor view;
+  BufferArena arena;
+  {
+    ArenaScope scope(&arena);
+    Tensor sum = tensor::Add(Tensor::Full({2, 3}, 1.0f),
+                             Tensor::Full({2, 3}, 1.0f));
+    view = tensor::Reshape(sum, {6});
+    EXPECT_EQ(view.data(), sum.data());  // really a view
+  }
+  EXPECT_DEATH(view.data(), "outlived its arena generation");
+}
+
+TEST(ArenaScopeTest, CloneInsideScopeSurvivesReset) {
+  Tensor kept;
+  BufferArena arena;
+  {
+    ArenaScope scope(&arena);
+    Tensor sum = tensor::Add(Tensor::Full({4}, 1.5f), Tensor::Full({4}, 2.0f));
+    kept = sum.Clone();
+  }
+  // Clone deep-copied to owned storage while the lease was valid.
+  EXPECT_EQ(kept.impl()->lease, nullptr);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(kept.data()[i], 3.5f);
+}
+
+TEST(ArenaScopeTest, NestedScopesRestorePrevious) {
+  BufferArena outer_arena;
+  BufferArena inner_arena;
+  ArenaScope outer(&outer_arena);
+  EXPECT_EQ(tensor::CurrentArena(), &outer_arena);
+  {
+    ArenaScope inner(&inner_arena);
+    EXPECT_EQ(tensor::CurrentArena(), &inner_arena);
+  }
+  EXPECT_EQ(tensor::CurrentArena(), &outer_arena);
+}
+
+// -------------------------------------------------------------- GraphPlan --
+
+// Builds a small pure-tensor program (no host stages) over an explicit
+// rebindable input plus constant weights.
+struct PureProgram {
+  Tensor x;   // rebindable input
+  Tensor w1;  // constants: storage retained by the plan
+  Tensor w2;
+
+  explicit PureProgram(util::Rng* rng)
+      : x(testing::RandomTensor({6, 8}, rng)),
+        w1(testing::RandomTensor({8, 16}, rng)),
+        w2(testing::RandomTensor({16, 4}, rng)) {}
+
+  std::vector<Tensor> Run() const {
+    Tensor h = tensor::Tanh(tensor::MatMul(x, w1));
+    Tensor y = tensor::Softmax(tensor::MatMul(h, w2));
+    return {y, tensor::SumAxis(y, 1)};
+  }
+
+  std::vector<Tensor> RunOn(const Tensor& input) const {
+    PureProgram copy = *this;
+    copy.x = input;
+    return copy.Run();
+  }
+};
+
+TEST(GraphPlanTest, ReplayIsBitwiseIdenticalToEagerAcrossBackendsAndThreads) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  for (Backend backend : {Backend::kOptimized, Backend::kReference}) {
+    BackendGuard bg(backend);
+    util::Rng rng(91);
+    PureProgram prog(&rng);
+    std::vector<Tensor> captured;
+    std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+        [&prog]() { return prog.Run(); }, &captured, {prog.x});
+    ASSERT_EQ(captured.size(), 2u);
+    ASSERT_FALSE(plan->has_host_stages());
+
+    for (int threads : {1, 2, 8}) {
+      ctx.SetNumThreads(threads);
+      ctx.SetParallelThreshold(1);
+      Tensor fresh = testing::RandomTensor({6, 8}, &rng);
+      tensor::NoGradGuard no_grad;
+      std::vector<Tensor> eager = prog.RunOn(fresh);
+      const std::vector<Tensor>& replayed = plan->Replay({fresh});
+      ASSERT_EQ(replayed.size(), 2u);
+      for (size_t o = 0; o < replayed.size(); ++o) {
+        EXPECT_EQ(replayed[o].shape(), eager[o].shape());
+        testing::ExpectUlpClose(
+            replayed[o].vec(), eager[o].vec(), /*max_ulps=*/0,
+            "replay output " + std::to_string(o) + " threads " +
+                std::to_string(threads));
+      }
+    }
+    EXPECT_GE(plan->replay_count(), 3);
+  }
+}
+
+TEST(GraphPlanTest, MemoryPlanReusesRetiredBuffers) {
+  // A deep elementwise chain: intermediates retire immediately, so the
+  // liveness plan must ping-pong a couple of physical buffers instead of
+  // keeping one per value.
+  util::Rng rng(17);
+  Tensor x = testing::RandomTensor({32, 32}, &rng);
+  std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+      [&x]() {
+        Tensor h = x;
+        for (int i = 0; i < 8; ++i) h = tensor::Tanh(h);
+        return std::vector<Tensor>{h};
+      },
+      nullptr, {x});
+  tensor::MemoryPlanStats stats = plan->memory_stats();
+  EXPECT_EQ(stats.num_nodes, 8);
+  EXPECT_EQ(stats.num_values, 8);
+  EXPECT_LT(stats.num_buffers, stats.num_values);
+  EXPECT_LT(stats.peak_bytes, stats.requested_bytes);
+  EXPECT_GT(stats.reuse_ratio, 0.0);
+  // The plan must not let reuse corrupt the chain: replay still matches.
+  std::vector<Tensor> eager_out;
+  {
+    tensor::NoGradGuard no_grad;
+    Tensor h = x;
+    for (int i = 0; i < 8; ++i) h = tensor::Tanh(h);
+    eager_out.push_back(h);
+  }
+  testing::ExpectUlpClose(plan->Replay({x})[0].vec(), eager_out[0].vec(),
+                          /*max_ulps=*/0, "deep chain replay");
+}
+
+TEST(GraphPlanTest, ReplayOnRejectsShapeMismatch) {
+  util::Rng rng(23);
+  PureProgram prog(&rng);
+  std::shared_ptr<GraphPlan> plan =
+      GraphPlan::CaptureInference([&prog]() { return prog.Run(); }, nullptr,
+                                  {prog.x});
+  Tensor wrong = testing::RandomTensor({5, 8}, &rng);
+  EXPECT_DEATH(plan->Replay({wrong}), "");
+  EXPECT_DEATH(plan->Replay({}), "");
+}
+
+TEST(GraphPlanTest, ConcurrentReplayOnSeparateBufferSets) {
+  // Pure-tensor plans support concurrent replay when every thread brings
+  // its own Buffers (the tsan preset hammers this harder in stress_test).
+  ComputeConfigGuard guard;
+  ComputeContext::Get().SetNumThreads(1);
+  util::Rng rng(29);
+  PureProgram prog(&rng);
+  std::vector<Tensor> captured;
+  std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+      [&prog]() { return prog.Run(); }, &captured, {prog.x});
+  ASSERT_FALSE(plan->has_host_stages());
+  const std::vector<float> expected0 = captured[0].vec();
+  const std::vector<float> expected1 = captured[1].vec();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&plan, &prog, &expected0, &expected1, &mismatches] {
+      std::unique_ptr<GraphPlan::Buffers> buffers = plan->NewBuffers();
+      for (int iter = 0; iter < 10; ++iter) {
+        const std::vector<Tensor>& out =
+            plan->ReplayOn(buffers.get(), {prog.x});
+        if (out[0].vec() != expected0 || out[1].vec() != expected1) {
+          mismatches++;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------- TrainStepPlan --
+
+// Twin training loops over an embedding + projection: the eager tape path
+// vs the captured TrainStepPlan replay. Pure function of its inputs, so the
+// two must agree bit for bit on every loss and on the trained weights.
+std::vector<float> RunTrainLoop(bool use_plan) {
+  util::Rng rng(6402);
+  Tensor table = testing::RandomTensor({10, 4}, &rng, true);
+  Tensor w = testing::RandomTensor({4, 1}, &rng, true);
+  optim::Adam opt({table, w}, 0.05);
+  // Host-side state refreshed per step; the *objects* stay put so the
+  // captured closures keep pointing at live data.
+  std::vector<int64_t> indices(6, 0);
+  auto program = [&table, &w, &indices]() {
+    Tensor emb = tensor::EmbeddingLookup(table, indices, {6});
+    Tensor h = tensor::MatMul(emb, w);
+    return tensor::Sum(tensor::Mul(h, h));
+  };
+  std::unique_ptr<TrainStepPlan> plan;
+  std::vector<float> out;
+  for (int step = 0; step < 6; ++step) {
+    for (int64_t& v : indices) v = rng.UniformInt(0, 9);
+    float loss_value = 0.0f;
+    if (use_plan) {
+      if (plan == nullptr) {
+        plan = TrainStepPlan::Capture(program);  // capture IS the eager run
+      } else {
+        plan->ReplayForward();
+      }
+      opt.ZeroGrad();
+      plan->ReplayBackward();
+      opt.ClipGradNorm(0.5);
+      opt.Step();
+      loss_value = plan->loss().item();
+    } else {
+      Tensor loss = program();
+      opt.ZeroGrad();
+      loss.Backward();
+      opt.ClipGradNorm(0.5);
+      opt.Step();
+      loss_value = loss.item();
+    }
+    out.push_back(loss_value);
+  }
+  out.insert(out.end(), table.vec().begin(), table.vec().end());
+  out.insert(out.end(), w.vec().begin(), w.vec().end());
+  return out;
+}
+
+TEST(TrainStepPlanTest, ReplayMatchesEagerTrainingBitwise) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetNumThreads(1);
+  ctx.SetParallelThreshold(16384);
+  const std::vector<float> oracle = RunTrainLoop(/*use_plan=*/false);
+  for (int threads : {1, 2, 8}) {
+    for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
+      ctx.SetNumThreads(threads);
+      ctx.SetParallelThreshold(threshold);
+      const std::string tag = " [threads=" + std::to_string(threads) +
+                              " threshold=" + std::to_string(threshold) + "]";
+      testing::ExpectUlpClose(RunTrainLoop(true), oracle, /*max_ulps=*/0,
+                              "TrainStepPlan/plan" + tag);
+      testing::ExpectUlpClose(RunTrainLoop(false), oracle, /*max_ulps=*/0,
+                              "TrainStepPlan/eager" + tag);
+    }
+  }
+  {
+    BackendGuard reference(Backend::kReference);
+    ctx.SetNumThreads(1);
+    ctx.SetParallelThreshold(16384);
+    testing::ExpectUlpClose(RunTrainLoop(true), oracle, /*max_ulps=*/0,
+                            "TrainStepPlan/plan reference backend");
+  }
+}
+
+TEST(TrainStepPlanTest, CaptureRequiresScalarGradLoss) {
+  Tensor a = Tensor::Full({3}, 1.0f, /*requires_grad=*/true);
+  EXPECT_DEATH(TrainStepPlan::Capture([&a]() { return tensor::Neg(a); }),
+               "scalar");
+}
+
+// ------------------------------------------------------ model and trainer --
+
+struct Fixture {
+  Fixture() : simulator(MakeConfig()), dataset(simulator.Generate()) {
+    hsg = core::BuildHsgFromDataset(dataset, simulator.atlas());
+    temporal = std::make_unique<data::TemporalFeatureIndex>(
+        dataset, dataset.num_cities, 800);
+  }
+  static data::FliggyConfig MakeConfig() {
+    data::FliggyConfig config;
+    config.num_users = 120;
+    config.num_cities = 25;
+    config.seed = 31;
+    return config;
+  }
+  data::FliggySimulator simulator;
+  data::OdDataset dataset;
+  std::unique_ptr<graph::HeterogeneousSpatialGraph> hsg;
+  std::unique_ptr<data::TemporalFeatureIndex> temporal;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+core::OdnetConfig SmallModelConfig() {
+  core::OdnetConfig config;
+  config.embed_dim = 8;
+  config.num_heads = 2;
+  config.expert_dim = 8;
+  config.tower_hidden = 4;
+  config.epochs = 2;
+  config.batch_size = 48;
+  config.seed = 77;
+  return config;
+}
+
+TEST(PredictPlannedTest, MatchesPredictAndInvalidatesOnShapeChange) {
+  // use_hsgc off: Predict is a pure function of the batch, so plan hits,
+  // misses, and re-captures can all be compared against eager Predict on
+  // the *same* model instance.
+  Fixture& f = SharedFixture();
+  core::OdnetConfig config = SmallModelConfig();
+  config.use_hsgc = false;
+  core::OdnetModel model(nullptr, f.dataset.num_users, f.dataset.num_cities,
+                         config);
+  data::BatchEncoder encoder(&f.dataset, f.temporal.get(),
+                             data::SequenceSpec{config.t_long,
+                                                config.t_short});
+  data::OdBatch batch8 = encoder.EncodeJoint(f.dataset.train_samples, 0, 8);
+  data::OdBatch batch8b = encoder.EncodeJoint(f.dataset.train_samples, 8, 16);
+  data::OdBatch batch4 = encoder.EncodeJoint(f.dataset.train_samples, 16, 20);
+
+  auto expect_equal = [](const std::pair<std::vector<double>,
+                                         std::vector<double>>& a,
+                         const std::pair<std::vector<double>,
+                                         std::vector<double>>& b,
+                         const std::string& tag) {
+    ASSERT_EQ(a.first.size(), b.first.size()) << tag;
+    for (size_t i = 0; i < a.first.size(); ++i) {
+      EXPECT_EQ(a.first[i], b.first[i]) << tag << " p_o[" << i << "]";
+      EXPECT_EQ(a.second[i], b.second[i]) << tag << " p_d[" << i << "]";
+    }
+  };
+
+  expect_equal(model.PredictPlanned(batch8), model.Predict(batch8),
+               "capture");  // miss: eager capture
+  EXPECT_EQ(model.serving_plan_stats().captures, 1);
+  EXPECT_EQ(model.serving_plan_stats().replays, 0);
+
+  expect_equal(model.PredictPlanned(batch8b), model.Predict(batch8b),
+               "replay");  // hit: same shape, fresh contents
+  EXPECT_EQ(model.serving_plan_stats().captures, 1);
+  EXPECT_EQ(model.serving_plan_stats().replays, 1);
+
+  expect_equal(model.PredictPlanned(batch4), model.Predict(batch4),
+               "shape change");  // miss: batch size changed -> new plan
+  EXPECT_EQ(model.serving_plan_stats().captures, 2);
+
+  expect_equal(model.PredictPlanned(batch8), model.Predict(batch8),
+               "back to first shape");  // both plans stay cached
+  EXPECT_EQ(model.serving_plan_stats().captures, 2);
+  EXPECT_EQ(model.serving_plan_stats().replays, 2);
+
+  // The serving plan reuses retired buffers.
+  EXPECT_GT(model.serving_plan_stats().memory.reuse_ratio, 0.0);
+  EXPECT_LT(model.serving_plan_stats().memory.peak_bytes,
+            model.serving_plan_stats().memory.requested_bytes);
+
+  model.InvalidateServingPlans();
+  expect_equal(model.PredictPlanned(batch8), model.Predict(batch8),
+               "after invalidation");
+  EXPECT_EQ(model.serving_plan_stats().captures, 3);
+}
+
+TEST(PredictPlannedTest, SequenceLengthChangeRecaptures) {
+  Fixture& f = SharedFixture();
+  core::OdnetConfig config = SmallModelConfig();
+  config.use_hsgc = false;
+  core::OdnetModel model(nullptr, f.dataset.num_users, f.dataset.num_cities,
+                         config);
+  data::BatchEncoder enc_a(&f.dataset, f.temporal.get(),
+                           data::SequenceSpec{config.t_long, config.t_short});
+  data::BatchEncoder enc_b(&f.dataset, f.temporal.get(),
+                           data::SequenceSpec{config.t_long + 2,
+                                              config.t_short + 1});
+  data::OdBatch a = enc_a.EncodeJoint(f.dataset.train_samples, 0, 8);
+  data::OdBatch b = enc_b.EncodeJoint(f.dataset.train_samples, 0, 8);
+  model.PredictPlanned(a);
+  EXPECT_EQ(model.serving_plan_stats().captures, 1);
+  // Same batch size but different (t_long, t_short): distinct signature.
+  auto planned = model.PredictPlanned(b);
+  EXPECT_EQ(model.serving_plan_stats().captures, 2);
+  auto eager = model.Predict(b);
+  for (size_t i = 0; i < planned.first.size(); ++i) {
+    EXPECT_EQ(planned.first[i], eager.first[i]);
+    EXPECT_EQ(planned.second[i], eager.second[i]);
+  }
+}
+
+TEST(PredictPlannedTest, HsgcTwinModelsAgreeBitwise) {
+  // With the HSGC, every forward advances the neighbor-sampling RNG, so the
+  // comparison runs twin models (identical seed): one serves eagerly, one
+  // through the plan cache. Replay re-runs the recorded sampling stages,
+  // advancing the twin's RNG exactly as eager evaluation would.
+  Fixture& f = SharedFixture();
+  core::OdnetConfig config = SmallModelConfig();
+  core::OdnetModel eager_model(f.hsg.get(), f.dataset.num_users,
+                               f.dataset.num_cities, config);
+  core::OdnetModel planned_model(f.hsg.get(), f.dataset.num_users,
+                                 f.dataset.num_cities, config);
+  data::BatchEncoder encoder(&f.dataset, f.temporal.get(),
+                             data::SequenceSpec{config.t_long,
+                                                config.t_short});
+  for (size_t start : {size_t{0}, size_t{8}, size_t{16}}) {
+    data::OdBatch batch =
+        encoder.EncodeJoint(f.dataset.train_samples, start, start + 8);
+    auto eager = eager_model.Predict(batch);
+    auto planned = planned_model.PredictPlanned(batch);
+    ASSERT_EQ(eager.first.size(), planned.first.size());
+    for (size_t i = 0; i < eager.first.size(); ++i) {
+      EXPECT_EQ(eager.first[i], planned.first[i]) << "batch at " << start;
+      EXPECT_EQ(eager.second[i], planned.second[i]) << "batch at " << start;
+    }
+  }
+  EXPECT_EQ(planned_model.serving_plan_stats().captures, 1);
+  EXPECT_EQ(planned_model.serving_plan_stats().replays, 2);
+}
+
+// Trains twin models (identical seed, identical batches) with the captured
+// train-step plan on vs off and compares the full trained parameter state
+// bitwise. Covers the ragged tail batch (second shape signature) and both
+// sparse-update modes (the mode is part of the plan signature).
+void ExpectPlannedTrainingMatchesEager(const std::string& sparse_mode,
+                                       bool use_hsgc) {
+  Fixture& f = SharedFixture();
+  core::OdnetConfig config = SmallModelConfig();
+  config.use_hsgc = use_hsgc;
+  config.sparse_embedding_updates = sparse_mode;
+  const graph::HeterogeneousSpatialGraph* hsg =
+      use_hsgc ? f.hsg.get() : nullptr;
+
+  config.capture_train_plan = false;
+  core::OdnetModel eager_model(hsg, f.dataset.num_users, f.dataset.num_cities,
+                               config);
+  core::OdnetTrainer eager_trainer(&eager_model, &f.dataset, f.temporal.get());
+  core::TrainStats eager_stats = eager_trainer.Train();
+
+  config.capture_train_plan = true;
+  core::OdnetModel plan_model(hsg, f.dataset.num_users, f.dataset.num_cities,
+                              config);
+  core::OdnetTrainer plan_trainer(&plan_model, &f.dataset, f.temporal.get());
+  core::TrainStats plan_stats = plan_trainer.Train();
+
+  EXPECT_EQ(plan_stats.steps, eager_stats.steps);
+  EXPECT_EQ(plan_stats.first_epoch_loss, eager_stats.first_epoch_loss);
+  EXPECT_EQ(plan_stats.final_epoch_loss, eager_stats.final_epoch_loss);
+
+  auto eager_params = eager_model.NamedParameters();
+  auto plan_params = plan_model.NamedParameters();
+  ASSERT_EQ(eager_params.size(), plan_params.size());
+  for (size_t p = 0; p < eager_params.size(); ++p) {
+    EXPECT_EQ(eager_params[p].first, plan_params[p].first);
+    testing::ExpectUlpClose(plan_params[p].second.vec(),
+                            eager_params[p].second.vec(), /*max_ulps=*/0,
+                            "param " + eager_params[p].first + " [" +
+                                sparse_mode + "]");
+  }
+}
+
+TEST(TrainerPlanTest, CapturedStepMatchesEagerDenseEquivalent) {
+  ExpectPlannedTrainingMatchesEager("dense-equivalent", /*use_hsgc=*/false);
+}
+
+TEST(TrainerPlanTest, CapturedStepMatchesEagerLazySparse) {
+  ExpectPlannedTrainingMatchesEager("lazy", /*use_hsgc=*/false);
+}
+
+TEST(TrainerPlanTest, CapturedStepMatchesEagerWithHsgc) {
+  ExpectPlannedTrainingMatchesEager("dense-equivalent", /*use_hsgc=*/true);
+}
+
+}  // namespace
+}  // namespace odnet

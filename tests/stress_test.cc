@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "src/data/fliggy_simulator.h"
 #include "src/serving/batch_scorer.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/graph_plan.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -180,6 +182,60 @@ TEST(ComputeContextStressTest, BackendSelectionIsThreadLocal) {
   oracle_thread.join();
   EXPECT_FALSE(leaked.load());
   EXPECT_EQ(ComputeContext::backend(), Backend::kOptimized);
+}
+
+// -------------------------------------------------------------- GraphPlan --
+
+TEST(GraphPlanStressTest, ConcurrentReplayOnSharedPlanUnderReconfiguration) {
+  // A pure-tensor plan (no host stages) is immutable after capture; replay
+  // threads share it but each brings its own Buffers via NewBuffers().
+  // TSan validates that ReplayOn touches no shared mutable state, while a
+  // reconfiguration thread retires pool generations under the kernels.
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetNumThreads(1);
+  ctx.SetParallelThreshold(1);  // force parallel dispatch for tiny tensors
+
+  util::Rng rng(7171);
+  Tensor x = Tensor::Randn({6, 8}, &rng);
+  Tensor w1 = Tensor::Randn({8, 16}, &rng);
+  Tensor w2 = Tensor::Randn({16, 4}, &rng);
+  std::vector<Tensor> captured;
+  std::shared_ptr<tensor::GraphPlan> plan =
+      tensor::GraphPlan::CaptureInference(
+          [&x, &w1, &w2]() {
+            Tensor h = tensor::Tanh(tensor::MatMul(x, w1));
+            return std::vector<Tensor>{
+                tensor::Softmax(tensor::MatMul(h, w2))};
+          },
+          &captured, {x});
+  ASSERT_FALSE(plan->has_host_stages());
+  const std::vector<float> expected = captured[0].vec();
+
+  std::atomic<bool> stop{false};
+  std::thread reconfig([&stop] {
+    int n = 0;
+    while (!stop.load()) {
+      ComputeContext::Get().SetNumThreads(1 + (n++ % 4));
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> replayers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    replayers.emplace_back([&plan, &x, &expected, &mismatches] {
+      std::unique_ptr<tensor::GraphPlan::Buffers> buffers =
+          plan->NewBuffers();
+      for (int iter = 0; iter < 30; ++iter) {
+        const std::vector<Tensor>& out = plan->ReplayOn(buffers.get(), {x});
+        if (out[0].vec() != expected) mismatches++;
+      }
+    });
+  }
+  for (auto& t : replayers) t.join();
+  stop = true;
+  reconfig.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 // ---------------------------------------------------------- ScoreChunked --

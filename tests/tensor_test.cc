@@ -454,6 +454,26 @@ TEST(AutogradTest, NoGradGuardDetaches) {
   EXPECT_FALSE(b.requires_grad());
 }
 
+TEST(AutogradTest, NoGradGuardNestedScopesRestoreCorrectly) {
+  Tensor a = Tensor::FromVector({2}, {1, 2}, true);
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+      EXPECT_FALSE(Mul(a, a).requires_grad());
+    }
+    // Leaving the inner guard restores the *outer* guard's state, not the
+    // global default: grad mode must stay off.
+    EXPECT_FALSE(GradModeEnabled());
+    EXPECT_FALSE(Mul(a, a).requires_grad());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  EXPECT_TRUE(Mul(a, a).requires_grad());
+}
+
 TEST(AutogradTest, GradCheckMulDiv) {
   util::Rng rng(11);
   Tensor a = Tensor::Uniform({2, 3}, &rng, 0.5f, 2.0f);
@@ -634,6 +654,41 @@ TEST(OpsTest, DropoutEvalIsZeroCopyIdentity) {
   Tensor a = Tensor::Randn({4, 4}, &rng);
   EXPECT_TRUE(Dropout(a, 0.5f, &rng, /*training=*/false).IsSameAs(a));
   EXPECT_TRUE(Dropout(a, 0.0f, &rng, /*training=*/true).IsSameAs(a));
+}
+
+TEST(OpsTest, DropoutPZeroIdentityOnBothBackends) {
+  // p == 0 keeps every element with scale 1/(1-p) == 1. The optimized
+  // backend returns the input itself; the reference backend materializes a
+  // copy node. Values and gradients must agree either way.
+  util::Rng rng(3);
+  Tensor a = Tensor::Randn({4, 4}, &rng, 1.0f, /*requires_grad=*/true);
+  {
+    Tensor d = Dropout(a, 0.0f, &rng, /*training=*/true);
+    EXPECT_TRUE(d.IsSameAs(a));
+  }
+  {
+    BackendGuard reference(Backend::kReference);
+    Tensor d = Dropout(a, 0.0f, &rng, /*training=*/true);
+    EXPECT_FALSE(d.IsSameAs(a));  // oracle path: a real tape node
+    for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(d.data()[i], a.data()[i]);
+    a.ZeroGrad();
+    Sum(d).Backward();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      EXPECT_EQ(a.grad()[static_cast<size_t>(i)], 1.0f);
+    }
+  }
+}
+
+TEST(OpsTest, DropoutPOneIsRejectedOnBothBackends) {
+  // p == 1 would zero everything and scale by 1/0: disallowed outright
+  // rather than producing infinities.
+  util::Rng rng(3);
+  Tensor a = Tensor::Randn({4, 4}, &rng);
+  EXPECT_DEATH(Dropout(a, 1.0f, &rng, /*training=*/true), "");
+  {
+    BackendGuard reference(Backend::kReference);
+    EXPECT_DEATH(Dropout(a, 1.0f, &rng, /*training=*/true), "");
+  }
 }
 
 // ------------------------------------------------------ Compute backend --
