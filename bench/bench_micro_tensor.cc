@@ -1,16 +1,49 @@
 // Micro-benchmarks of the tensor/autograd substrate (google-benchmark).
+//
+// `--kernel-sweep` instead runs the SIMD dispatch comparison: per-kernel
+// forced-scalar vs dispatched-capability timing (GFLOP/s and effective
+// memory bandwidth) at 1 and 8 threads, written machine-readably to
+// BENCH_kernel_simd.json. ODNET_BENCH_SMOKE=1 shrinks iteration counts so
+// CI can watch for gross regressions without paying full timing fidelity.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/optim/optimizer.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/cpu_capability.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
+#include "src/util/string_util.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
 
 namespace {
 
 using namespace odnet;
+using tensor::CpuCapability;
 using tensor::Tensor;
+
+// Rate counters shared by the benchmarks below: `flops` / `bytes` are the
+// per-iteration arithmetic and memory traffic of the op under test.
+void SetRateCounters(benchmark::State& state, double flops, double bytes) {
+  if (flops > 0.0) {
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        flops, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::kIs1000);
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -22,6 +55,8 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(tensor::MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetRateCounters(state, 2.0 * static_cast<double>(n) * n * n,
+                  3.0 * static_cast<double>(n) * n * sizeof(float));
 }
 BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
 
@@ -34,6 +69,9 @@ void BM_BatchedMatMul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::MatMul(a, b));
   }
+  SetRateCounters(state, 2.0 * static_cast<double>(batch) * 10 * 16 * 16,
+                  static_cast<double>(batch) * (10 * 16 + 16 * 16 + 10 * 16) *
+                      sizeof(float));
 }
 BENCHMARK(BM_BatchedMatMul)->Arg(32)->Arg(128);
 
@@ -44,6 +82,8 @@ void BM_Softmax(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::Softmax(a));
   }
+  const double n = static_cast<double>(a.numel());
+  SetRateCounters(state, 5.0 * n, 2.0 * n * sizeof(float));
 }
 BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
 
@@ -59,6 +99,9 @@ void BM_EmbeddingLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(tensor::EmbeddingLookup(
         table, indices, {static_cast<int64_t>(indices.size())}));
   }
+  SetRateCounters(state, 0.0,
+                  2.0 * static_cast<double>(indices.size()) * 16 *
+                      sizeof(float));
 }
 BENCHMARK(BM_EmbeddingLookup)->Arg(128)->Arg(1024);
 
@@ -70,6 +113,8 @@ void BM_BroadcastMul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::Mul(a, b));
   }
+  const double n = static_cast<double>(a.numel());
+  SetRateCounters(state, n, 3.0 * n * sizeof(float));
 }
 BENCHMARK(BM_BroadcastMul)->Arg(64)->Arg(512);
 
@@ -117,6 +162,8 @@ void BM_MatMulThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(tensor::MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetRateCounters(state, 2.0 * static_cast<double>(n) * n * n,
+                  3.0 * static_cast<double>(n) * n * sizeof(float));
 }
 BENCHMARK(BM_MatMulThreads)
     ->Args({128, 1})
@@ -149,6 +196,285 @@ BENCHMARK(BM_ForwardBackwardMlpThreads)
     ->Args({128, 2})
     ->Args({128, 4});
 
+// ---------------------------------------------------------- kernel sweep --
+
+// One kernel-sweep workload: `make` builds fresh state and returns the step
+// closure (fresh per capability tier, so optimizer state and RNG streams
+// never leak across tiers); `flops`/`bytes` are per-step totals used for
+// the GFLOP/s and bandwidth columns.
+struct KernelWork {
+  std::string name;
+  std::function<std::function<void()>()> make;
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+double TimeStep(const std::function<void()>& step, int warmup, int iters,
+                int rounds) {
+  for (int i = 0; i < warmup; ++i) step();
+  double best_us = 1e300;
+  util::Stopwatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    watch.Restart();
+    for (int i = 0; i < iters; ++i) step();
+    best_us = std::min(best_us, watch.ElapsedMillis() * 1000.0 / iters);
+  }
+  return best_us;
+}
+
+std::vector<KernelWork> BuildKernelWorkloads() {
+  std::vector<KernelWork> works;
+  constexpr int64_t kEw = 1 << 16;  // elementwise vector length
+  constexpr int64_t kMm = 128;      // square matmul side
+
+  works.push_back(
+      {"matmul_fwd",
+       [] {
+         auto rng = std::make_shared<util::Rng>(11);
+         Tensor a = Tensor::Randn({kMm, kMm}, rng.get());
+         Tensor b = Tensor::Randn({kMm, kMm}, rng.get());
+         return std::function<void()>([a, b, rng] {
+           tensor::NoGradGuard guard;
+           Tensor c = tensor::MatMul(a, b);
+           benchmark::DoNotOptimize(const_cast<float*>(c.data()));
+         });
+       },
+       2.0 * kMm * kMm * kMm, 3.0 * kMm * kMm * sizeof(float)});
+
+  works.push_back(
+      {"matmul_fwd_bwd",
+       [] {
+         auto rng = std::make_shared<util::Rng>(12);
+         Tensor a = Tensor::Randn({kMm, kMm}, rng.get(), 0.1f,
+                                  /*requires_grad=*/true);
+         Tensor b = Tensor::Randn({kMm, kMm}, rng.get(), 0.1f,
+                                  /*requires_grad=*/true);
+         return std::function<void()>([a, b]() mutable {
+           a.ZeroGrad();
+           b.ZeroGrad();
+           Tensor loss = tensor::Sum(tensor::MatMul(a, b));
+           loss.Backward();
+           benchmark::DoNotOptimize(loss.item());
+         });
+       },
+       6.0 * kMm * kMm * kMm, 9.0 * kMm * kMm * sizeof(float)});
+
+  struct Unary {
+    const char* name;
+    Tensor (*fn)(const Tensor&);
+    double flops_per_elem;
+  };
+  const Unary unaries[] = {
+      {"relu", +[](const Tensor& a) { return tensor::Relu(a); }, 1.0},
+      {"sigmoid", +[](const Tensor& a) { return tensor::Sigmoid(a); }, 8.0},
+      {"tanh", +[](const Tensor& a) { return tensor::Tanh(a); }, 10.0},
+      {"exp", +[](const Tensor& a) { return tensor::Exp(a); }, 8.0}};
+  for (const Unary& u : unaries) {
+    auto fn = u.fn;
+    works.push_back(
+        {u.name,
+         [fn] {
+           auto rng = std::make_shared<util::Rng>(13);
+           Tensor a = Tensor::Randn({kEw}, rng.get());
+           return std::function<void()>([a, fn] {
+             tensor::NoGradGuard guard;
+             Tensor y = fn(a);
+             benchmark::DoNotOptimize(const_cast<float*>(y.data()));
+           });
+         },
+         u.flops_per_elem * kEw, 2.0 * kEw * sizeof(float)});
+  }
+
+  works.push_back(
+      {"ew_mul",
+       [] {
+         auto rng = std::make_shared<util::Rng>(14);
+         Tensor a = Tensor::Randn({kEw}, rng.get());
+         Tensor b = Tensor::Randn({kEw}, rng.get());
+         return std::function<void()>([a, b] {
+           tensor::NoGradGuard guard;
+           Tensor y = tensor::Mul(a, b);
+           benchmark::DoNotOptimize(const_cast<float*>(y.data()));
+         });
+       },
+       1.0 * kEw, 3.0 * kEw * sizeof(float)});
+
+  works.push_back(
+      {"softmax",
+       [] {
+         auto rng = std::make_shared<util::Rng>(15);
+         Tensor a = Tensor::Randn({512, 256}, rng.get());
+         return std::function<void()>([a] {
+           tensor::NoGradGuard guard;
+           Tensor y = tensor::Softmax(a);
+           benchmark::DoNotOptimize(const_cast<float*>(y.data()));
+         });
+       },
+       5.0 * 512 * 256, 2.0 * 512 * 256 * sizeof(float)});
+
+  works.push_back(
+      {"sum_axis",
+       [] {
+         auto rng = std::make_shared<util::Rng>(16);
+         Tensor a = Tensor::Randn({512, 256}, rng.get());
+         return std::function<void()>([a] {
+           tensor::NoGradGuard guard;
+           Tensor y = tensor::SumAxis(a, 0, false);
+           benchmark::DoNotOptimize(const_cast<float*>(y.data()));
+         });
+       },
+       1.0 * 512 * 256, (512.0 * 256 + 256) * sizeof(float)});
+
+  works.push_back(
+      {"embedding_scatter",
+       [] {
+         auto rng = std::make_shared<util::Rng>(17);
+         Tensor table = Tensor::Randn({10000, 16}, rng.get(), 0.05f,
+                                      /*requires_grad=*/true);
+         auto indices = std::make_shared<std::vector<int64_t>>();
+         for (int i = 0; i < 1024; ++i) {
+           indices->push_back(rng->UniformInt(0, 9999));
+         }
+         return std::function<void()>([table, indices]() mutable {
+           table.ZeroGrad();
+           Tensor emb = tensor::EmbeddingLookup(
+               table, *indices, {static_cast<int64_t>(indices->size())});
+           tensor::Sum(emb).Backward();
+           benchmark::DoNotOptimize(table.impl());
+         });
+       },
+       0.0, 4.0 * 1024 * 16 * sizeof(float)});
+
+  works.push_back(
+      {"adam_dense",
+       [] {
+         auto rng = std::make_shared<util::Rng>(18);
+         Tensor p = Tensor::Randn({kEw}, rng.get(), 0.05f,
+                                  /*requires_grad=*/true);
+         tensor::Sum(tensor::Mul(p, p)).Backward();  // dense grad, kept
+         auto opt = std::make_shared<optim::Adam>(std::vector<Tensor>{p},
+                                                  1e-4);
+         return std::function<void()>([opt] { opt->Step(); });
+       },
+       10.0 * kEw, 8.0 * kEw * sizeof(float)});
+
+  works.push_back(
+      {"mlp_train_step",
+       [] {
+         auto rng = std::make_shared<util::Rng>(19);
+         Tensor x = Tensor::Randn({128, 64}, rng.get());
+         Tensor w1 = Tensor::Randn({64, 64}, rng.get(), 0.05f, true);
+         Tensor w2 = Tensor::Randn({64, 1}, rng.get(), 0.05f, true);
+         Tensor y = Tensor::Zeros({128, 1});
+         auto opt = std::make_shared<optim::Adam>(
+             std::vector<Tensor>{w1, w2}, 1e-4);
+         return std::function<void()>([x, w1, w2, y, opt]() mutable {
+           opt->ZeroGrad();
+           Tensor out =
+               tensor::MatMul(tensor::Relu(tensor::MatMul(x, w1)), w2);
+           Tensor loss = tensor::BceWithLogits(out, y);
+           loss.Backward();
+           opt->Step();
+           benchmark::DoNotOptimize(loss.item());
+         });
+       },
+       0.0, 0.0});
+
+  return works;
+}
+
+int RunKernelSweep() {
+  const bool smoke = std::getenv("ODNET_BENCH_SMOKE") != nullptr;
+  const int warmup = smoke ? 1 : 5;
+  const int iters = smoke ? 2 : 30;
+  const int rounds = smoke ? 1 : 5;
+
+  const CpuCapability max_cap = tensor::MaxCpuCapability();
+  std::printf("=== SIMD kernel sweep (scalar vs %s, %d iters x %d rounds%s) "
+              "===\n",
+              tensor::CpuCapabilityName(max_cap), iters, rounds,
+              smoke ? ", smoke" : "");
+
+  struct Row {
+    std::string section;
+    int threads;
+    double scalar_us;
+    double simd_us;
+    double flops;
+    double bytes;
+  };
+  std::vector<Row> rows;
+  const std::vector<KernelWork> works = BuildKernelWorkloads();
+  for (int threads : {1, 8}) {
+    tensor::ComputeContext::Get().SetNumThreads(threads);
+    for (const KernelWork& w : works) {
+      Row row{w.name, threads, 0.0, 0.0, w.flops, w.bytes};
+      {
+        tensor::CpuCapabilityScope scope(CpuCapability::kScalar);
+        row.scalar_us = TimeStep(w.make(), warmup, iters, rounds);
+      }
+      {
+        tensor::CpuCapabilityScope scope(max_cap);
+        row.simd_us = TimeStep(w.make(), warmup, iters, rounds);
+      }
+      rows.push_back(row);
+      std::printf("finished %s threads=%d\n", w.name.c_str(), threads);
+      std::fflush(stdout);
+    }
+  }
+  tensor::ComputeContext::Get().SetNumThreads(1);
+
+  util::AsciiTable table({"Kernel", "Threads", "Scalar us", "SIMD us",
+                          "Speedup", "GFLOP/s", "GB/s"});
+  std::string json = "{\n  \"bench\": \"kernel_simd\",\n  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"scalar_cap\": \"scalar\",\n  \"simd_cap\": \"";
+  json += tensor::CpuCapabilityName(max_cap);
+  json += "\",\n  \"iters\": " + std::to_string(iters) +
+          ",\n  \"results\": [\n";
+  bool first = true;
+  for (const Row& row : rows) {
+    const double speedup =
+        row.simd_us > 0.0 ? row.scalar_us / row.simd_us : 0.0;
+    const double gflops =
+        row.simd_us > 0.0 ? row.flops / (row.simd_us * 1e3) : 0.0;
+    const double gbps =
+        row.simd_us > 0.0 ? row.bytes / (row.simd_us * 1e3) : 0.0;
+    table.AddRow({row.section, std::to_string(row.threads),
+                  util::FormatFixed(row.scalar_us, 1),
+                  util::FormatFixed(row.simd_us, 1),
+                  util::FormatFixed(speedup, 2) + "x",
+                  row.flops > 0.0 ? util::FormatFixed(gflops, 2) : "-",
+                  row.bytes > 0.0 ? util::FormatFixed(gbps, 2) : "-"});
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"section\": \"" + row.section +
+            "\", \"threads\": " + std::to_string(row.threads) +
+            ", \"scalar_us\": " + util::FormatFixed(row.scalar_us, 2) +
+            ", \"simd_us\": " + util::FormatFixed(row.simd_us, 2) +
+            ", \"speedup\": " + util::FormatFixed(speedup, 3) +
+            ", \"gflops\": " + util::FormatFixed(gflops, 3) +
+            ", \"gbps\": " + util::FormatFixed(gbps, 3) + "}";
+  }
+  json += "\n  ]\n}\n";
+  std::printf("\n");
+  table.Print();
+  std::ofstream out("BENCH_kernel_simd.json");
+  out << json;
+  out.close();
+  std::printf("wrote BENCH_kernel_simd.json\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--kernel-sweep") == 0) {
+    return RunKernelSweep();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

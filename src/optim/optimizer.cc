@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "src/tensor/compute_context.h"
+#include "src/tensor/simd/simd_kernels.h"
 #include "src/util/check.h"
 
 namespace odnet {
@@ -13,6 +14,7 @@ namespace optim {
 namespace {
 
 using tensor::internal::TensorImpl;
+namespace simd = tensor::simd;
 
 tensor::ComputeContext& Ctx() { return tensor::ComputeContext::Get(); }
 
@@ -187,18 +189,18 @@ double Optimizer::ClipGradNorm(double max_norm) {
     for (size_t i = 0; i < params_.size(); ++i) {
       TensorImpl* impl = params_[i].impl();
       float* g = impl->grad.data();
+      const simd::ScaleFn scale_fn = simd::Kernels().scale;
       if (RowSparseGrad(i)) {
         // Untouched rows are exactly +0.0; scaling them is a no-op.
         const int64_t width = impl->shape[1];
         const std::vector<int64_t>& rows = impl->grad_rows;
         ParallelOverRows(rows, width, [&](int64_t r) {
-          float* row = g + rows[static_cast<size_t>(r)] * width;
-          for (int64_t j = 0; j < width; ++j) row[j] *= scale;
+          scale_fn(g + rows[static_cast<size_t>(r)] * width, scale, width);
         });
       } else {
         const int64_t n = static_cast<int64_t>(impl->grad.size());
         Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b, int64_t e) {
-          for (int64_t j = b; j < e; ++j) g[j] *= scale;
+          scale_fn(g + b, scale, e - b);
         });
       }
     }
@@ -245,18 +247,16 @@ void Sgd::Step() {
     float* data = p.mutable_data();
     const int64_t n = static_cast<int64_t>(impl->grad.size());
 
+    const simd::KernelTable& kt = simd::Kernels();
     if (!RowSparseGrad(i)) {
       if (!with_momentum) {
         Ctx().ParallelFor(n, Ctx().GrainFor(2), [&](int64_t b, int64_t e) {
-          for (int64_t j = b; j < e; ++j) data[j] -= lr * g[j];
+          kt.sgd_row(data + b, g + b, lr, e - b);
         });
       } else {
         float* vel = velocity_[i].data();
         Ctx().ParallelFor(n, Ctx().GrainFor(4), [&](int64_t b, int64_t e) {
-          for (int64_t j = b; j < e; ++j) {
-            vel[j] = mu * vel[j] + g[j];
-            data[j] -= lr * vel[j];
-          }
+          kt.sgd_momentum_row(data + b, vel + b, g + b, lr, mu, e - b);
         });
         if (impl->shape.size() == 2) {
           dense_state_[i] = 1;
@@ -272,9 +272,7 @@ void Sgd::Step() {
       // Untouched rows see exactly `data -= lr * (+0.0)`: a no-op.
       ParallelOverRows(touched, width * 2, [&](int64_t r) {
         const int64_t row = touched[static_cast<size_t>(r)];
-        const float* grow = g + row * width;
-        float* drow = data + row * width;
-        for (int64_t j = 0; j < width; ++j) drow[j] -= lr * grow[j];
+        kt.sgd_row(data + row * width, g + row * width, lr, width);
       });
       continue;
     }
@@ -288,13 +286,8 @@ void Sgd::Step() {
     // Touched rows: the full dense row update.
     ParallelOverRows(touched, width * 4, [&](int64_t r) {
       const int64_t row = touched[static_cast<size_t>(r)];
-      const float* grow = g + row * width;
-      float* vrow = vel + row * width;
-      float* drow = data + row * width;
-      for (int64_t j = 0; j < width; ++j) {
-        vrow[j] = mu * vrow[j] + grow[j];
-        drow[j] -= lr * vrow[j];
-      }
+      kt.sgd_momentum_row(data + row * width, vel + row * width,
+                          g + row * width, lr, mu, width);
     });
     // Active-but-untouched rows: the dense update with g == +0.0 spelled
     // out term by term (`mu * v + 0.0f`), so the bits match the dense loop
@@ -304,11 +297,8 @@ void Sgd::Step() {
     ParallelOverRows(decay_rows, width * 4, [&](int64_t r) {
       const int64_t row = decay_rows[static_cast<size_t>(r)];
       float* vrow = vel + row * width;
-      float* drow = data + row * width;
-      for (int64_t j = 0; j < width; ++j) {
-        vrow[j] = mu * vrow[j] + 0.0f;
-        drow[j] -= lr * vrow[j];
-      }
+      kt.sgd_momentum_row(data + row * width, vrow, /*g=*/nullptr, lr, mu,
+                          width);
       still_active[static_cast<size_t>(r)] =
           RowExactlyPositiveZero(vrow, width) ? 0 : 1;
     });
@@ -355,13 +345,10 @@ void Adam::Step() {
     float* v = v_[i].data();
     const int64_t n = static_cast<int64_t>(impl->grad.size());
 
+    const simd::KernelTable& kt = simd::Kernels();
     if (!RowSparseGrad(i)) {
       Ctx().ParallelFor(n, Ctx().GrainFor(8), [&](int64_t b, int64_t e) {
-        for (int64_t j = b; j < e; ++j) {
-          m[j] = b1 * m[j] + (1.0f - b1) * g[j];
-          v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
-          data[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
-        }
+        kt.adam_row(data + b, m + b, v + b, g + b, lr_t, b1, b2, eps, e - b);
       });
       if (impl->shape.size() == 2) {
         dense_state_[i] = 1;
@@ -398,16 +385,10 @@ void Adam::Step() {
               static_cast<float>(std::pow(beta1_, static_cast<double>(missed)));
           const float vdecay =
               static_cast<float>(std::pow(beta2_, static_cast<double>(missed)));
-          for (int64_t j = 0; j < width; ++j) {
-            mrow[j] *= mdecay;
-            vrow[j] *= vdecay;
-          }
+          kt.scale(mrow, mdecay, width);
+          kt.scale(vrow, vdecay, width);
         }
-        for (int64_t j = 0; j < width; ++j) {
-          mrow[j] = b1 * mrow[j] + (1.0f - b1) * grow[j];
-          vrow[j] = b2 * vrow[j] + (1.0f - b2) * grow[j] * grow[j];
-          drow[j] -= lr_t * mrow[j] / (std::sqrt(vrow[j]) + eps);
-        }
+        kt.adam_row(drow, mrow, vrow, grow, lr_t, b1, b2, eps, width);
         last[static_cast<size_t>(row)] = t_;
       });
       continue;
@@ -423,15 +404,8 @@ void Adam::Step() {
     }
     ParallelOverRows(touched, width * 8, [&](int64_t r) {
       const int64_t row = touched[static_cast<size_t>(r)];
-      const float* grow = g + row * width;
-      float* mrow = m + row * width;
-      float* vrow = v + row * width;
-      float* drow = data + row * width;
-      for (int64_t j = 0; j < width; ++j) {
-        mrow[j] = b1 * mrow[j] + (1.0f - b1) * grow[j];
-        vrow[j] = b2 * vrow[j] + (1.0f - b2) * grow[j] * grow[j];
-        drow[j] -= lr_t * mrow[j] / (std::sqrt(vrow[j]) + eps);
-      }
+      kt.adam_row(data + row * width, m + row * width, v + row * width,
+                  g + row * width, lr_t, b1, b2, eps, width);
     });
     std::vector<int64_t> decay_rows = SortedDifference(active_rows_[i], touched);
     std::vector<uint8_t> still_active(decay_rows.size(), 0);
@@ -439,12 +413,8 @@ void Adam::Step() {
       const int64_t row = decay_rows[static_cast<size_t>(r)];
       float* mrow = m + row * width;
       float* vrow = v + row * width;
-      float* drow = data + row * width;
-      for (int64_t j = 0; j < width; ++j) {
-        mrow[j] = b1 * mrow[j] + 0.0f;
-        vrow[j] = b2 * vrow[j] + 0.0f;
-        drow[j] -= lr_t * mrow[j] / (std::sqrt(vrow[j]) + eps);
-      }
+      kt.adam_row(data + row * width, mrow, vrow, /*g=*/nullptr, lr_t, b1, b2,
+                  eps, width);
       still_active[static_cast<size_t>(r)] =
           (RowExactlyPositiveZero(mrow, width) &&
            RowExactlyPositiveZero(vrow, width))
@@ -480,6 +450,7 @@ void AdaGrad::Step() {
     float* data = p.mutable_data();
     float* acc = accum_[i].data();
     const int64_t n = static_cast<int64_t>(impl->grad.size());
+    const simd::AdaGradRowFn row_fn = simd::Kernels().adagrad_row;
     if (RowSparseGrad(i)) {
       // Untouched rows add an exact +0.0 to a never-negative accumulator
       // and subtract an exact +0.0 from the weights: skipping is always
@@ -488,21 +459,13 @@ void AdaGrad::Step() {
       const std::vector<int64_t>& touched = impl->grad_rows;
       ParallelOverRows(touched, width * 6, [&](int64_t r) {
         const int64_t row = touched[static_cast<size_t>(r)];
-        const float* grow = g + row * width;
-        float* arow = acc + row * width;
-        float* drow = data + row * width;
-        for (int64_t j = 0; j < width; ++j) {
-          arow[j] += grow[j] * grow[j];
-          drow[j] -= lr * grow[j] / (std::sqrt(arow[j]) + eps);
-        }
+        row_fn(data + row * width, acc + row * width, g + row * width, lr,
+               eps, width);
       });
       continue;
     }
     Ctx().ParallelFor(n, Ctx().GrainFor(6), [&](int64_t b, int64_t e) {
-      for (int64_t j = b; j < e; ++j) {
-        acc[j] += g[j] * g[j];
-        data[j] -= lr * g[j] / (std::sqrt(acc[j]) + eps);
-      }
+      row_fn(data + b, acc + b, g + b, lr, eps, e - b);
     });
   }
 }

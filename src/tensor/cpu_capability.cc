@@ -1,0 +1,108 @@
+#include "src/tensor/cpu_capability.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/tensor/graph_plan.h"
+#include "src/tensor/simd/simd_kernels.h"
+#include "src/util/check.h"
+
+namespace odnet {
+namespace tensor {
+namespace {
+
+CpuCapability HardwareCpuCapability() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("fma")) {
+    return CpuCapability::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return CpuCapability::kAvx2;
+  }
+#endif
+  return CpuCapability::kScalar;
+}
+
+CpuCapability ComputeMaxCpuCapability() {
+  CpuCapability cap = HardwareCpuCapability();
+  const CpuCapability compiled = simd::MaxCompiledCpuCapability();
+  if (static_cast<int>(compiled) < static_cast<int>(cap)) cap = compiled;
+  const char* env = std::getenv("ODNET_CPU_CAPABILITY");
+  // Empty counts as unset (CI matrix legs pass "" for "no override");
+  // any other unrecognized value still aborts loudly in Parse.
+  if (env != nullptr && env[0] != '\0') {
+    const CpuCapability forced = ParseCpuCapability(env);
+    // The override can only lower the tier: forcing e.g. "avx512" on a
+    // machine without it must not select kernels the CPU cannot execute.
+    if (static_cast<int>(forced) < static_cast<int>(cap)) cap = forced;
+  }
+  return cap;
+}
+
+std::atomic<int>& ActiveSlot() {
+  static std::atomic<int> active{static_cast<int>(ComputeMaxCpuCapability())};
+  return active;
+}
+
+}  // namespace
+
+const char* CpuCapabilityName(CpuCapability cap) {
+  switch (cap) {
+    case CpuCapability::kScalar:
+      return "scalar";
+    case CpuCapability::kAvx2:
+      return "avx2";
+    case CpuCapability::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+CpuCapability ParseCpuCapability(const std::string& name) {
+  if (name == "scalar") return CpuCapability::kScalar;
+  if (name == "avx2") return CpuCapability::kAvx2;
+  if (name == "avx512") return CpuCapability::kAvx512;
+  ODNET_CHECK(false) << "unknown CpuCapability name \"" << name
+                     << "\" (expected scalar|avx2|avx512)";
+  return CpuCapability::kScalar;
+}
+
+CpuCapability MaxCpuCapability() {
+  static const CpuCapability cap = ComputeMaxCpuCapability();
+  return cap;
+}
+
+CpuCapability ActiveCpuCapability() {
+  return static_cast<CpuCapability>(
+      ActiveSlot().load(std::memory_order_relaxed));
+}
+
+std::vector<CpuCapability> AvailableCpuCapabilities() {
+  std::vector<CpuCapability> caps;
+  for (int c = 0; c <= static_cast<int>(MaxCpuCapability()); ++c) {
+    caps.push_back(static_cast<CpuCapability>(c));
+  }
+  return caps;
+}
+
+CpuCapabilityScope::CpuCapabilityScope(CpuCapability cap)
+    : prev_(ActiveCpuCapability()) {
+  ODNET_CHECK(!capture::Active())
+      << "cannot switch CpuCapability while a plan capture is recording";
+  ODNET_CHECK_LE(static_cast<int>(cap), static_cast<int>(MaxCpuCapability()))
+      << "requested capability " << CpuCapabilityName(cap)
+      << " exceeds this process's ceiling "
+      << CpuCapabilityName(MaxCpuCapability());
+  ActiveSlot().store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
+CpuCapabilityScope::~CpuCapabilityScope() {
+  ODNET_CHECK(!capture::Active())
+      << "cannot switch CpuCapability while a plan capture is recording";
+  ActiveSlot().store(static_cast<int>(prev_), std::memory_order_relaxed);
+}
+
+}  // namespace tensor
+}  // namespace odnet

@@ -1,0 +1,68 @@
+#ifndef ODNET_TENSOR_CPU_CAPABILITY_H_
+#define ODNET_TENSOR_CPU_CAPABILITY_H_
+
+#include <string>
+#include <vector>
+
+namespace odnet {
+namespace tensor {
+
+// Runtime CPU-capability selection for the vectorized kernel tier
+// (DESIGN.md §11). The optimized backend routes its hot loops through a
+// per-kernel dispatch table (src/tensor/simd/simd_kernels.h) indexed by the
+// active capability:
+//
+//   kScalar  — the portable kernels; the numerics oracle for every tier.
+//   kAvx2    — 8-lane AVX2 kernels (FMA required by the probe, but the
+//              bitwise-tier kernels deliberately use unfused mul+add so the
+//              bits match the scalar tier; see DESIGN.md §11).
+//   kAvx512  — 16-lane AVX-512 (F/BW/DQ/VL) kernels.
+//
+// The effective ceiling is min(hardware probe, tiers compiled into this
+// binary, ODNET_CPU_CAPABILITY env override). The env override therefore
+// only ever *lowers* the tier ("scalar" forces the fallback path end to
+// end); an unknown value aborts loudly rather than silently running scalar.
+enum class CpuCapability : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Display name: "scalar", "avx2", "avx512".
+const char* CpuCapabilityName(CpuCapability cap);
+
+/// Inverse of CpuCapabilityName; ODNET_CHECK-fails on unknown names.
+CpuCapability ParseCpuCapability(const std::string& name);
+
+/// The highest tier this process may use: hardware support ∧ compiled-in
+/// kernels ∧ ODNET_CPU_CAPABILITY (read once, cached).
+CpuCapability MaxCpuCapability();
+
+/// The tier the dispatch tables currently select. Starts at
+/// MaxCpuCapability(); tests lower it via CpuCapabilityScope.
+CpuCapability ActiveCpuCapability();
+
+/// Every tier available to this process, ascending: {kScalar, ..,
+/// MaxCpuCapability()}. Test sweeps iterate this.
+std::vector<CpuCapability> AvailableCpuCapabilities();
+
+/// Scoped capability override for tests and benches. Switching tiers while
+/// a plan capture is recording would bake mixed-tier kernels into one plan,
+/// so construction and destruction CHECK that no capture is active; a
+/// captured plan additionally stamps its capture-time capability and its
+/// replays CHECK the active tier still matches (loud mid-run rejection).
+class CpuCapabilityScope {
+ public:
+  explicit CpuCapabilityScope(CpuCapability cap);
+  ~CpuCapabilityScope();
+  CpuCapabilityScope(const CpuCapabilityScope&) = delete;
+  CpuCapabilityScope& operator=(const CpuCapabilityScope&) = delete;
+
+ private:
+  CpuCapability prev_;
+};
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_CPU_CAPABILITY_H_

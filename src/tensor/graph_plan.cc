@@ -335,6 +335,7 @@ std::shared_ptr<GraphPlan> GraphPlan::CaptureInference(
   CheckCaptureIntegrity(rec);
   ODNET_CHECK(!outs.empty()) << "captured program returned no outputs";
   std::shared_ptr<GraphPlan> plan = PlanBuilder::Build(&rec, outs, inputs);
+  plan->capability_ = ActiveCpuCapability();
   if (capture_results != nullptr) *capture_results = std::move(outs);
   return plan;
 }
@@ -375,6 +376,12 @@ const float* GraphPlan::Resolve(const ValueRef& ref, const Buffers& b) const {
 const std::vector<Tensor>& GraphPlan::ReplayOn(
     Buffers* buffers, const std::vector<Tensor>& inputs) const {
   ODNET_CHECK(buffers != nullptr);
+  ODNET_CHECK(ActiveCpuCapability() == capability_)
+      << "GraphPlan captured under CPU capability '"
+      << CpuCapabilityName(capability_) << "' replayed under '"
+      << CpuCapabilityName(ActiveCpuCapability())
+      << "': switching the SIMD tier mid-run would change the numerics of a "
+         "captured program; re-capture the plan under the new tier";
   ODNET_CHECK_EQ(inputs.size(), input_shapes_.size())
       << "replay input count differs from capture";
   for (size_t i = 0; i < inputs.size(); ++i) {
@@ -428,6 +435,7 @@ std::unique_ptr<TrainStepPlan> TrainStepPlan::Capture(
 
   std::unique_ptr<TrainStepPlan> plan(new TrainStepPlan());
   plan->loss_ = loss;
+  plan->capability_ = ActiveCpuCapability();
   plan->retained_.reserve(rec.values.size());
   for (const RecValue& v : rec.values) plan->retained_.push_back(v.impl);
 
@@ -458,7 +466,19 @@ std::unique_ptr<TrainStepPlan> TrainStepPlan::Capture(
   return plan;
 }
 
+namespace {
+void CheckTrainPlanCapability(CpuCapability captured, const char* where) {
+  ODNET_CHECK(ActiveCpuCapability() == captured)
+      << "TrainStepPlan captured under CPU capability '"
+      << CpuCapabilityName(captured) << "' but " << where
+      << " runs under '" << CpuCapabilityName(ActiveCpuCapability())
+      << "': switching the SIMD tier mid-run would change the numerics of a "
+         "captured program; re-capture the plan under the new tier";
+}
+}  // namespace
+
 void TrainStepPlan::ReplayForward() {
+  CheckTrainPlanCapability(capability_, "ReplayForward");
   for (const Node& node : nodes_) {
     if (node.host) {
       node.host();
@@ -473,6 +493,7 @@ void TrainStepPlan::ReplayForward() {
 }
 
 void TrainStepPlan::ReplayBackward() {
+  CheckTrainPlanCapability(capability_, "ReplayBackward");
   // Reset intermediate grads to the state a fresh eager tape would have:
   // EnsureGrad()'s all-zero buffer with reset row metadata. Leaf parameters
   // are the optimizer's job (ZeroGrad before this call, as in eager).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/tensor/buffer_arena.h"
+#include "src/tensor/cpu_capability.h"
 #include "src/tensor/shape.h"
 #include "src/tensor/tensor.h"
 
@@ -160,6 +161,13 @@ class GraphPlan {
   bool has_host_stages() const { return has_host_stages_; }
   int64_t replay_count() const { return replay_count_; }
 
+  /// SIMD tier active when the plan was captured. Replay CHECKs the current
+  /// tier against this stamp: the recorded kernel closures re-resolve the
+  /// dispatch table per execution, so a mid-run capability switch would
+  /// silently change the numerics of a captured program. Rejected loudly
+  /// instead.
+  CpuCapability capability() const { return capability_; }
+
  private:
   friend class PlanBuilder;
   GraphPlan() = default;
@@ -190,6 +198,7 @@ class GraphPlan {
   std::vector<Shape> input_shapes_;
   std::vector<OutputRef> outputs_;
   MemoryPlanStats stats_;
+  CpuCapability capability_ = CpuCapability::kScalar;
   size_t max_ins_ = 0;  // widest node fan-in; sizes Buffers::scratch_
   bool has_host_stages_ = false;
   int64_t replay_count_ = 0;
@@ -228,6 +237,10 @@ class TrainStepPlan {
 
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
 
+  /// SIMD tier stamped at capture; both replay directions CHECK against it
+  /// (same contract as GraphPlan::capability()).
+  CpuCapability capability() const { return capability_; }
+
  private:
   TrainStepPlan() = default;
 
@@ -242,6 +255,7 @@ class TrainStepPlan {
 
   std::vector<Node> nodes_;
   Tensor loss_;
+  CpuCapability capability_ = CpuCapability::kScalar;
   // Keeps every recorded value's impl alive so the raw pointers above and
   // the cached topo stay valid.
   std::vector<std::shared_ptr<internal::TensorImpl>> retained_;

@@ -8,6 +8,7 @@
 #include "src/tensor/compute_context.h"
 #include "src/tensor/graph_plan.h"
 #include "src/tensor/reference_backend.h"
+#include "src/tensor/simd/simd_kernels.h"
 
 namespace odnet {
 namespace tensor {
@@ -34,28 +35,17 @@ bool RefMode() { return ComputeContext::backend() == Backend::kReference; }
 constexpr int64_t kMatMulRowBlock = 16;
 constexpr int64_t kMatMulKBlock = 64;
 
-// Rank-1 accumulation micro-kernel: crow += sum_p arow[p] * B[p]. Kept
-// noinline so its tight loops get a register allocation independent of the
-// surrounding tiling nest — inlined into the blocked loops the j-loop bound
-// spills to the stack and the inner loop picks up a reload per iteration.
-__attribute__((noinline)) void MatMulRowKernel(const float* arow,
-                                               const float* B, float* crow,
-                                               int64_t p0, int64_t p1,
-                                               int64_t n) {
-  for (int64_t p = p0; p < p1; ++p) {
-    const float av = arow[p];
-    if (av == 0.0f) continue;
-    const float* brow = B + p * n;
-    for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-  }
-}
-
 // Forward kernel over global output rows r = bt*m + i in [row_begin,
-// row_end): C[r] += A[r] * B[bt]. Free function with by-value arguments so
+// row_end): C[r] += A[r] * B[bt]. The rank-1 row micro-kernel
+// (crow += sum_p arow[p] * B[p], ascending p, zero rows of A skipped) comes
+// from the capability dispatch table; every tier preserves that per-element
+// accumulation order, so the tiled result stays bitwise identical to the
+// naive i/p/j loop on any tier. Free function with by-value arguments so
 // the hot loops optimize independently of any closure.
-void MatMulForwardRows(const float* pa, const float* pb, float* po,
-                       int64_t row_begin, int64_t row_end, int64_t m,
-                       int64_t k, int64_t n, bool b_batched) {
+void MatMulForwardRows(simd::MatMulRowFn row_fn, const float* pa,
+                       const float* pb, float* po, int64_t row_begin,
+                       int64_t row_end, int64_t m, int64_t k, int64_t n,
+                       bool b_batched) {
   int64_t r = row_begin;
   while (r < row_end) {
     const int64_t bt = r / m;
@@ -66,48 +56,11 @@ void MatMulForwardRows(const float* pa, const float* pb, float* po,
       for (int64_t p0 = 0; p0 < k; p0 += kMatMulKBlock) {
         const int64_t p1 = std::min(k, p0 + kMatMulKBlock);
         for (int64_t rr = r0; rr < r1; ++rr) {
-          MatMulRowKernel(pa + rr * k, B, po + rr * n, p0, p1, n);
+          row_fn(pa + rr * k, B, po + rr * n, p0, p1, n);
         }
       }
     }
     r = batch_lim;
-  }
-}
-
-// One dA row: darow[p] += sum_j grow[j] * B[p*n + j] (B^T product).
-__attribute__((noinline)) void MatMulDaRowKernel(const float* grow,
-                                                 const float* B, float* darow,
-                                                 int64_t k, int64_t n) {
-  for (int64_t j = 0; j < n; ++j) {
-    const float gv = grow[j];
-    if (gv == 0.0f) continue;
-    const float* bcol = B + j;  // stride n over p
-    for (int64_t p = 0; p < k; ++p) darow[p] += gv * bcol[p * n];
-  }
-}
-
-// dA rows in [row_begin, row_end): dA[r] += G[r] * B[bt]^T.
-void MatMulBackwardARows(const float* pb, const float* g, float* da,
-                         int64_t row_begin, int64_t row_end, int64_t m,
-                         int64_t k, int64_t n, bool b_batched) {
-  for (int64_t r = row_begin; r < row_end; ++r) {
-    const int64_t bt = r / m;
-    const float* B = pb + (b_batched ? bt * k * n : 0);
-    MatMulDaRowKernel(g + r * n, B, da + r * k, k, n);
-  }
-}
-
-// One dB row p within one batch: dbrow[j] += sum_i A[i*k+p] * G[i*n+j],
-// accumulating in ascending i — the serial kernel's order.
-__attribute__((noinline)) void MatMulDbRowKernel(const float* A,
-                                                 const float* G, float* dbrow,
-                                                 int64_t p, int64_t m,
-                                                 int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float av = A[i * k + p];
-    if (av == 0.0f) continue;
-    const float* grow = G + i * n;
-    for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
   }
 }
 
@@ -289,16 +242,18 @@ void BinaryBackward(BinaryKind kind, const Shape& out_shape,
     float* da = need_a ? ia->grad.data() : nullptr;
     float* db = need_b ? ib->grad.data() : nullptr;
     const int64_t n = Numel(out_shape);
+    const simd::KernelTable& kt = simd::Kernels();
     if (kind == BinaryKind::kMul) {
-      ParallelElementwise(n, 1, [&](int64_t i) {
-        if (da != nullptr) da[i] += pg[i] * pb[i];
-        if (db != nullptr) db[i] += pg[i] * pa[i];
+      Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+        if (da != nullptr) kt.mul_accum(pg + b0, pb + b0, da + b0, b1 - b0);
+        if (db != nullptr) kt.mul_accum(pg + b0, pa + b0, db + b0, b1 - b0);
       });
     } else {  // kDiv
-      ParallelElementwise(n, 1, [&](int64_t i) {
-        const float y = pb[i];
-        if (da != nullptr) da[i] += pg[i] / y;
-        if (db != nullptr) db[i] += -pg[i] * pa[i] / (y * y);
+      Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+        if (da != nullptr) kt.div_bwd_a(pg + b0, pb + b0, da + b0, b1 - b0);
+        if (db != nullptr) {
+          kt.div_bwd_b(pg + b0, pa + b0, pb + b0, db + b0, b1 - b0);
+        }
       });
     }
     return;
@@ -350,11 +305,12 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
     if (RefMode()) {
       reference::BinaryForward(kind, out_shape, a_shape, b_shape, pa, pb, po);
     } else if (SameShape(a_shape, b_shape)) {
-      // Fast path: no broadcasting.
+      // Fast path: no broadcasting. Resolved per execution, not per capture,
+      // so a replayed plan picks the (stamped, CHECK-verified) active tier.
       const int64_t n = Numel(out_shape);
-      WithBinaryKernel(kind, [&](auto op) {
-        ParallelElementwise(n, 1,
-                            [&](int64_t i) { po[i] = op(pa[i], pb[i]); });
+      const simd::BinaryEwFn fn = simd::Kernels().binary[static_cast<int>(kind)];
+      Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+        fn(pa + b0, pb + b0, po + b0, b1 - b0);
       });
     } else {
       WithBinaryKernel(kind, [&](auto op) {
@@ -417,6 +373,54 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
   return result;
 }
 
+// Unary op with a capability-dispatched kernel. The scalar lambdas carry
+// the oracle semantics for the reference backend; the optimized backend
+// routes through the `kind` entry of the active tier's table (resolved per
+// execution so replays re-resolve under their stamped capability).
+template <typename FwdFn, typename BwdFn>
+Tensor DispatchedUnaryOp(const Tensor& a, simd::UnaryEw kind, float param,
+                         FwdFn fwd, BwdFn bwd) {
+  ODNET_CHECK(a.defined());
+  const int64_t n = a.numel();
+  OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
+  auto run = [fwd, kind, param, n](const float* pa, float* po) {
+    if (RefMode()) {
+      reference::UnaryForward(n, pa, po, fwd);
+    } else {
+      const simd::UnaryFwdFn fn =
+          simd::Kernels().unary_fwd[static_cast<int>(kind)];
+      Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+        fn(pa + b0, param, po + b0, b1 - b0);
+      });
+    }
+  };
+  run(a.data(), out.data());
+  Tensor result = Tensor::MakeForOp(
+      a.shape(), std::move(out), {a}, [bwd, kind, param](TensorImpl* self) {
+        TensorImpl* parent = self->parents[0].get();
+        if (!parent->requires_grad) return;
+        const float* g = self->grad.data();
+        const float* px = parent->data().data();
+        const float* py = self->data().data();
+        float* pg = parent->grad.data();
+        const int64_t gn = static_cast<int64_t>(self->grad.size());
+        if (RefMode()) {
+          reference::UnaryBackward(gn, g, px, py, pg, bwd);
+          return;
+        }
+        const simd::UnaryBwdFn fn =
+            simd::Kernels().unary_bwd[static_cast<int>(kind)];
+        Ctx().ParallelFor(gn, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+          fn(g + b0, px + b0, py + b0, param, pg + b0, b1 - b0);
+        });
+      });
+  if (capture::Active()) {
+    capture::RecordOp(result, {a},
+                      [run](const ReplayPtrs& p) { run(p.in[0], p.out); });
+  }
+  return result;
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -433,34 +437,36 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x + s; },
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kAddScalar, s, [s](float x) { return x + s; },
       [](float, float) { return 1.0f; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x * s; },
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kMulScalar, s, [s](float x) { return x * s; },
       [s](float, float) { return s; });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kRelu, 0.0f,
+      [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float slope) {
-  return UnaryOp(
-      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kLeakyRelu, slope,
+      [slope](float x) { return x > 0.0f ? x : slope * x; },
       [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      a,
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kSigmoid, 0.0f,
       [](float x) {
         if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
         float z = std::exp(x);
@@ -470,14 +476,14 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kTanh, 0.0f, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+  return DispatchedUnaryOp(
+      a, simd::UnaryEw::kExp, 0.0f, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
@@ -520,10 +526,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     } else {
       // Tiled forward over global output rows r = bt*m + i; A's row is
       // pa + r*k and C's row is po + r*n. Workers own disjoint row ranges.
+      const simd::MatMulRowFn row_fn = simd::Kernels().matmul_row;
       Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
                         [=](int64_t row_begin, int64_t row_end) {
-                          MatMulForwardRows(pa, pb, po, row_begin, row_end, m,
-                                            k, n, b_batched);
+                          MatMulForwardRows(row_fn, pa, pb, po, row_begin,
+                                            row_end, m, k, n, b_batched);
                         });
     }
   };
@@ -547,14 +554,40 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           return;
         }
         // dA[b] = G[b] * B[b]^T, partitioned by dA rows (disjoint writes).
+        // B is transposed into a scratch Bt (an exact, order-free copy) so
+        // the dA product reuses the contiguous row micro-kernel: with
+        // Bt[j*k+p] == B[p*n+j], accumulating ascending j with grad-zero
+        // rows skipped replays the old strided column kernel's per-element
+        // sequence exactly — bitwise identical, on every tier.
         if (ia->requires_grad) {
           const float* pb = ib->data().data();
           float* da = ia->grad.data();
-          Ctx().ParallelFor(batch * m, Ctx().GrainFor(k * n),
-                            [=](int64_t row_begin, int64_t row_end) {
-                              MatMulBackwardARows(pb, G, da, row_begin,
-                                                  row_end, m, k, n, b_batched);
+          const int64_t nb = b_batched ? batch : 1;
+          std::vector<float> bt_buf(static_cast<size_t>(nb * n * k));
+          float* bt0 = bt_buf.data();
+          Ctx().ParallelFor(nb * n, Ctx().GrainFor(k),
+                            [=](int64_t rb, int64_t re) {
+                              for (int64_t r = rb; r < re; ++r) {
+                                const int64_t bi = r / n;
+                                const int64_t j = r % n;
+                                const float* src = pb + bi * k * n;
+                                float* dst = bt0 + bi * n * k + j * k;
+                                for (int64_t p = 0; p < k; ++p) {
+                                  dst[p] = src[p * n + j];
+                                }
+                              }
                             });
+          const float* pbt = bt0;
+          const simd::MatMulRowFn row_fn = simd::Kernels().matmul_row;
+          Ctx().ParallelFor(
+              batch * m, Ctx().GrainFor(k * n),
+              [=](int64_t row_begin, int64_t row_end) {
+                for (int64_t r = row_begin; r < row_end; ++r) {
+                  const int64_t bi = r / m;
+                  const float* Bt = pbt + (b_batched ? bi * n * k : 0);
+                  row_fn(G + r * n, Bt, da + r * k, 0, n, k);
+                }
+              });
         }
         // dB[b] += A[b]^T * G[b], partitioned by dB rows p: each worker
         // owns whole rows of dB, summing contributions in (batch, i)
@@ -562,14 +595,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         if (ib->requires_grad) {
           const float* pa = ia->data().data();
           float* db = ib->grad.data();
+          const simd::MatMulDbRowFn db_row_fn = simd::Kernels().matmul_db_row;
           if (b_batched) {
             Ctx().ParallelFor(
                 batch * k, Ctx().GrainFor(m * n),
                 [=](int64_t rb_begin, int64_t rb_end) {
                   for (int64_t rbr = rb_begin; rbr < rb_end; ++rbr) {
                     const int64_t bt = rbr / k;
-                    MatMulDbRowKernel(pa + bt * m * k, G + bt * m * n,
-                                      db + rbr * n, rbr % k, m, k, n);
+                    db_row_fn(pa + bt * m * k, G + bt * m * n, db + rbr * n,
+                              rbr % k, m, k, n);
                   }
                 });
           } else {
@@ -578,8 +612,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                 [=](int64_t p_begin, int64_t p_end) {
                   for (int64_t p = p_begin; p < p_end; ++p) {
                     for (int64_t bt = 0; bt < batch; ++bt) {
-                      MatMulDbRowKernel(pa + bt * m * k, G + bt * m * n,
-                                        db + p * n, p, m, k, n);
+                      db_row_fn(pa + bt * m * k, G + bt * m * n, db + p * n,
+                                p, m, k, n);
                     }
                   }
                 });
@@ -685,8 +719,11 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
     if (!parent->requires_grad) return;
     const float* g = self->grad.data();
     float* pg = parent->grad.data();
-    ParallelElementwise(static_cast<int64_t>(self->grad.size()), 1,
-                        [&](int64_t i) { pg[i] += g[i]; });
+    const simd::AddIntoFn add_into = simd::Kernels().add_into;
+    Ctx().ParallelFor(static_cast<int64_t>(self->grad.size()),
+                      Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+                        add_into(g + b0, pg + b0, b1 - b0);
+                      });
   });
   if (capture::Active()) capture::RecordAlias(result, a);
   return result;
@@ -748,6 +785,7 @@ Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
   Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), inputs,
       [outer, inner, concat_dim, axis_dims](TensorImpl* self) {
+        const simd::AddIntoFn add_into = simd::Kernels().add_into;
         int64_t offset = 0;
         for (size_t idx = 0; idx < self->parents.size(); ++idx) {
           TensorImpl* parent = self->parents[idx].get();
@@ -757,7 +795,7 @@ Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
               const float* g =
                   self->grad.data() + (o * concat_dim + offset) * inner;
               float* dst = parent->grad.data() + o * ad * inner;
-              for (int64_t i = 0; i < ad * inner; ++i) dst[i] += g[i];
+              add_into(g, dst, ad * inner);
             }
           }
           offset += ad;
@@ -804,10 +842,11 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
       [outer, inner, in_axis, start, length](TensorImpl* self) {
         TensorImpl* parent = self->parents[0].get();
         if (!parent->requires_grad) return;
+        const simd::AddIntoFn add_into = simd::Kernels().add_into;
         for (int64_t o = 0; o < outer; ++o) {
           const float* g = self->grad.data() + o * length * inner;
           float* dst = parent->grad.data() + (o * in_axis + start) * inner;
-          for (int64_t i = 0; i < length * inner; ++i) dst[i] += g[i];
+          add_into(g, dst, length * inner);
         }
       });
   if (capture::Active()) {
@@ -843,14 +882,13 @@ Tensor Stack(const std::vector<Tensor>& inputs) {
 
   Tensor result = Tensor::MakeForOp(
       out_shape, std::move(out), inputs, [unit_n](TensorImpl* self) {
+        const simd::AddIntoFn add_into = simd::Kernels().add_into;
         for (size_t i = 0; i < self->parents.size(); ++i) {
           TensorImpl* parent = self->parents[i].get();
           if (!parent->requires_grad) continue;
           const float* g =
               self->grad.data() + static_cast<int64_t>(i) * unit_n;
-          for (int64_t j = 0; j < unit_n; ++j) {
-            parent->grad[static_cast<size_t>(j)] += g[j];
-          }
+          add_into(g, parent->grad.data(), unit_n);
         }
       });
   if (capture::Active()) {
@@ -993,6 +1031,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
                 : (static_cast<int64_t>(plan->positions.size()) + num_rows -
                    1) /
                       num_rows;
+        const simd::AddIntoFn add_into = simd::Kernels().add_into;
         Ctx().ParallelFor(
             num_rows, Ctx().GrainFor(dim * avg_positions),
             [&](int64_t rb, int64_t re) {
@@ -1000,8 +1039,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
                 float* drow = dst + plan->rows[r] * dim;
                 for (int64_t o = plan->offsets[r]; o < plan->offsets[r + 1];
                      ++o) {
-                  const float* grow = g + plan->positions[o] * dim;
-                  for (int64_t j = 0; j < dim; ++j) drow[j] += grow[j];
+                  add_into(g + plan->positions[o] * dim, drow, dim);
                 }
               }
             });
@@ -1069,12 +1107,12 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
       reference::SumAxisForward(src, po, outer, axis_dim, inner);
     } else {
       // Each outer block owns out[o*inner, (o+1)*inner): disjoint, and the
-      // per-element sum over the axis keeps its serial order.
+      // per-element sum over the axis keeps its serial order (lanes map to
+      // distinct inner positions, so vector tiers stay bitwise identical).
+      const simd::AddIntoFn add_into = simd::Kernels().add_into;
       ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
         for (int64_t k = 0; k < axis_dim; ++k) {
-          const float* row = src + (o * axis_dim + k) * inner;
-          float* dst = po + o * inner;
-          for (int64_t i = 0; i < inner; ++i) dst[i] += row[i];
+          add_into(src + (o * axis_dim + k) * inner, po + o * inner, inner);
         }
       });
     }
@@ -1092,11 +1130,11 @@ Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
           reference::SumAxisBackward(g0, d0, outer, axis_dim, inner);
           return;
         }
+        const simd::AddIntoFn add_into = simd::Kernels().add_into;
         ParallelElementwise(outer, axis_dim * inner, [&](int64_t o) {
           const float* g = g0 + o * inner;
           for (int64_t k = 0; k < axis_dim; ++k) {
-            float* dst = d0 + (o * axis_dim + k) * inner;
-            for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+            add_into(g, d0 + (o * axis_dim + k) * inner, inner);
           }
         });
       });
@@ -1132,18 +1170,12 @@ Tensor Softmax(const Tensor& a) {
     if (RefMode()) {
       reference::SoftmaxForward(src, po, rows, cols);
     } else {
+      // Whole rows per worker; the row kernel (scalar, or the tolerance-tier
+      // vector exp + fixed lane-tree horizontal sum) owns its row entirely,
+      // so results are thread-count invariant within any one tier.
+      const simd::SoftmaxRowFn row_fn = simd::Kernels().softmax_row;
       ParallelElementwise(rows, cols, [&](int64_t r) {
-        const float* x = src + r * cols;
-        float* y = po + r * cols;
-        float max_val = x[0];
-        for (int64_t c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
-        float total = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) {
-          y[c] = std::exp(x[c] - max_val);
-          total += y[c];
-        }
-        const float inv = 1.0f / total;
-        for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
+        row_fn(src + r * cols, po + r * cols, cols);
       });
     }
   };
@@ -1160,15 +1192,9 @@ Tensor Softmax(const Tensor& a) {
           reference::SoftmaxBackward(g0, y0, d0, rows, cols);
           return;
         }
+        const simd::SoftmaxBwdRowFn row_fn = simd::Kernels().softmax_bwd_row;
         ParallelElementwise(rows, cols, [&](int64_t r) {
-          const float* y = y0 + r * cols;
-          const float* dy = g0 + r * cols;
-          float dot = 0.0f;
-          for (int64_t c = 0; c < cols; ++c) dot += dy[c] * y[c];
-          float* dx = d0 + r * cols;
-          for (int64_t c = 0; c < cols; ++c) {
-            dx[c] += (dy[c] - dot) * y[c];
-          }
+          row_fn(g0 + r * cols, y0 + r * cols, d0 + r * cols, cols);
         });
       });
   if (capture::Active()) {
@@ -1227,7 +1253,11 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
     if (RefMode()) {
       for (int64_t i = 0; i < n; ++i) po[i] = src[i] * pm[i];
     } else {
-      ParallelElementwise(n, 1, [&](int64_t i) { po[i] = src[i] * pm[i]; });
+      const simd::BinaryEwFn mul =
+          simd::Kernels().binary[static_cast<int>(BinaryKind::kMul)];
+      Ctx().ParallelFor(n, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+        mul(src + b0, pm + b0, po + b0, b1 - b0);
+      });
     }
   };
   OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
@@ -1244,7 +1274,10 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
           for (int64_t i = 0; i < gn; ++i) pg[i] += g[i] * pm[i];
           return;
         }
-        ParallelElementwise(gn, 1, [&](int64_t i) { pg[i] += g[i] * pm[i]; });
+        const simd::MulAccumFn mul_accum = simd::Kernels().mul_accum;
+        Ctx().ParallelFor(gn, Ctx().GrainFor(1), [&](int64_t b0, int64_t b1) {
+          mul_accum(g + b0, pm + b0, pg + b0, b1 - b0);
+        });
       });
   if (capture::Active()) {
     capture::NoteHostData();  // the kernel draws from the shared host Rng

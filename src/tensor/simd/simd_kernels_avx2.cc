@@ -1,0 +1,6 @@
+// AVX2+FMA tier: 8-lane kernels. This TU is compiled with
+// -mavx2 -mfma -ffp-contract=off (see src/tensor/CMakeLists.txt) and must
+// stay a thin shim — all bodies live in simd_vec_kernels.inc so the tiers
+// cannot drift apart.
+#define ODNET_SIMD_NS avx2
+#include "src/tensor/simd/simd_vec_kernels.inc"

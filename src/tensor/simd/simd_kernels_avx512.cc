@@ -1,0 +1,5 @@
+// AVX-512 tier: 16-lane kernels (F/BW/DQ/VL). Compiled with
+// -mavx512f -mavx512bw -mavx512dq -mavx512vl -mfma -ffp-contract=off.
+#define ODNET_SIMD_NS avx512
+#define ODNET_SIMD_TIER_AVX512 1
+#include "src/tensor/simd/simd_vec_kernels.inc"

@@ -3,20 +3,29 @@
 // Every program below is a pure function of its seed. The harness runs it
 // once under the naive reference backend (src/tensor/reference_backend.*)
 // to produce the oracle, then under the optimized backend at every
-// (threads, threshold) point of the sweep {1, 2, 8} x {1, 16384}, and
-// asserts *bitwise* agreement (ULP distance 0) of all forward values, the
-// loss, and every input gradient. Threshold 1 forces the parallel dispatch
-// path even for tiny tensors; 16384 forces the serial path, so the sweep
-// covers serial optimized, parallel optimized, and oversubscribed pools.
+// CPU-capability tier compiled in and supported by the host (scalar /
+// AVX2 / AVX-512, see src/tensor/cpu_capability.h) across a
+// (threads, threshold) sweep, and asserts agreement of all forward values,
+// the loss, and every input gradient. The scalar tier must agree
+// *bitwise* (ULP distance 0) at every (threads in {1,2,8}) x (threshold
+// in {1,16384}) point — threshold 1 forces the parallel dispatch path
+// even for tiny tensors; 16384 forces the serial path. Vector tiers run
+// threads {1,8} at threshold 1 and must also agree bitwise, except for
+// programs touching the vector-exp kernel family (Sigmoid / Tanh / Exp /
+// Softmax), which are tolerance-matched per the numerics policy in
+// DESIGN.md §11. Forcing ODNET_CPU_CAPABILITY=scalar in the environment
+// collapses the tier sweep to the scalar leg.
 //
 // The file also carries the finite-difference cross-check (both backends
 // must match numeric derivatives, not just each other) and the fixed-seed
 // golden regression digest of a tiny end-to-end ODNET training run.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +42,7 @@
 #include "src/serving/evaluator.h"
 #include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/cpu_capability.h"
 #include "src/tensor/graph_plan.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
@@ -45,6 +55,9 @@ namespace {
 using tensor::Backend;
 using tensor::BackendGuard;
 using tensor::ComputeContext;
+using tensor::CpuCapability;
+using tensor::CpuCapabilityName;
+using tensor::CpuCapabilityScope;
 using tensor::Shape;
 using tensor::Tensor;
 
@@ -74,8 +87,25 @@ std::vector<float> RunProgram(const Program& program, uint64_t seed) {
   return out;
 }
 
+// Comparison policy for the vector capability tiers. Bitwise (the default)
+// applies to every kernel family outside the vector-exp group; programs
+// that evaluate Sigmoid / Tanh / Exp / Softmax through the optimized
+// backend pass a tolerance instead (the scalar tier is always bitwise
+// regardless).
+struct VecTol {
+  float rtol = 0.0f;
+  float atol = 0.0f;
+  bool bitwise() const { return rtol == 0.0f && atol == 0.0f; }
+};
+
+// Single ops straight through one vector-exp kernel.
+constexpr VecTol kExpFamilyOpTol{1e-5f, 1e-6f};
+// Deep random chains compound vector-exp error through matmuls and
+// gradients, so they get a looser budget.
+constexpr VecTol kExpFamilyChainTol{1e-3f, 1e-5f};
+
 void ExpectBackendsAgree(const Program& program, uint64_t seed,
-                         const std::string& tag) {
+                         const std::string& tag, VecTol vec_tol = {}) {
   ComputeConfigGuard guard;
   std::vector<float> oracle;
   {
@@ -83,15 +113,30 @@ void ExpectBackendsAgree(const Program& program, uint64_t seed,
     oracle = RunProgram(program, seed);
   }
   ComputeContext& ctx = ComputeContext::Get();
-  for (int threads : {1, 2, 8}) {
-    for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
-      ctx.SetNumThreads(threads);
-      ctx.SetParallelThreshold(threshold);
-      std::vector<float> optimized = RunProgram(program, seed);
-      testing::ExpectUlpClose(optimized, oracle, /*max_ulps=*/0,
-                              tag + " [threads=" + std::to_string(threads) +
-                                  " threshold=" + std::to_string(threshold) +
-                                  "]");
+  for (CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+    CpuCapabilityScope cap_scope(cap);
+    const bool scalar_tier = cap == CpuCapability::kScalar;
+    const std::vector<int> thread_sweep =
+        scalar_tier ? std::vector<int>{1, 2, 8} : std::vector<int>{1, 8};
+    const std::vector<int64_t> threshold_sweep =
+        scalar_tier ? std::vector<int64_t>{1, 16384} : std::vector<int64_t>{1};
+    for (int threads : thread_sweep) {
+      for (int64_t threshold : threshold_sweep) {
+        ctx.SetNumThreads(threads);
+        ctx.SetParallelThreshold(threshold);
+        std::vector<float> optimized = RunProgram(program, seed);
+        const std::string point_tag =
+            tag + " [cap=" + CpuCapabilityName(cap) +
+            " threads=" + std::to_string(threads) +
+            " threshold=" + std::to_string(threshold) + "]";
+        if (scalar_tier || vec_tol.bitwise()) {
+          testing::ExpectUlpClose(optimized, oracle, /*max_ulps=*/0,
+                                  point_tag);
+        } else {
+          testing::ExpectClose(optimized, oracle, vec_tol.rtol, vec_tol.atol,
+                               point_tag);
+        }
+      }
     }
   }
 }
@@ -116,7 +161,8 @@ Tensor WeightedSum(const Tensor& y, util::Rng* rng) {
 // from seeded randomness and registers its grad-bearing leaves.
 void CheckOp(const std::string& tag, uint64_t seed,
              const std::function<Tensor(std::vector<Tensor>* leaves,
-                                        util::Rng* rng)>& build) {
+                                        util::Rng* rng)>& build,
+             VecTol vec_tol = {}) {
   ExpectBackendsAgree(
       [&build](uint64_t s, std::vector<float>* out) {
         util::Rng rng(s);
@@ -129,7 +175,7 @@ void CheckOp(const std::string& tag, uint64_t seed,
         Emit(loss, out);
         for (const Tensor& leaf : leaves) EmitGrad(leaf, out);
       },
-      seed, tag);
+      seed, tag, vec_tol);
 }
 
 // ------------------------------------------------------------ binary ops --
@@ -198,15 +244,22 @@ TEST(DifferentialOpTest, UnaryOps) {
   struct Kind {
     const char* name;
     std::function<Tensor(const Tensor&)> fn;
+    VecTol vec_tol;
   };
   // Log's default inputs straddle the <= 0 clamp branch on purpose.
+  // Sigmoid / Tanh / Exp are vector-exp family: tolerance under vector
+  // tiers, bitwise under the scalar tier.
   const std::vector<Kind> kinds = {
-      {"Relu", [](const Tensor& a) { return tensor::Relu(a); }},
-      {"LeakyRelu", [](const Tensor& a) { return tensor::LeakyRelu(a, 0.2f); }},
-      {"Sigmoid", [](const Tensor& a) { return tensor::Sigmoid(a); }},
-      {"Tanh", [](const Tensor& a) { return tensor::Tanh(a); }},
-      {"Exp", [](const Tensor& a) { return tensor::Exp(a); }},
-      {"Log", [](const Tensor& a) { return tensor::Log(a); }}};
+      {"Relu", [](const Tensor& a) { return tensor::Relu(a); }, {}},
+      {"LeakyRelu", [](const Tensor& a) { return tensor::LeakyRelu(a, 0.2f); },
+       {}},
+      {"Sigmoid", [](const Tensor& a) { return tensor::Sigmoid(a); },
+       kExpFamilyOpTol},
+      {"Tanh", [](const Tensor& a) { return tensor::Tanh(a); },
+       kExpFamilyOpTol},
+      {"Exp", [](const Tensor& a) { return tensor::Exp(a); },
+       kExpFamilyOpTol},
+      {"Log", [](const Tensor& a) { return tensor::Log(a); }, {}}};
   for (const Kind& kind : kinds) {
     for (uint64_t variant = 0; variant < 3; ++variant) {
       CheckOp(std::string("Unary/") + kind.name + "/v" +
@@ -217,7 +270,8 @@ TEST(DifferentialOpTest, UnaryOps) {
                     testing::RandomShape(rng, 1, 4, 5), rng, true);
                 leaves->push_back(a);
                 return kind.fn(a);
-              });
+              },
+              kind.vec_tol);
     }
   }
 }
@@ -276,7 +330,8 @@ TEST(DifferentialOpTest, ReshapeViewVsCopy) {
               Tensor flat = tensor::Reshape(a, {a.numel()});
               Tensor back = tensor::Reshape(flat, {1, a.numel()});
               return tensor::Tanh(back);
-            });
+            },
+            kExpFamilyOpTol);  // ends in Tanh
   }
 }
 
@@ -401,23 +456,29 @@ TEST(DifferentialTrainStepTest, SparseAdamMatchesDenseAcrossThreads) {
   ComputeContext& ctx = ComputeContext::Get();
   ctx.SetNumThreads(1);
   ctx.SetParallelThreshold(16384);
-  // Oracle: the pre-sparse dense path, serial.
+  // Oracle: the pre-sparse dense path, serial. The whole loop (embedding
+  // lookup, matmul, Mul/Sum loss, clip, Adam) is built from bitwise-tier
+  // kernels, so every capability tier must reproduce it exactly.
   const std::vector<float> oracle = RunEmbeddingTrainLoop(
       /*force_dense=*/true, optim::SparseUpdateMode::kDenseEquivalent);
-  for (int threads : {1, 2, 8}) {
-    for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
-      ctx.SetNumThreads(threads);
-      ctx.SetParallelThreshold(threshold);
-      const std::string tag = " [threads=" + std::to_string(threads) +
-                              " threshold=" + std::to_string(threshold) + "]";
-      testing::ExpectUlpClose(
-          RunEmbeddingTrainLoop(false,
-                                optim::SparseUpdateMode::kDenseEquivalent),
-          oracle, /*max_ulps=*/0, "TrainStep/sparse" + tag);
-      testing::ExpectUlpClose(
-          RunEmbeddingTrainLoop(true,
-                                optim::SparseUpdateMode::kDenseEquivalent),
-          oracle, /*max_ulps=*/0, "TrainStep/dense" + tag);
+  for (CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+    CpuCapabilityScope cap_scope(cap);
+    for (int threads : {1, 2, 8}) {
+      for (int64_t threshold : {int64_t{1}, int64_t{16384}}) {
+        ctx.SetNumThreads(threads);
+        ctx.SetParallelThreshold(threshold);
+        const std::string tag = std::string(" [cap=") + CpuCapabilityName(cap) +
+                                " threads=" + std::to_string(threads) +
+                                " threshold=" + std::to_string(threshold) + "]";
+        testing::ExpectUlpClose(
+            RunEmbeddingTrainLoop(false,
+                                  optim::SparseUpdateMode::kDenseEquivalent),
+            oracle, /*max_ulps=*/0, "TrainStep/sparse" + tag);
+        testing::ExpectUlpClose(
+            RunEmbeddingTrainLoop(true,
+                                  optim::SparseUpdateMode::kDenseEquivalent),
+            oracle, /*max_ulps=*/0, "TrainStep/dense" + tag);
+      }
     }
   }
   // Under the reference backend the embedding forward/backward kernels are
@@ -490,7 +551,8 @@ TEST(DifferentialOpTest, Softmax) {
               Tensor a = testing::RandomTensor(shapes[i], rng, true);
               leaves->push_back(a);
               return tensor::Softmax(a);
-            });
+            },
+            kExpFamilyOpTol);
   }
 }
 
@@ -543,6 +605,177 @@ TEST(DifferentialOpTest, Losses) {
               leaves->push_back(target);
               return tensor::MseLoss(pred, target);
             });
+  }
+}
+
+// ------------------------------------------------- loss/clamp edge cases --
+
+// Log's eps clamp and BceWithLogits' log1p(exp(-|x|)) stability path are
+// deliberately NOT dispatched to vector tiers; these cases pin their scalar
+// semantics at the awkward inputs (signed zeros, denormals, the eps
+// boundary, saturating logits) under every capability tier — the
+// surrounding graph (Mul/Sum) runs dispatched, the edge-case math must not.
+TEST(DifferentialOpTest, LogEpsClampEdgeCases) {
+  // Below-eps inputs (including -0.0 and denormals) clamp to log(eps);
+  // straddling values pin the exact boundary behavior.
+  const std::vector<float> xs = {0.0f,    -0.0f,  1e-45f, -1e-45f, 1e-12f,
+                                 0.5e-12f, 2e-12f, 1.0f,   -3.0f,  1e30f};
+  ExpectBackendsAgree(
+      [&xs](uint64_t, std::vector<float>* out) {
+        Tensor a = Tensor::FromVector({static_cast<int64_t>(xs.size())}, xs,
+                                      /*requires_grad=*/true);
+        Tensor y = tensor::Log(a);
+        Emit(y, out);
+        util::Rng rng(424242);
+        Tensor loss = WeightedSum(y, &rng);
+        a.ZeroGrad();
+        loss.Backward();
+        Emit(loss, out);
+        EmitGrad(a, out);
+      },
+      /*seed=*/0, "LogEdge");
+}
+
+TEST(DifferentialOpTest, BceWithLogitsSaturatedLogits) {
+  // Large logits would overflow a naive log(1+exp(x)); the stable form must
+  // stay finite and bitwise reproducible. Soft targets exercise both grad
+  // branches.
+  const std::vector<float> logits = {88.0f, -88.0f, 100.0f, -100.0f, 0.0f,
+                                     -0.0f, 17.5f,  -17.5f, 1e-4f,   -1e-4f};
+  const std::vector<float> targets = {0.0f, 1.0f, 0.25f, 0.75f, 0.5f,
+                                      0.5f, 1.0f, 0.0f,  0.9f,  0.1f};
+  ExpectBackendsAgree(
+      [&logits, &targets](uint64_t, std::vector<float>* out) {
+        const int64_t n = static_cast<int64_t>(logits.size());
+        Tensor x = Tensor::FromVector({n}, logits, /*requires_grad=*/true);
+        Tensor t = Tensor::FromVector({n}, targets, /*requires_grad=*/true);
+        Tensor loss = tensor::BceWithLogits(x, t);
+        EXPECT_TRUE(std::isfinite(loss.item()));
+        x.ZeroGrad();
+        t.ZeroGrad();
+        loss.Backward();
+        Emit(loss, out);
+        EmitGrad(x, out);
+        EmitGrad(t, out);
+      },
+      /*seed=*/0, "BceEdge");
+}
+
+// ----------------------------------------------------------- vector tails --
+
+// Lengths straddling the 8-lane (AVX2) and 16-lane (AVX-512) vector widths:
+// sub-width tensors, exact multiples, and one-off lengths. Vector kernels
+// must handle their scalar/padded tails identically to the scalar tier
+// (bitwise for non-exp families, within tolerance for the exp family).
+TEST(DifferentialOpTest, VectorTailShapes) {
+  for (int64_t n : {int64_t{1}, int64_t{3}, int64_t{7}, int64_t{8},
+                    int64_t{9}, int64_t{15}, int64_t{16}, int64_t{17},
+                    int64_t{31}, int64_t{33}}) {
+    const std::string suffix = "/n" + std::to_string(n);
+    const uint64_t s = static_cast<uint64_t>(n);
+    CheckOp("Tail/Mul" + suffix, 9000 + s,
+            [n](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor({n}, rng, true);
+              Tensor b = testing::RandomTensor({n}, rng, true);
+              leaves->push_back(a);
+              leaves->push_back(b);
+              return tensor::Mul(a, b);
+            });
+    CheckOp("Tail/Relu" + suffix, 9100 + s,
+            [n](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor({2, n}, rng, true);
+              leaves->push_back(a);
+              return tensor::Relu(a);
+            });
+    CheckOp("Tail/Tanh" + suffix, 9200 + s,
+            [n](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor({2, n}, rng, true);
+              leaves->push_back(a);
+              return tensor::Tanh(a);
+            },
+            kExpFamilyOpTol);
+    CheckOp("Tail/Softmax" + suffix, 9300 + s,
+            [n](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor({3, n}, rng, true);
+              leaves->push_back(a);
+              return tensor::Softmax(a);
+            },
+            kExpFamilyOpTol);
+    CheckOp("Tail/MatMul" + suffix, 9400 + s,
+            [n](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor({3, n}, rng, true);
+              Tensor b = testing::RandomTensor({n, 2}, rng, true);
+              leaves->push_back(a);
+              leaves->push_back(b);
+              return tensor::MatMul(a, b);
+            });
+    CheckOp("Tail/SumAxis" + suffix, 9500 + s,
+            [n](std::vector<Tensor>* leaves, util::Rng* rng) {
+              Tensor a = testing::RandomTensor({2, 3, n}, rng, true);
+              leaves->push_back(a);
+              return tensor::SumAxis(a, 1, false);
+            });
+  }
+}
+
+// ------------------------------------------------ vector-exp ULP budgets --
+
+// The vector exp family is tolerance-tier against the scalar tier, but each
+// kernel also carries an absolute accuracy contract against correctly
+// rounded double-precision libm. Sweeps include signed zeros, NaN,
+// denormal inputs, and the saturation regions; Exp stays inside the vector
+// clamp window [-87.336, 88.377] (outside it the vector tier saturates to
+// 0 / exp(hi) by design while libm returns denormals / inf).
+TEST(SimdMathTest, VectorExpFamilyMatchesLibmWithinUlps) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  ctx.SetNumThreads(1);
+  ctx.SetParallelThreshold(1);
+
+  struct Case {
+    const char* name;
+    std::function<Tensor(const Tensor&)> op;
+    std::function<double(double)> ref;
+    float lo, hi;      // dense sweep window
+    int64_t max_ulps;  // vs double-evaluated libm rounded to float
+  };
+  const std::vector<Case> cases = {
+      {"Exp", [](const Tensor& a) { return tensor::Exp(a); },
+       [](double x) { return std::exp(x); }, -87.0f, 88.0f, 8},
+      // Below ~-87.3 the true sigmoid is denormal and the vector tier
+      // flushes it to 0 (the ExpV clamp), so the sweep stays in the
+      // normal-result window.
+      {"Sigmoid", [](const Tensor& a) { return tensor::Sigmoid(a); },
+       [](double x) { return 1.0 / (1.0 + std::exp(-x)); }, -87.0f, 87.0f,
+       8},
+      {"Tanh", [](const Tensor& a) { return tensor::Tanh(a); },
+       [](double x) { return std::tanh(x); }, -20.0f, 20.0f, 16}};
+
+  for (const Case& c : cases) {
+    std::vector<float> xs;
+    constexpr int kSweep = 4096;
+    for (int i = 0; i < kSweep; ++i) {
+      xs.push_back(c.lo + (c.hi - c.lo) * static_cast<float>(i) /
+                              static_cast<float>(kSweep - 1));
+    }
+    for (float special : {0.0f, -0.0f, 1e-45f, -1e-45f, 1e-38f, -1e-38f,
+                          std::numeric_limits<float>::quiet_NaN()}) {
+      xs.push_back(special);
+    }
+    std::vector<float> expected;
+    expected.reserve(xs.size());
+    for (float x : xs) {
+      expected.push_back(static_cast<float>(c.ref(static_cast<double>(x))));
+    }
+    const int64_t n = static_cast<int64_t>(xs.size());
+    for (CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+      CpuCapabilityScope cap_scope(cap);
+      Tensor x = Tensor::FromVector({n}, xs);
+      testing::ExpectUlpClose(
+          c.op(x).vec(), expected, c.max_ulps,
+          std::string("UlpSweep/") + c.name + " [cap=" +
+              CpuCapabilityName(cap) + "]");
+    }
   }
 }
 
@@ -656,8 +889,11 @@ void RunRandomChain(uint64_t s, std::vector<float>* out) {
 TEST(DifferentialFuzzTest, RandomOpChains) {
   constexpr int kChains = 24;
   for (uint64_t chain = 0; chain < kChains; ++chain) {
+    // Chains draw Sigmoid/Tanh/Softmax, so vector tiers compare under the
+    // compounded exp-family tolerance.
     ExpectBackendsAgree(RunRandomChain, 8000 + chain,
-                        "Chain/" + std::to_string(chain));
+                        "Chain/" + std::to_string(chain),
+                        kExpFamilyChainTol);
   }
 }
 
@@ -667,19 +903,29 @@ TEST(DifferentialFuzzTest, RandomOpChains) {
 // not actually overwrite its whole output (or any accumulating kernel
 // missing its kZeroed flag) diverges from the owned-allocation oracle here.
 TEST(DifferentialFuzzTest, ArenaScopedChainsMatchOwnedAllocation) {
+  // The oracle is recomputed under each capability tier (owned allocations,
+  // same tier as the arena runs), so the comparison stays bitwise even for
+  // exp-family ops: this test isolates buffer recycling, and every vector
+  // kernel must fully overwrite its output regardless of what the recycled
+  // arena buffer held — including the padded-tail lanes.
   constexpr int kChains = 12;
-  for (uint64_t chain = 0; chain < kChains; ++chain) {
-    const uint64_t seed = 8000 + chain;  // same chains as RandomOpChains
-    const std::vector<float> oracle = RunProgram(RunRandomChain, seed);
-    tensor::BufferArena arena;
-    for (int round = 0; round < 3; ++round) {  // round > 0 recycles buffers
-      tensor::ArenaScope scope(&arena);
-      testing::ExpectUlpClose(RunProgram(RunRandomChain, seed), oracle,
-                              /*max_ulps=*/0,
-                              "ArenaChain/" + std::to_string(chain) +
-                                  "/round" + std::to_string(round));
+  for (CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+    CpuCapabilityScope cap_scope(cap);
+    for (uint64_t chain = 0; chain < kChains; ++chain) {
+      const uint64_t seed = 8000 + chain;  // same chains as RandomOpChains
+      const std::vector<float> oracle = RunProgram(RunRandomChain, seed);
+      tensor::BufferArena arena;
+      for (int round = 0; round < 3; ++round) {  // round > 0 recycles buffers
+        tensor::ArenaScope scope(&arena);
+        testing::ExpectUlpClose(
+            RunProgram(RunRandomChain, seed), oracle,
+            /*max_ulps=*/0,
+            "ArenaChain/" + std::to_string(chain) + "/round" +
+                std::to_string(round) + " [cap=" + CpuCapabilityName(cap) +
+                "]");
+      }
+      EXPECT_GT(arena.stats().reuse_hits, 0) << "chain " << chain;
     }
-    EXPECT_GT(arena.stats().reuse_hits, 0) << "chain " << chain;
   }
 }
 
@@ -762,6 +1008,54 @@ TEST(DifferentialPlanTest, CaptureReplayMatchesEagerRunForRun) {
               " threads=" + std::to_string(threads) + "]");
     }
   }
+}
+
+// Plans stamp the SIMD capability tier at capture; replaying under any
+// other tier must abort loudly (the recorded kernel closures re-resolve the
+// dispatch table per execution, so a silent tier switch would change the
+// numerics of a "captured" program).
+TEST(DifferentialPlanDeathTest, ReplayRejectsCapabilitySwitch) {
+  if (tensor::AvailableCpuCapabilities().size() < 2) {
+    GTEST_SKIP() << "only the scalar tier is available; no switch to reject";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  util::Rng rng(31337);
+  Tensor a = testing::RandomTensor({3, 4}, &rng);
+  Tensor b = testing::RandomTensor({4, 2}, &rng);
+
+  // Inference plan captured under the dispatched (max) tier.
+  std::shared_ptr<tensor::GraphPlan> plan =
+      tensor::GraphPlan::CaptureInference([&a, &b]() {
+        return std::vector<Tensor>{tensor::Tanh(tensor::MatMul(a, b))};
+      });
+  plan->Replay();  // same tier: fine
+  EXPECT_DEATH(
+      {
+        CpuCapabilityScope scope(CpuCapability::kScalar);
+        plan->Replay();
+      },
+      "captured under CPU capability");
+
+  // Train-step plan: both replay directions must reject the switch.
+  Tensor w = testing::RandomTensor({4, 1}, &rng, /*requires_grad=*/true);
+  std::unique_ptr<tensor::TrainStepPlan> train_plan =
+      tensor::TrainStepPlan::Capture([&a, &w]() {
+        Tensor h = tensor::MatMul(a, w);
+        return tensor::Sum(tensor::Mul(h, h));
+      });
+  train_plan->ReplayForward();  // same tier: fine
+  EXPECT_DEATH(
+      {
+        CpuCapabilityScope scope(CpuCapability::kScalar);
+        train_plan->ReplayForward();
+      },
+      "captured under CPU capability");
+  EXPECT_DEATH(
+      {
+        CpuCapabilityScope scope(CpuCapability::kScalar);
+        train_plan->ReplayBackward();
+      },
+      "captured under CPU capability");
 }
 
 // ------------------------------------------------------ finite differences --
@@ -873,8 +1167,17 @@ std::vector<GoldenEntry> ComputeTinyTrainDigest() {
   return digest;
 }
 
-std::string GoldenPath() {
-  return std::string(ODNET_GOLDEN_DIR) + "/odnet_tiny_train_digest.txt";
+// The scalar tier runs the verbatim pre-SIMD loop bodies, so its digest is
+// pinned by the original golden file. Vector tiers route the exp family
+// through polynomial kernels and own per-capability golden files (the
+// digest is still asserted exactly thread-count invariant per tier —
+// the padded-tail design makes vector kernels pure per-element maps).
+std::string GoldenPathFor(CpuCapability cap) {
+  std::string path = std::string(ODNET_GOLDEN_DIR) + "/odnet_tiny_train_digest";
+  if (cap != CpuCapability::kScalar) {
+    path += std::string(".") + CpuCapabilityName(cap);
+  }
+  return path + ".txt";
 }
 
 TEST(GoldenTest, TinyTrainDigestMatchesGolden) {
@@ -882,58 +1185,72 @@ TEST(GoldenTest, TinyTrainDigestMatchesGolden) {
   ComputeContext& ctx = ComputeContext::Get();
   ctx.SetParallelThreshold(1);
 
-  ctx.SetNumThreads(1);
-  std::vector<GoldenEntry> digest = ComputeTinyTrainDigest();
-  ASSERT_FALSE(digest.empty());
+  // Forced-scalar and dispatched tiers verified in the same process: a
+  // capability switch between runs must be possible outside plans (each run
+  // captures and discards its own plans within the scope).
+  for (CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+    CpuCapabilityScope cap_scope(cap);
+    const std::string cap_tag = std::string(" [cap=") + CpuCapabilityName(cap) + "]";
 
-  // Thread-count invariance first: the whole train + eval trajectory must
-  // be exactly reproducible under a parallel pool.
-  ctx.SetNumThreads(8);
-  std::vector<GoldenEntry> digest8 = ComputeTinyTrainDigest();
-  ASSERT_EQ(digest.size(), digest8.size());
-  for (size_t i = 0; i < digest.size(); ++i) {
-    EXPECT_EQ(digest[i].name, digest8[i].name);
-    EXPECT_EQ(digest[i].value, digest8[i].value)
-        << digest[i].name << " differs between 1 and 8 threads";
-  }
+    ctx.SetNumThreads(1);
+    std::vector<GoldenEntry> digest = ComputeTinyTrainDigest();
+    ASSERT_FALSE(digest.empty());
 
-  if (std::getenv("ODNET_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(GoldenPath());
-    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
-    out << "# Golden digest of the tiny fixed-seed ODNET train run.\n"
-        << "# Regenerate: ODNET_UPDATE_GOLDEN=1 ctest -R Golden\n";
-    out.precision(17);
-    for (const GoldenEntry& e : digest) {
-      out << e.name << " " << e.value << "\n";
+    // Thread-count invariance first: the whole train + eval trajectory must
+    // be exactly reproducible under a parallel pool, for every tier.
+    ctx.SetNumThreads(8);
+    std::vector<GoldenEntry> digest8 = ComputeTinyTrainDigest();
+    ASSERT_EQ(digest.size(), digest8.size());
+    for (size_t i = 0; i < digest.size(); ++i) {
+      EXPECT_EQ(digest[i].name, digest8[i].name);
+      EXPECT_EQ(digest[i].value, digest8[i].value)
+          << digest[i].name << " differs between 1 and 8 threads" << cap_tag;
     }
-    GTEST_SKIP() << "golden file regenerated at " << GoldenPath();
-  }
 
-  std::ifstream in(GoldenPath());
-  ASSERT_TRUE(in.good())
-      << "missing golden file " << GoldenPath()
-      << "; run with ODNET_UPDATE_GOLDEN=1 to create it";
-  std::map<std::string, double> golden;
-  std::string name;
-  double value = 0.0;
-  while (in >> name) {
-    if (!name.empty() && name[0] == '#') {
-      std::string rest;
-      std::getline(in, rest);
+    const std::string golden_path = GoldenPathFor(cap);
+    if (std::getenv("ODNET_UPDATE_GOLDEN") != nullptr) {
+      std::ofstream out(golden_path);
+      ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+      out << "# Golden digest of the tiny fixed-seed ODNET train run (cap="
+          << CpuCapabilityName(cap) << ").\n"
+          << "# Regenerate: ODNET_UPDATE_GOLDEN=1 ctest -R Golden\n";
+      out.precision(17);
+      for (const GoldenEntry& e : digest) {
+        out << e.name << " " << e.value << "\n";
+      }
       continue;
     }
-    ASSERT_TRUE(static_cast<bool>(in >> value)) << "malformed line: " << name;
-    golden[name] = value;
+
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << golden_path
+        << "; run with ODNET_UPDATE_GOLDEN=1 to create it";
+    std::map<std::string, double> golden;
+    std::string name;
+    double value = 0.0;
+    while (in >> name) {
+      if (!name.empty() && name[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      ASSERT_TRUE(static_cast<bool>(in >> value))
+          << "malformed line: " << name;
+      golden[name] = value;
+    }
+    ASSERT_EQ(golden.size(), digest.size())
+        << "golden entry count drifted; regenerate with ODNET_UPDATE_GOLDEN=1";
+    for (const GoldenEntry& e : digest) {
+      auto it = golden.find(e.name);
+      ASSERT_NE(it, golden.end()) << "no golden entry for " << e.name;
+      const double tol =
+          1e-6 * std::max(1.0, std::max(std::fabs(e.value),
+                                        std::fabs(it->second)));
+      EXPECT_NEAR(e.value, it->second, tol) << e.name << cap_tag;
+    }
   }
-  ASSERT_EQ(golden.size(), digest.size())
-      << "golden entry count drifted; regenerate with ODNET_UPDATE_GOLDEN=1";
-  for (const GoldenEntry& e : digest) {
-    auto it = golden.find(e.name);
-    ASSERT_NE(it, golden.end()) << "no golden entry for " << e.name;
-    const double tol =
-        1e-6 * std::max(1.0, std::max(std::fabs(e.value),
-                                      std::fabs(it->second)));
-    EXPECT_NEAR(e.value, it->second, tol) << e.name;
+  if (std::getenv("ODNET_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden files regenerated under " << ODNET_GOLDEN_DIR;
   }
 }
 

@@ -118,6 +118,22 @@ inline void ExpectUlpClose(const std::vector<float>& actual,
   }
 }
 
+/// Asserts elementwise |actual - expected| <= atol + rtol*|expected|, with
+/// matching NaNs accepted. Used for the vector-exp kernel family, whose
+/// SIMD tiers are tolerance-matched (not bitwise) against the scalar tier.
+inline void ExpectClose(const std::vector<float>& actual,
+                        const std::vector<float>& expected, float rtol,
+                        float atol, const std::string& tag) {
+  ASSERT_EQ(actual.size(), expected.size()) << tag;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const float a = actual[i];
+    const float e = expected[i];
+    if (std::isnan(a) && std::isnan(e)) continue;
+    EXPECT_LE(std::fabs(a - e), atol + rtol * std::fabs(e))
+        << tag << " at index " << i << ": " << a << " vs " << e;
+  }
+}
+
 }  // namespace testing
 }  // namespace odnet
 
