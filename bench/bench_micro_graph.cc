@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/baselines/odnet_recommender.h"
 #include "src/core/hsg_builder.h"
 #include "src/core/odnet_model.h"
@@ -124,8 +125,10 @@ BENCHMARK(BM_OdnetInference)->Arg(10)->Arg(30);
 struct PlanRow {
   std::string section;
   int threads = 0;
-  double eager_us = 0.0;
+  double eager_us = 0.0;   // min-of-rounds mean (headline, noise-robust)
   double replay_us = 0.0;
+  bench::LatencyHistogram eager_hist;   // per-iteration distributions
+  bench::LatencyHistogram replay_hist;
 };
 
 // The timed serving batch matches the chunked ranking path: ScoreChunked
@@ -158,16 +161,15 @@ PlanRow TimeServing(int threads, int warmup, int iters, int rounds) {
   row.eager_us = row.replay_us = 1e300;
   for (int i = 0; i < warmup; ++i) (void)model.Predict(batch);
   for (int i = 0; i < warmup; ++i) (void)model.PredictPlanned(batch);
-  util::Stopwatch watch;
+  const std::function<void()> eager = [&] { (void)model.Predict(batch); };
+  const std::function<void()> replay = [&] {
+    (void)model.PredictPlanned(batch);
+  };
   for (int r = 0; r < rounds; ++r) {
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) (void)model.Predict(batch);
-    row.eager_us =
-        std::min(row.eager_us, watch.ElapsedMillis() * 1000.0 / iters);
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) (void)model.PredictPlanned(batch);
-    row.replay_us =
-        std::min(row.replay_us, watch.ElapsedMillis() * 1000.0 / iters);
+    row.eager_us = std::min(
+        row.eager_us, bench::TimedRoundUs(eager, iters, &row.eager_hist));
+    row.replay_us = std::min(
+        row.replay_us, bench::TimedRoundUs(replay, iters, &row.replay_hist));
   }
   ODNET_CHECK(model.serving_plan_stats().replays >= iters);
   return row;
@@ -213,16 +215,13 @@ PlanRow TimeMicroGraph(int threads, int warmup, int iters, int rounds) {
     (void)run_eager();
     (void)plan->Replay({x});
   }
-  util::Stopwatch watch;
+  const std::function<void()> eager = [&] { (void)run_eager(); };
+  const std::function<void()> replay = [&] { (void)plan->Replay({x}); };
   for (int r = 0; r < rounds; ++r) {
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) (void)run_eager();
-    row.eager_us =
-        std::min(row.eager_us, watch.ElapsedMillis() * 1000.0 / iters);
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) (void)plan->Replay({x});
-    row.replay_us =
-        std::min(row.replay_us, watch.ElapsedMillis() * 1000.0 / iters);
+    row.eager_us = std::min(
+        row.eager_us, bench::TimedRoundUs(eager, iters, &row.eager_hist));
+    row.replay_us = std::min(
+        row.replay_us, bench::TimedRoundUs(replay, iters, &row.replay_hist));
   }
   return row;
 }
@@ -298,16 +297,14 @@ PlanRow TimeTrainStep(int threads, int warmup, int iters, int rounds) {
   row.eager_us = row.replay_us = 1e300;
   for (int i = 0; i < warmup; ++i) eager.Step(false);
   for (int i = 0; i < warmup; ++i) planned.Step(true);
-  util::Stopwatch watch;
+  const std::function<void()> eager_step = [&] { eager.Step(false); };
+  const std::function<void()> planned_step = [&] { planned.Step(true); };
   for (int r = 0; r < rounds; ++r) {
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) eager.Step(false);
-    row.eager_us =
-        std::min(row.eager_us, watch.ElapsedMillis() * 1000.0 / iters);
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) planned.Step(true);
+    row.eager_us = std::min(
+        row.eager_us, bench::TimedRoundUs(eager_step, iters, &row.eager_hist));
     row.replay_us =
-        std::min(row.replay_us, watch.ElapsedMillis() * 1000.0 / iters);
+        std::min(row.replay_us,
+                 bench::TimedRoundUs(planned_step, iters, &row.replay_hist));
   }
   return row;
 }
@@ -331,7 +328,7 @@ int RunPlanSweep() {
     rows.push_back(TimeTrainStep(threads, warmup, iters, rounds));
     std::printf("finished train_step threads=%d\n", threads);
     std::fflush(stdout);
-  }
+  }  // rows are move-only (histograms); iterate by reference below
 
   // Memory-plan statistics of the serving plan (thread-independent).
   tensor::ComputeContext::Get().SetNumThreads(1);
@@ -368,7 +365,9 @@ int RunPlanSweep() {
             "\", \"threads\": " + std::to_string(row.threads) +
             ", \"eager_us\": " + util::FormatFixed(row.eager_us, 2) +
             ", \"replay_us\": " + util::FormatFixed(row.replay_us, 2) +
-            ", \"speedup\": " + util::FormatFixed(speedup, 3) + "}";
+            ", \"speedup\": " + util::FormatFixed(speedup, 3) + ", " +
+            row.eager_hist.JsonFields("eager_") + ", " +
+            row.replay_hist.JsonFields("replay_") + "}";
   }
   json += "\n  ],\n  \"memory_plan\": {\"num_nodes\": " +
           std::to_string(memory.num_nodes) +

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/optim/optimizer.h"
 #include "src/tensor/compute_context.h"
 #include "src/tensor/cpu_capability.h"
@@ -209,17 +210,11 @@ struct KernelWork {
   double bytes = 0.0;
 };
 
-double TimeStep(const std::function<void()>& step, int warmup, int iters,
-                int rounds) {
-  for (int i = 0; i < warmup; ++i) step();
-  double best_us = 1e300;
-  util::Stopwatch watch;
-  for (int r = 0; r < rounds; ++r) {
-    watch.Restart();
-    for (int i = 0; i < iters; ++i) step();
-    best_us = std::min(best_us, watch.ElapsedMillis() * 1000.0 / iters);
-  }
-  return best_us;
+// Min-of-rounds headline plus the per-iteration latency histogram, on the
+// shared telemetry bucket math (bench::TimeLoop).
+bench::LoopTiming TimeStep(const std::function<void()>& step, int warmup,
+                           int iters, int rounds) {
+  return bench::TimeLoop(step, warmup, iters, rounds);
 }
 
 std::vector<KernelWork> BuildKernelWorkloads() {
@@ -397,27 +392,34 @@ int RunKernelSweep() {
 
   struct Row {
     std::string section;
-    int threads;
-    double scalar_us;
-    double simd_us;
-    double flops;
-    double bytes;
+    int threads = 0;
+    double scalar_us = 0.0;
+    double simd_us = 0.0;
+    double flops = 0.0;
+    double bytes = 0.0;
+    bench::LatencyHistogram simd_hist;  // per-iteration dispatched timing
   };
   std::vector<Row> rows;
   const std::vector<KernelWork> works = BuildKernelWorkloads();
   for (int threads : {1, 8}) {
     tensor::ComputeContext::Get().SetNumThreads(threads);
     for (const KernelWork& w : works) {
-      Row row{w.name, threads, 0.0, 0.0, w.flops, w.bytes};
+      Row row;
+      row.section = w.name;
+      row.threads = threads;
+      row.flops = w.flops;
+      row.bytes = w.bytes;
       {
         tensor::CpuCapabilityScope scope(CpuCapability::kScalar);
-        row.scalar_us = TimeStep(w.make(), warmup, iters, rounds);
+        row.scalar_us = TimeStep(w.make(), warmup, iters, rounds).best_us;
       }
       {
         tensor::CpuCapabilityScope scope(max_cap);
-        row.simd_us = TimeStep(w.make(), warmup, iters, rounds);
+        bench::LoopTiming timing = TimeStep(w.make(), warmup, iters, rounds);
+        row.simd_us = timing.best_us;
+        row.simd_hist = std::move(timing.hist);
       }
-      rows.push_back(row);
+      rows.push_back(std::move(row));
       std::printf("finished %s threads=%d\n", w.name.c_str(), threads);
       std::fflush(stdout);
     }
@@ -454,7 +456,8 @@ int RunKernelSweep() {
             ", \"simd_us\": " + util::FormatFixed(row.simd_us, 2) +
             ", \"speedup\": " + util::FormatFixed(speedup, 3) +
             ", \"gflops\": " + util::FormatFixed(gflops, 3) +
-            ", \"gbps\": " + util::FormatFixed(gbps, 3) + "}";
+            ", \"gbps\": " + util::FormatFixed(gbps, 3) + ", " +
+            row.simd_hist.JsonFields("simd_") + "}";
   }
   json += "\n  ]\n}\n";
   std::printf("\n");

@@ -33,8 +33,10 @@ namespace {
 // One synthetic train step over an embedding-table-dominated model:
 // lookup(batch 128) -> 16x32 MLP -> squared-logit loss, then the full
 // ZeroGrad / Backward / ClipGradNorm / Adam::Step sequence the real
-// trainer runs. Returns microseconds per step.
-double TimeTrainSteps(int64_t vocab, int mode_id, int warmup, int steps) {
+// trainer runs. Returns the mean microseconds per step; per-step samples
+// land in `hist` for the percentile columns.
+double TimeTrainSteps(int64_t vocab, int mode_id, int warmup, int steps,
+                      odnet::bench::LatencyHistogram* hist) {
   using namespace odnet;
   const int64_t dim = 16;
   const int64_t hidden = 32;
@@ -61,9 +63,7 @@ double TimeTrainSteps(int64_t vocab, int mode_id, int warmup, int steps) {
     opt.Step();
   };
   for (int i = 0; i < warmup; ++i) step();
-  odnet::util::Stopwatch watch;
-  for (int i = 0; i < steps; ++i) step();
-  return watch.ElapsedMillis() * 1000.0 / static_cast<double>(steps);
+  return odnet::bench::TimedRoundUs(step, steps, hist);
 }
 
 int RunTrainStepSweep() {
@@ -86,7 +86,8 @@ int RunTrainStepSweep() {
   for (int64_t vocab : vocabs) {
     double dense_us = 0.0;
     for (int mode = 0; mode < 3; ++mode) {
-      const double us = TimeTrainSteps(vocab, mode, warmup, steps);
+      bench::LatencyHistogram hist;
+      const double us = TimeTrainSteps(vocab, mode, warmup, steps, &hist);
       if (mode == 0) dense_us = us;
       const double speedup = us > 0.0 ? dense_us / us : 0.0;
       table.AddRow({std::to_string(vocab), mode_names[mode],
@@ -97,7 +98,8 @@ int RunTrainStepSweep() {
       json += "    {\"vocab\": " + std::to_string(vocab) + ", \"mode\": \"" +
               mode_names[mode] +
               "\", \"us_per_step\": " + util::FormatFixed(us, 2) +
-              ", \"speedup_vs_dense\": " + util::FormatFixed(speedup, 3) + "}";
+              ", \"speedup_vs_dense\": " + util::FormatFixed(speedup, 3) +
+              ", " + hist.JsonFields() + "}";
       std::printf("finished vocab=%lld mode=%s\n",
                   static_cast<long long>(vocab), mode_names[mode]);
       std::fflush(stdout);

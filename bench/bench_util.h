@@ -1,12 +1,15 @@
 #ifndef ODNET_BENCH_BENCH_UTIL_H_
 #define ODNET_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/telemetry/telemetry.h"
 #include "src/baselines/gbdt.h"
 #include "src/baselines/most_pop.h"
 #include "src/baselines/odnet_recommender.h"
@@ -86,6 +89,76 @@ MakeAllMethods(const data::CityAtlas& atlas,
 /// Formats a metric to the paper's 4-decimal style.
 inline std::string M4(double v) { return util::FormatFixed(v, 4); }
 inline std::string M3(double v) { return util::FormatFixed(v, 3); }
+
+/// \brief Per-iteration latency sampler for the BENCH_*.json emitters,
+/// built on the telemetry histogram (DESIGN.md §12) so every bench gets
+/// p50/p99/p999 with the same bucket math the runtime instruments use.
+/// Movable (benches return it inside row structs).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : hist_(std::make_unique<telemetry::Histogram>()) {}
+
+  void RecordNs(int64_t ns) { hist_->Record(ns); }
+
+  /// Times one call of `fn`, records it, returns elapsed nanoseconds.
+  template <typename Fn>
+  int64_t Sample(Fn&& fn) {
+    const int64_t t0 = telemetry::NowNs();
+    fn();
+    const int64_t dt = telemetry::NowNs() - t0;
+    hist_->Record(dt);
+    return dt;
+  }
+
+  int64_t Count() const { return hist_->Snapshot().count; }
+  double PercentileUs(double p) const {
+    return static_cast<double>(hist_->Snapshot().Percentile(p)) / 1000.0;
+  }
+  double MeanUs() const { return hist_->Snapshot().Mean() / 1000.0; }
+
+  /// JSON object fields (no braces) for splicing into a bench row:
+  /// `"<prefix>p50_us": x, "<prefix>p99_us": y, "<prefix>p999_us": z`.
+  std::string JsonFields(const std::string& prefix = "") const {
+    const telemetry::HistogramSnapshot s = hist_->Snapshot();
+    auto us = [](int64_t ns) {
+      return util::FormatFixed(static_cast<double>(ns) / 1000.0, 2);
+    };
+    return "\"" + prefix + "p50_us\": " + us(s.Percentile(0.50)) + ", \"" +
+           prefix + "p99_us\": " + us(s.Percentile(0.99)) + ", \"" + prefix +
+           "p999_us\": " + us(s.Percentile(0.999));
+  }
+
+ private:
+  std::unique_ptr<telemetry::Histogram> hist_;
+};
+
+/// Runs `step` `iters` times, recording every iteration into `hist`;
+/// returns the round's mean microseconds per iteration. The benches keep
+/// their min-of-rounds headline columns (robust against scheduler noise)
+/// and add the histogram's percentiles alongside.
+inline double TimedRoundUs(const std::function<void()>& step, int iters,
+                           LatencyHistogram* hist) {
+  int64_t total_ns = 0;
+  for (int i = 0; i < iters; ++i) total_ns += hist->Sample(step);
+  return static_cast<double>(total_ns) / 1000.0 /
+         static_cast<double>(iters > 0 ? iters : 1);
+}
+
+/// Min-of-rounds timing plus the per-iteration latency distribution.
+struct LoopTiming {
+  double best_us = 1e300;
+  LatencyHistogram hist;
+};
+
+inline LoopTiming TimeLoop(const std::function<void()>& step, int warmup,
+                           int iters, int rounds) {
+  LoopTiming t;
+  for (int i = 0; i < warmup; ++i) step();
+  for (int r = 0; r < rounds; ++r) {
+    t.best_us = std::min(t.best_us, TimedRoundUs(step, iters, &t.hist));
+  }
+  return t;
+}
 
 }  // namespace bench
 }  // namespace odnet

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/data/temporal_features.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/ops.h"
 
 namespace odnet {
@@ -140,6 +141,38 @@ std::string ShapeSignature(const data::OdBatch& batch) {
          std::to_string(batch.origin.t_short);
 }
 
+// Registry-facing plan-cache instruments (ISSUE 7): hits are replays,
+// misses are first-time captures, recaptures are captures of a signature
+// seen before (only possible after InvalidateServingPlans).
+struct PlanCacheInstruments {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Counter* recaptures;
+
+  static PlanCacheInstruments& Get() {
+    static PlanCacheInstruments* in = [] {
+      auto& reg = telemetry::TelemetryRegistry::Get();
+      auto* i = new PlanCacheInstruments();
+      i->hits = reg.GetCounter("serving.plan_cache.hits");
+      i->misses = reg.GetCounter("serving.plan_cache.misses");
+      i->recaptures = reg.GetCounter("serving.plan_cache.recaptures");
+      return i;
+    }();
+    return *in;
+  }
+};
+
+// MemoryPlanStats of the most recent capture, surfaced as gauges (high
+// water tracks the largest plan captured so far).
+void PublishMemoryPlanStats(const tensor::MemoryPlanStats& m) {
+  auto& reg = telemetry::TelemetryRegistry::Get();
+  reg.GetGauge("serving.plan_cache.memory.num_nodes")->Set(m.num_nodes);
+  reg.GetGauge("serving.plan_cache.memory.num_buffers")->Set(m.num_buffers);
+  reg.GetGauge("serving.plan_cache.memory.peak_bytes")->Set(m.peak_bytes);
+  reg.GetGauge("serving.plan_cache.memory.requested_bytes")
+      ->Set(m.requested_bytes);
+}
+
 }  // namespace
 
 std::pair<std::vector<double>, std::vector<double>> OdnetModel::PredictPlanned(
@@ -162,6 +195,14 @@ std::pair<std::vector<double>, std::vector<double>> OdnetModel::PredictPlanned(
         &outs);
     ++serving_plan_stats_.captures;
     serving_plan_stats_.memory = entry.plan->memory_stats();
+    const bool seen_before = !seen_signatures_.insert(sig).second;
+    if (seen_before) {
+      ++serving_plan_stats_.recaptures;
+      PlanCacheInstruments::Get().recaptures->Add(1);
+    } else {
+      PlanCacheInstruments::Get().misses->Add(1);
+    }
+    PublishMemoryPlanStats(serving_plan_stats_.memory);
     serving_plans_.emplace(sig, std::move(entry));
     std::vector<double> po(outs[0].vec().begin(), outs[0].vec().end());
     std::vector<double> pd(outs[1].vec().begin(), outs[1].vec().end());
@@ -169,6 +210,7 @@ std::pair<std::vector<double>, std::vector<double>> OdnetModel::PredictPlanned(
   }
   // Steady state: refresh the bound batch in place and replay.
   data::CopyOdBatchContents(batch, it->second.bound.get());
+  PlanCacheInstruments::Get().hits->Add(1);
   const std::vector<Tensor>& outs = it->second.plan->Replay();
   ++serving_plan_stats_.replays;
   std::vector<double> po(outs[0].vec().begin(), outs[0].vec().end());

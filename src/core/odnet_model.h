@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -89,10 +90,15 @@ class OdnetModel : public nn::Module {
   std::pair<std::vector<double>, std::vector<double>> PredictPlanned(
       const data::OdBatch& batch);
 
-  /// Counters and memory-plan stats of the serving plan cache.
+  /// Counters and memory-plan stats of the serving plan cache. Mirrored
+  /// into the telemetry registry as `serving.plan_cache.{hits,misses,
+  /// recaptures}` plus `serving.plan_cache.memory.*` gauges — snapshot
+  /// consumers should read those rather than this struct.
   struct ServingPlanStats {
-    int64_t captures = 0;  // plans captured (distinct shape signatures)
-    int64_t replays = 0;   // batches served by plan replay
+    int64_t captures = 0;    // plans captured (distinct shape signatures)
+    int64_t replays = 0;     // batches served by plan replay
+    int64_t recaptures = 0;  // captures of a previously-seen signature
+                             // (i.e. after InvalidateServingPlans)
     tensor::MemoryPlanStats memory;  // of the most recent capture
   };
   const ServingPlanStats& serving_plan_stats() const {
@@ -126,6 +132,9 @@ class OdnetModel : public nn::Module {
   tensor::Tensor theta_raw_;  // theta = 0.3 + 0.4*sigmoid(raw), in (0.3, 0.7)
 
   std::map<std::string, ServingPlan> serving_plans_;  // by shape signature
+  // Signatures ever captured; distinguishes a recapture (post-invalidation)
+  // from a first-time miss.
+  std::set<std::string> seen_signatures_;
   ServingPlanStats serving_plan_stats_;
 };
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
 #include "src/tensor/graph_plan.h"
@@ -75,7 +76,16 @@ TrainStats OdnetTrainer::Train() {
            config.sparse_embedding_updates;
   };
 
+  // Per-epoch/per-step latency instruments; clock reads gated on Enabled().
+  telemetry::Histogram* step_ns =
+      telemetry::TelemetryRegistry::Get().GetHistogram("train.step_ns");
+  telemetry::Histogram* epoch_ns =
+      telemetry::TelemetryRegistry::Get().GetHistogram("train.epoch_ns");
+
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    telemetry::SpanScope epoch_span("Trainer.Epoch", "train");
+    const int64_t epoch_start_ns =
+        telemetry::Enabled() ? telemetry::NowNs() : 0;
     shuffle_rng_.Shuffle(&samples);
     double epoch_loss = 0.0;
     int64_t batches = 0;
@@ -98,6 +108,9 @@ TrainStats OdnetTrainer::Train() {
         }
       }
       double loss_value = 0.0;
+      telemetry::SpanScope step_span("Trainer.Step", "train");
+      const int64_t step_start_ns =
+          telemetry::Enabled() ? telemetry::NowNs() : 0;
       if (config.capture_train_plan) {
         auto it = plans.find(signature(current));
         if (it == plans.end()) {
@@ -127,11 +140,17 @@ TrainStats OdnetTrainer::Train() {
         optimizer.Step();
         loss_value = loss.item();
       }
+      if (step_start_ns != 0) {
+        step_ns->Record(telemetry::NowNs() - step_start_ns);
+      }
       epoch_loss += loss_value;
       ++batches;
       ++stats.steps;
       if (prefetch.valid()) prefetch.get();
       if (next_start < n) current = std::move(next);
+    }
+    if (epoch_start_ns != 0) {
+      epoch_ns->Record(telemetry::NowNs() - epoch_start_ns);
     }
     epoch_loss /= static_cast<double>(std::max<int64_t>(batches, 1));
     if (epoch == 0) stats.first_epoch_loss = epoch_loss;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/serving/batch_scorer.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/check.h"
 
 namespace odnet {
@@ -19,6 +20,7 @@ RankingService::RankingService(baselines::OdRecommender* model,
 
 std::vector<RankedFlight> RankingService::RankCandidates(
     int64_t user, const std::vector<data::OdPair>& candidates) const {
+  telemetry::SpanScope span("RankingService.RankCandidates", "serving");
   ODNET_CHECK_GE(user, 0);
   ODNET_CHECK_LT(user, dataset_->num_users);
   const data::UserHistory& history =
@@ -49,6 +51,11 @@ std::vector<RankedFlight> RankingService::RankCandidates(
 
 std::vector<RankedFlight> RankingService::RecommendTopK(int64_t user,
                                                         int64_t k) const {
+  telemetry::SpanScope span("RankingService.RecommendTopK", "serving");
+  static telemetry::Counter* requests =
+      telemetry::TelemetryRegistry::Get().GetCounter("serving.requests");
+  requests->Add(1);
+  const int64_t start_ns = telemetry::Enabled() ? telemetry::NowNs() : 0;
   ODNET_CHECK_GT(k, 0);
   const data::UserHistory& history =
       dataset_->histories[static_cast<size_t>(user)];
@@ -56,6 +63,12 @@ std::vector<RankedFlight> RankingService::RecommendTopK(int64_t user,
       RankCandidates(user, recall_->RecallPairs(history));
   if (static_cast<int64_t>(ranked.size()) > k) {
     ranked.resize(static_cast<size_t>(k));
+  }
+  if (start_ns != 0) {
+    static telemetry::Histogram* latency =
+        telemetry::TelemetryRegistry::Get().GetHistogram(
+            "serving.request_latency_ns");
+    latency->Record(telemetry::NowNs() - start_ns);
   }
   return ranked;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/graph_plan.h"
 
 namespace odnet {
@@ -20,6 +21,33 @@ BufferArena::BufferArena()
   current_lease_->acquired = 0;
 }
 
+namespace {
+
+// Registry mirrors of the per-arena Stats, aggregated across every arena in
+// the process (there is one per thread plus per-plan buffer sets). Gated on
+// Enabled() so the untelemetered Acquire path stays two field increments.
+struct ArenaInstruments {
+  telemetry::Counter* acquires;
+  telemetry::Counter* reuse_hits;
+  telemetry::Gauge* bytes_pooled;
+  telemetry::Gauge* live_leases;
+
+  static ArenaInstruments& Get() {
+    static ArenaInstruments* in = [] {
+      auto& reg = telemetry::TelemetryRegistry::Get();
+      auto* i = new ArenaInstruments();
+      i->acquires = reg.GetCounter("tensor.arena.acquires");
+      i->reuse_hits = reg.GetCounter("tensor.arena.reuse_hits");
+      i->bytes_pooled = reg.GetGauge("tensor.arena.bytes_pooled");
+      i->live_leases = reg.GetGauge("tensor.arena.live_buffers");
+      return i;
+    }();
+    return *in;
+  }
+};
+
+}  // namespace
+
 BufferArena::Buffer BufferArena::Acquire(int64_t numel) {
   ODNET_CHECK_GE(numel, 0);
   Pool& pool = pools_[numel];
@@ -27,10 +55,17 @@ BufferArena::Buffer BufferArena::Acquire(int64_t numel) {
   out.lease = current_lease_;
   ++stats_.total_acquires;
   ++stats_.live_buffers;
+  const bool telemetry_on = telemetry::Enabled();
+  if (telemetry_on) {
+    ArenaInstruments& in = ArenaInstruments::Get();
+    in.acquires->Add(1);
+    in.live_leases->Add(1);
+  }
   if (pool.next < pool.buffers.size()) {
     out.storage = pool.buffers[pool.next++];
     out.fresh = false;
     ++stats_.reuse_hits;
+    if (telemetry_on) ArenaInstruments::Get().reuse_hits->Add(1);
     return out;
   }
   // Fresh vector: zero-initialized by the language.
@@ -40,6 +75,10 @@ BufferArena::Buffer BufferArena::Acquire(int64_t numel) {
   pool.buffers.push_back(out.storage);
   ++pool.next;
   stats_.bytes_held += numel * static_cast<int64_t>(sizeof(float));
+  if (telemetry_on) {
+    ArenaInstruments::Get().bytes_pooled->Add(
+        numel * static_cast<int64_t>(sizeof(float)));
+  }
   return out;
 }
 
@@ -52,6 +91,9 @@ void BufferArena::Reset() {
   for (auto& [numel, pool] : pools_) {
     (void)numel;
     pool.next = 0;
+  }
+  if (telemetry::Enabled() && stats_.live_buffers > 0) {
+    ArenaInstruments::Get().live_leases->Add(-stats_.live_buffers);
   }
   stats_.live_buffers = 0;
 }

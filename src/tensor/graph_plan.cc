@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/telemetry/telemetry.h"
+
 namespace odnet {
 namespace tensor {
 
@@ -22,6 +24,7 @@ struct RecNode {
   int out = -1;
   bool zero_out = false;
   int alias_of = -1;             // >= 0: `out` aliases this value's buffer
+  const char* name = nullptr;    // telemetry::CurrentOpName() at record time
 };
 
 struct RecValue {
@@ -112,6 +115,7 @@ void RecordOp(const Tensor& out, const std::vector<Tensor>& ins,
   RecNode node;
   node.kernel = std::move(kernel);
   node.zero_out = zero_init_output;
+  node.name = telemetry::CurrentOpName();
   node.ins.reserve(ins.size());
   for (const Tensor& t : ins) node.ins.push_back(rec->IdFor(t));
   const int idx = static_cast<int>(rec->nodes.size());
@@ -149,6 +153,7 @@ void PlanHostStage(std::function<void()> stage) {
   if (rec == nullptr) return;
   RecNode node;
   node.host = std::move(stage);
+  node.name = "HostStage";
   rec->nodes.push_back(std::move(node));
 }
 
@@ -220,6 +225,7 @@ class PlanBuilder {
       if (rnode.host) {
         GraphPlan::Node pnode;
         pnode.host = rnode.host;
+        pnode.name = "HostStage";
         plan->nodes_.push_back(std::move(pnode));
         plan->has_host_stages_ = true;
         continue;
@@ -246,6 +252,7 @@ class PlanBuilder {
 
       GraphPlan::Node pnode;
       pnode.kernel = rnode.kernel;
+      pnode.name = rnode.name;
       pnode.out_slot = slot;
       pnode.out_numel = numel;
       pnode.zero_out = rnode.zero_out;
@@ -336,6 +343,7 @@ std::shared_ptr<GraphPlan> GraphPlan::CaptureInference(
   ODNET_CHECK(!outs.empty()) << "captured program returned no outputs";
   std::shared_ptr<GraphPlan> plan = PlanBuilder::Build(&rec, outs, inputs);
   plan->capability_ = ActiveCpuCapability();
+  telemetry::TelemetryRegistry::Get().GetCounter("plan.captures")->Add(1);
   if (capture_results != nullptr) *capture_results = std::move(outs);
   return plan;
 }
@@ -391,7 +399,15 @@ const std::vector<Tensor>& GraphPlan::ReplayOn(
         << " (invalidate the plan and re-capture)";
     buffers->input_ptrs_[i] = inputs[i].data();
   }
+  {
+    static telemetry::Counter* replays =
+        telemetry::TelemetryRegistry::Get().GetCounter("plan.replays");
+    replays->Add(1);
+  }
+  telemetry::SpanScope replay_span("GraphPlan.Replay", "plan");
   for (const Node& node : nodes_) {
+    telemetry::SpanScope node_span(node.name != nullptr ? node.name : "Node",
+                                   "plan.node");
     if (node.host) {
       node.host();
       continue;
@@ -452,6 +468,7 @@ std::unique_ptr<TrainStepPlan> TrainStepPlan::Capture(
     if (rnode.alias_of >= 0) continue;  // view: parent's kernel fills it
     Node node;
     node.kernel = rnode.kernel;
+    node.name = rnode.name;
     node.in_ptrs.reserve(rnode.ins.size());
     for (int in : rnode.ins) {
       node.in_ptrs.push_back(
@@ -463,6 +480,8 @@ std::unique_ptr<TrainStepPlan> TrainStepPlan::Capture(
     plan->nodes_.push_back(std::move(node));
   }
   plan->topo_ = internal::BuildBackwardTopo(loss.impl());
+  telemetry::TelemetryRegistry::Get().GetCounter("plan.train_captures")
+      ->Add(1);
   return plan;
 }
 
@@ -479,7 +498,10 @@ void CheckTrainPlanCapability(CpuCapability captured, const char* where) {
 
 void TrainStepPlan::ReplayForward() {
   CheckTrainPlanCapability(capability_, "ReplayForward");
+  telemetry::SpanScope replay_span("TrainStepPlan.ReplayForward", "plan");
   for (const Node& node : nodes_) {
+    telemetry::SpanScope node_span(node.name != nullptr ? node.name : "Node",
+                                   "plan.node");
     if (node.host) {
       node.host();
       continue;
@@ -494,6 +516,7 @@ void TrainStepPlan::ReplayForward() {
 
 void TrainStepPlan::ReplayBackward() {
   CheckTrainPlanCapability(capability_, "ReplayBackward");
+  telemetry::SpanScope replay_span("TrainStepPlan.ReplayBackward", "plan");
   // Reset intermediate grads to the state a fresh eager tape would have:
   // EnsureGrad()'s all-zero buffer with reset row metadata. Leaf parameters
   // are the optimizer's job (ZeroGrad before this call, as in eager).

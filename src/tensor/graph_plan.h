@@ -184,6 +184,9 @@ class GraphPlan {
     int out_slot = -1;
     int64_t out_numel = 0;
     bool zero_out = false;
+    // Op name active when the node was recorded (string literal from the
+    // op's telemetry scope; null for host stages). Names replay spans.
+    const char* name = nullptr;
   };
   struct OutputRef {
     ValueRef ref;
@@ -251,6 +254,7 @@ class TrainStepPlan {
     float* out_ptr = nullptr;
     int64_t out_numel = 0;
     bool zero_out = false;
+    const char* name = nullptr;  // as GraphPlan::Node::name
   };
 
   std::vector<Node> nodes_;

@@ -4,11 +4,24 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
+#include "src/tensor/cpu_capability.h"
 #include "src/tensor/graph_plan.h"
 #include "src/tensor/reference_backend.h"
 #include "src/tensor/simd/simd_kernels.h"
+
+// Per-op dispatch telemetry (DESIGN.md §12): maintains CurrentOpName() for
+// plan-node naming and, when telemetry is enabled, bumps the
+// `tensor.op.<name>.<tier>` counter (and records a span when tracing). The
+// tier string is resolved here — not inside OpScope — so the disabled path
+// never touches the capability registry.
+#define ODNET_OP_SCOPE(name)                                       \
+  ::odnet::telemetry::OpScope _odnet_op_scope(                     \
+      (name), ::odnet::telemetry::Enabled()                        \
+                  ? CpuCapabilityName(ActiveCpuCapability())       \
+                  : nullptr)
 
 namespace odnet {
 namespace tensor {
@@ -291,7 +304,9 @@ void BinaryBackward(BinaryKind kind, const Shape& out_shape,
   if (need_b) ReduceGradToShape(gb, out_shape, b_shape, 1.0f, &ib->grad);
 }
 
-Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind,
+                const char* op_name) {
+  ODNET_OP_SCOPE(op_name);
   ODNET_CHECK(a.defined() && b.defined());
   Shape out_shape = BroadcastOrDie(a.shape(), b.shape());
   Shape a_shape = a.shape();
@@ -337,7 +352,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
 }
 
 template <typename FwdFn, typename BwdFn>
-Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
+Tensor UnaryOp(const Tensor& a, const char* op_name, FwdFn fwd, BwdFn bwd) {
+  ODNET_OP_SCOPE(op_name);
   ODNET_CHECK(a.defined());
   const int64_t n = a.numel();
   OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
@@ -378,8 +394,10 @@ Tensor UnaryOp(const Tensor& a, FwdFn fwd, BwdFn bwd) {
 // routes through the `kind` entry of the active tier's table (resolved per
 // execution so replays re-resolve under their stamped capability).
 template <typename FwdFn, typename BwdFn>
-Tensor DispatchedUnaryOp(const Tensor& a, simd::UnaryEw kind, float param,
-                         FwdFn fwd, BwdFn bwd) {
+Tensor DispatchedUnaryOp(const Tensor& a, const char* op_name,
+                         simd::UnaryEw kind, float param, FwdFn fwd,
+                         BwdFn bwd) {
+  ODNET_OP_SCOPE(op_name);
   ODNET_CHECK(a.defined());
   const int64_t n = a.numel();
   OpBuffer out = AllocOpResult(n, ZeroInit::kSkip);
@@ -424,49 +442,49 @@ Tensor DispatchedUnaryOp(const Tensor& a, simd::UnaryEw kind, float param,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, BinaryKind::kAdd);
+  return BinaryOp(a, b, BinaryKind::kAdd, "Add");
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, BinaryKind::kSub);
+  return BinaryOp(a, b, BinaryKind::kSub, "Sub");
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, BinaryKind::kMul);
+  return BinaryOp(a, b, BinaryKind::kMul, "Mul");
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, BinaryKind::kDiv);
+  return BinaryOp(a, b, BinaryKind::kDiv, "Div");
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kAddScalar, s, [s](float x) { return x + s; },
-      [](float, float) { return 1.0f; });
+      a, "AddScalar", simd::UnaryEw::kAddScalar, s,
+      [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kMulScalar, s, [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+      a, "MulScalar", simd::UnaryEw::kMulScalar, s,
+      [s](float x) { return x * s; }, [s](float, float) { return s; });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kRelu, 0.0f,
+      a, "Relu", simd::UnaryEw::kRelu, 0.0f,
       [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float slope) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kLeakyRelu, slope,
+      a, "LeakyRelu", simd::UnaryEw::kLeakyRelu, slope,
       [slope](float x) { return x > 0.0f ? x : slope * x; },
       [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kSigmoid, 0.0f,
+      a, "Sigmoid", simd::UnaryEw::kSigmoid, 0.0f,
       [](float x) {
         if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
         float z = std::exp(x);
@@ -477,23 +495,25 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kTanh, 0.0f, [](float x) { return std::tanh(x); },
+      a, "Tanh", simd::UnaryEw::kTanh, 0.0f,
+      [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Exp(const Tensor& a) {
   return DispatchedUnaryOp(
-      a, simd::UnaryEw::kExp, 0.0f, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+      a, "Exp", simd::UnaryEw::kExp, 0.0f,
+      [](float x) { return std::exp(x); }, [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a, float eps) {
   return UnaryOp(
-      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      a, "Log", [eps](float x) { return std::log(std::max(x, eps)); },
       [eps](float x, float) { return 1.0f / std::max(x, eps); });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ODNET_OP_SCOPE("MatMul");
   ODNET_CHECK(a.defined() && b.defined());
   const int ra = a.rank();
   const int rb = b.rank();
@@ -630,6 +650,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor TransposeLast2(const Tensor& a) {
+  ODNET_OP_SCOPE("TransposeLast2");
   ODNET_CHECK(a.defined());
   ODNET_CHECK_GE(a.rank(), 2);
   Shape in_shape = a.shape();
@@ -684,6 +705,7 @@ Tensor TransposeLast2(const Tensor& a) {
 }
 
 Tensor Reshape(const Tensor& a, const Shape& new_shape) {
+  ODNET_OP_SCOPE("Reshape");
   ODNET_CHECK(a.defined());
   ODNET_CHECK_EQ(Numel(a.shape()), Numel(new_shape))
       << ShapeToString(a.shape()) << " -> " << ShapeToString(new_shape);
@@ -730,6 +752,7 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
 }
 
 Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
+  ODNET_OP_SCOPE("Concat");
   ODNET_CHECK(!inputs.empty());
   const Shape& first = inputs[0].shape();
   int rank = inputs[0].rank();
@@ -809,6 +832,7 @@ Tensor Concat(const std::vector<Tensor>& inputs, int axis) {
 }
 
 Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
+  ODNET_OP_SCOPE("Slice");
   ODNET_CHECK(a.defined());
   int rank = a.rank();
   if (axis < 0) axis += rank;
@@ -857,6 +881,7 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
 }
 
 Tensor Stack(const std::vector<Tensor>& inputs) {
+  ODNET_OP_SCOPE("Stack");
   ODNET_CHECK(!inputs.empty());
   const Shape& unit = inputs[0].shape();
   for (const Tensor& t : inputs) {
@@ -954,6 +979,7 @@ struct EmbeddingOpState {
 
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
                        const Shape& index_shape) {
+  ODNET_OP_SCOPE("EmbeddingLookup");
   ODNET_CHECK(table.defined());
   ODNET_CHECK_EQ(table.rank(), 2);
   ODNET_CHECK_EQ(static_cast<int64_t>(indices.size()), Numel(index_shape));
@@ -1053,6 +1079,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& indices,
 }
 
 Tensor Sum(const Tensor& a) {
+  ODNET_OP_SCOPE("Sum");
   ODNET_CHECK(a.defined());
   const int64_t n = a.numel();
   OpBuffer out = AllocOpResult(1, ZeroInit::kSkip);
@@ -1079,6 +1106,7 @@ Tensor Sum(const Tensor& a) {
 }
 
 Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
+  ODNET_OP_SCOPE("SumAxis");
   ODNET_CHECK(a.defined());
   int rank = a.rank();
   if (axis < 0) axis += rank;
@@ -1161,6 +1189,7 @@ Tensor MeanAxis(const Tensor& a, int axis, bool keepdim) {
 }
 
 Tensor Softmax(const Tensor& a) {
+  ODNET_OP_SCOPE("Softmax");
   ODNET_CHECK(a.defined());
   ODNET_CHECK_GE(a.rank(), 1);
   const int64_t cols = a.dim(-1);
@@ -1205,6 +1234,7 @@ Tensor Softmax(const Tensor& a) {
 }
 
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
+  ODNET_OP_SCOPE("Dropout");
   ODNET_CHECK(a.defined());
   ODNET_CHECK_GE(p, 0.0f);
   ODNET_CHECK_LT(p, 1.0f);
@@ -1288,6 +1318,7 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
 }
 
 Tensor BceWithLogits(const Tensor& logits, const Tensor& targets) {
+  ODNET_OP_SCOPE("BceWithLogits");
   ODNET_CHECK(logits.defined() && targets.defined());
   ODNET_CHECK(SameShape(logits.shape(), targets.shape()))
       << ShapeToString(logits.shape()) << " vs "

@@ -1,15 +1,24 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "src/telemetry/telemetry.h"
 
 namespace odnet {
 namespace util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_log_mutex;
+
+// Monotonic timestamp prefix ("[+12.345678s]", telemetry clock). Off by
+// default; ODNET_LOG_TIMESTAMPS=1 or SetLogTimestamps(true) enables it.
+std::atomic<bool> g_timestamps{[] {
+  const char* env = std::getenv("ODNET_LOG_TIMESTAMPS");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,18 +43,32 @@ const char* Basename(const char* path) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogTimestamps(bool enabled) { g_timestamps.store(enabled); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    const double s = static_cast<double>(telemetry::NowNs() -
+                                         telemetry::ProcessStartNs()) *
+                     1e-9;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[+%.6fs]", s);
+    stream_ << buf;
+  }
   stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
           << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::cerr << stream_.str() << "\n";
+  // One fwrite of the full line: POSIX stdio streams lock internally, so
+  // concurrent pool-thread messages cannot interleave mid-line (the old
+  // `std::cerr << str << "\n"` was two writes and could).
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

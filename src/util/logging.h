@@ -14,6 +14,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Prefixes each line with a monotonic "[+12.345678s]" timestamp from the
+/// telemetry clock (default off; ODNET_LOG_TIMESTAMPS=1 also enables it).
+void SetLogTimestamps(bool enabled);
+
 namespace internal {
 
 /// One log statement; flushes the formatted line on destruction.

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <utility>
 
+#include "src/telemetry/telemetry.h"
 #include "src/util/check.h"
 
 namespace odnet {
@@ -32,6 +34,23 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  // Telemetry wrap (queue-wait histogram + task span) happens here rather
+  // than in the execution paths so WorkerLoop, RunOneTask, and the
+  // ParallelFor drain loop are all covered by one call site.
+  if (telemetry::Enabled()) {
+    const int64_t enqueue_ns = telemetry::NowNs();
+    task = [enqueue_ns, inner = std::move(task)] {
+      static telemetry::Histogram* queue_wait =
+          telemetry::TelemetryRegistry::Get().GetHistogram(
+              "threadpool.queue_wait_ns");
+      static telemetry::Counter* tasks =
+          telemetry::TelemetryRegistry::Get().GetCounter("threadpool.tasks");
+      queue_wait->Record(telemetry::NowNs() - enqueue_ns);
+      tasks->Add(1);
+      telemetry::SpanScope span("ThreadPool.Task", "threadpool");
+      inner();
+    };
+  }
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {

@@ -29,6 +29,7 @@
 #include "src/tensor/buffer_arena.h"
 #include "src/tensor/compute_context.h"
 #include "src/tensor/graph_plan.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -485,6 +486,55 @@ TEST(PredictPlannedTest, MatchesPredictAndInvalidatesOnShapeChange) {
   expect_equal(model.PredictPlanned(batch8), model.Predict(batch8),
                "after invalidation");
   EXPECT_EQ(model.serving_plan_stats().captures, 3);
+}
+
+TEST(PredictPlannedTest, RegistryCountersTrackHitMissRecapture) {
+  // The plan-cache counters are observable through the process-global
+  // telemetry registry (the struct fields above are per-model); the
+  // counters are cumulative across tests, so assert on deltas.
+  Fixture& f = SharedFixture();
+  core::OdnetConfig config = SmallModelConfig();
+  config.use_hsgc = false;
+  core::OdnetModel model(nullptr, f.dataset.num_users, f.dataset.num_cities,
+                         config);
+  data::BatchEncoder encoder(&f.dataset, f.temporal.get(),
+                             data::SequenceSpec{config.t_long,
+                                                config.t_short});
+  data::OdBatch batch8 = encoder.EncodeJoint(f.dataset.train_samples, 0, 8);
+  data::OdBatch batch4 = encoder.EncodeJoint(f.dataset.train_samples, 8, 12);
+
+  auto& reg = telemetry::TelemetryRegistry::Get();
+  const int64_t hits0 = reg.CounterValue("serving.plan_cache.hits");
+  const int64_t misses0 = reg.CounterValue("serving.plan_cache.misses");
+  const int64_t recaps0 = reg.CounterValue("serving.plan_cache.recaptures");
+
+  model.PredictPlanned(batch8);  // first shape: miss -> capture
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.misses"), misses0 + 1);
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.hits"), hits0);
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.recaptures"), recaps0);
+
+  model.PredictPlanned(batch8);  // same shape: hit -> replay
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.hits"), hits0 + 1);
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.misses"), misses0 + 1);
+
+  model.PredictPlanned(batch4);  // shape change: a fresh miss, no recapture
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.misses"), misses0 + 2);
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.recaptures"), recaps0);
+
+  model.InvalidateServingPlans();
+  model.PredictPlanned(batch8);  // signature seen before: recapture
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.recaptures"), recaps0 + 1);
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.misses"), misses0 + 2);
+  EXPECT_EQ(reg.CounterValue("serving.plan_cache.hits"), hits0 + 1);
+  EXPECT_EQ(model.serving_plan_stats().recaptures, 1);
+
+  // The memory-plan gauges reflect the most recent capture, and the
+  // registry snapshot carries all three counters.
+  EXPECT_GT(reg.GetGauge("serving.plan_cache.memory.num_nodes")->Value(), 0);
+  const std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("serving.plan_cache.hits"), std::string::npos);
+  EXPECT_NE(json.find("serving.plan_cache.misses"), std::string::npos);
+  EXPECT_NE(json.find("serving.plan_cache.recaptures"), std::string::npos);
 }
 
 TEST(PredictPlannedTest, SequenceLengthChangeRecaptures) {
