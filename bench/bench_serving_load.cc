@@ -1,0 +1,464 @@
+// Closed- and open-loop load generator for the serving router
+// (DESIGN.md section 13). Drives FliggySimulator request archetypes
+// (Zipf-hot users re-requesting, a long tail of cold users) against two
+// serving front-ends over the same RankingService:
+//
+//   serial — the pre-router front-end: a mutex around
+//            RankingService::RecommendTopK, one request at a time;
+//   router — ServingRouter: bounded queue, cross-request micro-batching,
+//            TTL feature cache.
+//
+// Closed loop: C client threads issue requests back-to-back (throughput
+// under saturation). Open loop: a generator thread fires requests at
+// Poisson arrival times regardless of completions (tail latency at a fixed
+// offered rate), with the rate derived from the measured serial capacity.
+// Both report throughput and p50/p99/p999 latency via the telemetry
+// histogram, into BENCH_serving_load.json.
+//
+// ODNET_BENCH_SMOKE=1 (or --smoke) shrinks the workload so CI can run the
+// bench per-push; the checked-in JSON comes from a full run. A final "shed
+// probe" row drives a capacity-0 router so admission control's shed path
+// (and its counter) is exercised deterministically on every run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/gbdt.h"
+#include "src/data/fliggy_simulator.h"
+#include "src/serving/ranking_service.h"
+#include "src/serving/recall.h"
+#include "src/serving/serving_router.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+#include "src/util/table.h"
+
+namespace odnet {
+namespace bench {
+namespace {
+
+constexpr int64_t kTopK = 10;
+constexpr double kZipfS = 1.2;  // hot-user skew of the request stream
+
+struct LoadScale {
+  int64_t num_users = 4000;
+  int64_t num_cities = 60;
+  int64_t closed_requests = 6000;  // per closed-loop row
+  int64_t open_requests = 4000;    // per open-loop row
+};
+
+/// One benchmark row: a (loop, mode, load) cell of the comparison.
+struct LoadRow {
+  std::string loop;  // "closed" | "open" | "probe"
+  std::string mode;  // "serial" | "router"
+  int64_t concurrency = 0;  // closed-loop client threads
+  double offered_rps = 0.0;  // open-loop arrival rate (0 for closed)
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t shed = 0;
+  double elapsed_ms = 0.0;
+  double throughput_rps = 0.0;  // served / elapsed
+  LatencyHistogram hist;
+};
+
+/// The serving stack shared by every row: dataset, fitted model, recall,
+/// ranking service. The ranker is a small GBDT — the load bench measures
+/// the serving fabric (queueing, batching, caching), not model quality, and
+/// GBDT's pure per-sample scoring satisfies the router's bitwise
+/// determinism contract.
+struct ServingStack {
+  explicit ServingStack(const LoadScale& scale)
+      : simulator(MakeConfig(scale)), dataset(simulator.Generate()) {
+    method =
+        std::make_unique<baselines::GbdtRecommender>(baselines::GbdtConfig{});
+    if (!method->Fit(dataset).ok()) {
+      std::fprintf(stderr, "GBDT fit failed\n");
+      std::exit(1);
+    }
+    // Production-shaped recall: wider candidate sets than the test default,
+    // so per-request cost is dominated by recall + scoring (the parts the
+    // cache and the batcher attack) rather than by request plumbing.
+    serving::RecallOptions recall_options;
+    recall_options.max_origins = 8;
+    recall_options.max_destinations = 16;
+    recall_options.max_pairs = 64;
+    recall_options.popular_destinations = 8;
+    recall = std::make_unique<serving::CandidateRecall>(
+        &dataset, &simulator.atlas(), recall_options);
+    service = std::make_unique<serving::RankingService>(
+        method.get(), &dataset, recall.get());
+  }
+  static data::FliggyConfig MakeConfig(const LoadScale& scale) {
+    data::FliggyConfig config;
+    config.num_users = scale.num_users;
+    config.num_cities = scale.num_cities;
+    config.seed = 97;
+    return config;
+  }
+  data::FliggySimulator simulator;
+  data::OdDataset dataset;
+  std::unique_ptr<baselines::GbdtRecommender> method;
+  std::unique_ptr<serving::CandidateRecall> recall;
+  std::unique_ptr<serving::RankingService> service;
+};
+
+serving::RouterOptions MakeRouterOptions(const LoadScale& scale,
+                                         int64_t deadline_us) {
+  serving::RouterOptions options;
+  // One dispatcher: this box is single-core, so a second worker would only
+  // halve batch sizes (it steals queued requests the first worker's next
+  // batch would have coalesced) without adding any parallel scoring.
+  options.num_workers = 1;
+  options.max_batch_rows = 512;
+  options.batch_deadline_us = deadline_us;
+  options.queue_capacity = 4096;
+  // GBDT has no shape-signature plan cache to align batches onto, so
+  // padding would only add dead rows here.
+  options.pad_to_bucket = false;
+  options.cache_capacity = scale.num_users;  // steady state: all users warm
+  options.cache_ttl_us = 500000;  // hot entries refresh twice a second
+  return options;
+}
+
+/// Pre-drawn request stream: the i-th request of the run, identical across
+/// modes so serial and router score the same users in the same order.
+std::vector<int64_t> DrawUsers(const LoadScale& scale, int64_t count,
+                               uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int64_t> users;
+  users.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    users.push_back(rng.Zipf(scale.num_users, kZipfS));
+  }
+  return users;
+}
+
+// ------------------------------------------------------------ closed loop --
+
+LoadRow RunClosedLoop(ServingStack* stack, const LoadScale& scale,
+                      const std::string& mode, int64_t concurrency) {
+  LoadRow row;
+  row.loop = "closed";
+  row.mode = mode;
+  row.concurrency = concurrency;
+  row.requests = scale.closed_requests;
+
+  std::unique_ptr<serving::ServingRouter> router;
+  std::mutex serial_mutex;
+  if (mode == "router") {
+    // Deadline 0: while the single dispatcher scores one batch, every
+    // client it woke resubmits into the queue behind it, so the next
+    // greedy drain naturally coalesces the whole wave — waiting out a
+    // deadline would only insert idle time between waves.
+    router = std::make_unique<serving::ServingRouter>(
+        stack->service.get(), MakeRouterOptions(scale, /*deadline_us=*/0));
+  }
+
+  const std::vector<int64_t> users =
+      DrawUsers(scale, row.requests, 1000 + static_cast<uint64_t>(concurrency));
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> served{0};
+  const int64_t t0 = telemetry::NowNs();
+  std::vector<std::thread> clients;
+  for (int64_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= row.requests) return;
+        const int64_t user = users[static_cast<size_t>(i)];
+        const int64_t start = telemetry::NowNs();
+        if (router != nullptr) {
+          serving::TopKResult result = router->RecommendTopK(user, kTopK);
+          if (result.ok()) served.fetch_add(1);
+        } else {
+          std::lock_guard<std::mutex> lock(serial_mutex);
+          stack->service->RecommendTopK(user, kTopK);
+          served.fetch_add(1);
+        }
+        row.hist.RecordNs(telemetry::NowNs() - start);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const int64_t elapsed_ns = telemetry::NowNs() - t0;
+  if (router != nullptr) router->Shutdown();
+
+  row.served = served.load();
+  row.elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+  row.throughput_rps =
+      static_cast<double>(row.served) * 1e9 / static_cast<double>(elapsed_ns);
+  return row;
+}
+
+// -------------------------------------------------------------- open loop --
+
+/// Poisson arrival schedule: offsets (ns) from the run start.
+std::vector<int64_t> DrawArrivals(int64_t count, double rate_rps,
+                                  uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int64_t> arrivals;
+  arrivals.reserve(static_cast<size_t>(count));
+  double t_ns = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    const double u = std::max(rng.UniformDouble(), 1e-12);
+    t_ns += -std::log(u) / rate_rps * 1e9;
+    arrivals.push_back(static_cast<int64_t>(t_ns));
+  }
+  return arrivals;
+}
+
+/// Sleeps (or spins, near the deadline) until `target_ns` on the telemetry
+/// clock. Sub-millisecond sleeps overshoot badly, so the last stretch spins.
+void WaitUntilNs(int64_t target_ns) {
+  for (;;) {
+    const int64_t remaining = target_ns - telemetry::NowNs();
+    if (remaining <= 0) return;
+    if (remaining > 1000000) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(remaining - 500000));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+LoadRow RunOpenLoop(ServingStack* stack, const LoadScale& scale,
+                    const std::string& mode, double offered_rps) {
+  LoadRow row;
+  row.loop = "open";
+  row.mode = mode;
+  row.offered_rps = offered_rps;
+  row.requests = scale.open_requests;
+
+  const std::vector<int64_t> users =
+      DrawUsers(scale, row.requests, 5000 + static_cast<uint64_t>(offered_rps));
+  const std::vector<int64_t> arrivals =
+      DrawArrivals(row.requests, offered_rps, 6000);
+
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> last_done_ns{0};
+  int64_t t0 = 0;
+
+  if (mode == "router") {
+    serving::ServingRouter router(stack->service.get(),
+                                  MakeRouterOptions(scale, /*deadline_us=*/100));
+    t0 = telemetry::NowNs();
+    for (int64_t i = 0; i < row.requests; ++i) {
+      WaitUntilNs(t0 + arrivals[static_cast<size_t>(i)]);
+      const int64_t start = telemetry::NowNs();
+      router.SubmitTopK(
+          users[static_cast<size_t>(i)], kTopK,
+          [&row, &served, &shed, &last_done_ns,
+           start](serving::TopKResult result) {
+            const int64_t now = telemetry::NowNs();
+            if (result.ok()) {
+              row.hist.RecordNs(now - start);
+              served.fetch_add(1);
+              last_done_ns.store(now);
+            } else {
+              shed.fetch_add(1);
+            }
+          });
+    }
+    router.Shutdown();  // drains every queued request
+  } else {
+    // Serial open loop: arrivals land in an unbounded FIFO worked by one
+    // server thread, so latency includes the queue wait that builds up
+    // whenever the offered rate tops the serial service rate.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::pair<int64_t, int64_t>> queue;  // (user, start_ns)
+    size_t head = 0;
+    bool done = false;
+    std::thread server([&] {
+      for (;;) {
+        std::pair<int64_t, int64_t> item;
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return head < queue.size() || done; });
+          if (head >= queue.size()) return;
+          item = queue[head++];
+        }
+        stack->service->RecommendTopK(item.first, kTopK);
+        const int64_t now = telemetry::NowNs();
+        row.hist.RecordNs(now - item.second);
+        served.fetch_add(1);
+        last_done_ns.store(now);
+      }
+    });
+    t0 = telemetry::NowNs();
+    for (int64_t i = 0; i < row.requests; ++i) {
+      WaitUntilNs(t0 + arrivals[static_cast<size_t>(i)]);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.emplace_back(users[static_cast<size_t>(i)],
+                           telemetry::NowNs());
+      }
+      cv.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+    }
+    cv.notify_all();
+    server.join();
+  }
+
+  row.served = served.load();
+  row.shed = shed.load();
+  // Honest open-loop throughput: completions over first-arrival-to-last-
+  // completion. A front-end below the offered rate builds backlog past the
+  // arrival window and this elapsed stretches accordingly.
+  const int64_t elapsed_ns =
+      std::max<int64_t>(last_done_ns.load() - t0, 1);
+  row.elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+  row.throughput_rps =
+      static_cast<double>(row.served) * 1e9 / static_cast<double>(elapsed_ns);
+  return row;
+}
+
+// -------------------------------------------------------------- shed probe --
+
+/// Deterministic admission-control exercise: a capacity-0 router sheds
+/// every request, so serving.router.shed is positive on every run (CI's
+/// trace validation insists on it).
+LoadRow RunShedProbe(ServingStack* stack) {
+  LoadRow row;
+  row.loop = "probe";
+  row.mode = "router";
+  row.requests = 32;
+  serving::RouterOptions options;
+  options.queue_capacity = 0;
+  serving::ServingRouter router(stack->service.get(), options);
+  for (int64_t i = 0; i < row.requests; ++i) {
+    serving::TopKResult result = router.RecommendTopK(i, kTopK);
+    if (result.ok()) {
+      row.served++;
+    } else if (result.status().code() == util::StatusCode::kUnavailable) {
+      row.shed++;
+    }
+  }
+  return row;
+}
+
+// ------------------------------------------------------------------- main --
+
+std::string RowJson(const LoadRow& row) {
+  std::string json = "    {\"loop\": \"" + row.loop + "\", \"mode\": \"" +
+                     row.mode + "\"";
+  json += ", \"concurrency\": " + std::to_string(row.concurrency);
+  json += ", \"offered_rps\": " + util::FormatFixed(row.offered_rps, 1);
+  json += ", \"requests\": " + std::to_string(row.requests);
+  json += ", \"served\": " + std::to_string(row.served);
+  json += ", \"shed\": " + std::to_string(row.shed);
+  json += ", \"elapsed_ms\": " + util::FormatFixed(row.elapsed_ms, 2);
+  json += ", \"throughput_rps\": " + util::FormatFixed(row.throughput_rps, 1);
+  json += ", " + row.hist.JsonFields() + "}";
+  return json;
+}
+
+int Run(bool smoke) {
+  LoadScale scale;
+  if (smoke) {
+    scale.num_users = 300;
+    scale.num_cities = 30;
+    scale.closed_requests = 300;
+    scale.open_requests = 240;
+  }
+  std::printf("=== Serving load (%lld users, %lld cities%s) ===\n",
+              static_cast<long long>(scale.num_users),
+              static_cast<long long>(scale.num_cities),
+              smoke ? ", smoke" : "");
+  ServingStack stack(scale);
+
+  std::vector<LoadRow> rows;
+  for (int64_t concurrency : {int64_t{1}, int64_t{8}, int64_t{32}}) {
+    for (const char* mode : {"serial", "router"}) {
+      rows.push_back(RunClosedLoop(&stack, scale, mode, concurrency));
+      std::printf("closed %-6s c=%-2lld: %8.1f req/s  p99 %.0f us\n", mode,
+                  static_cast<long long>(concurrency),
+                  rows.back().throughput_rps, rows.back().hist.PercentileUs(0.99));
+      std::fflush(stdout);
+    }
+  }
+
+  // Open-loop offered rates are anchored to the measured serial capacity:
+  // 0.7x (both front-ends keep up; compare tails) and 1.4x (past serial
+  // capacity; the router must absorb what serial cannot).
+  const double serial_capacity = rows[0].throughput_rps;
+  for (double ratio : {0.7, 1.4}) {
+    for (const char* mode : {"serial", "router"}) {
+      rows.push_back(
+          RunOpenLoop(&stack, scale, mode, serial_capacity * ratio));
+      std::printf("open   %-6s offered=%7.1f: served %lld/%lld  p99 %.0f us\n",
+                  mode, serial_capacity * ratio,
+                  static_cast<long long>(rows.back().served),
+                  static_cast<long long>(rows.back().requests),
+                  rows.back().hist.PercentileUs(0.99));
+      std::fflush(stdout);
+    }
+  }
+
+  rows.push_back(RunShedProbe(&stack));
+
+  util::AsciiTable table({"Loop", "Mode", "Load", "Served", "Shed",
+                          "Thru rps", "p50 us", "p99 us", "p999 us"});
+  std::string json = "{\n  \"bench\": \"serving_load\",\n  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"users\": " + std::to_string(scale.num_users) +
+          ",\n  \"cities\": " + std::to_string(scale.num_cities) +
+          ",\n  \"top_k\": " + std::to_string(kTopK) +
+          ",\n  \"zipf_s\": " + util::FormatFixed(kZipfS, 2) +
+          ",\n  \"results\": [\n";
+  bool first = true;
+  for (const LoadRow& row : rows) {
+    const std::string load =
+        row.loop == "closed" ? "c=" + std::to_string(row.concurrency)
+        : row.loop == "open"
+            ? util::FormatFixed(row.offered_rps, 0) + " rps"
+            : "probe";
+    table.AddRow({row.loop, row.mode, load, std::to_string(row.served),
+                  std::to_string(row.shed),
+                  util::FormatFixed(row.throughput_rps, 1),
+                  util::FormatFixed(row.hist.PercentileUs(0.50), 0),
+                  util::FormatFixed(row.hist.PercentileUs(0.99), 0),
+                  util::FormatFixed(row.hist.PercentileUs(0.999), 0)});
+    if (!first) json += ",\n";
+    first = false;
+    json += RowJson(row);
+  }
+  json += "\n  ]\n}\n";
+  std::printf("\n");
+  table.Print();
+  std::ofstream out("BENCH_serving_load.json");
+  out << json;
+  out.close();
+  std::printf("wrote BENCH_serving_load.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace odnet
+
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("ODNET_BENCH_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  return odnet::bench::Run(smoke);
+}

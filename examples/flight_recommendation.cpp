@@ -1,7 +1,11 @@
 // End-to-end serving pipeline demo (paper Fig. 9's online path):
 // query -> user features -> multi-strategy recall -> ranking -> top-k,
 // comparing the lists ODNET and MostPop produce for the same users and
-// reporting how each method's recall + ranking stages behave.
+// reporting how each method's recall + ranking stages behave. The MostPop
+// requests go through the async ServingRouter front-end (DESIGN.md
+// section 13) — its pure per-sample scoring satisfies the router's
+// bitwise-determinism contract, so the routed lists must match what the
+// direct RankingService call would return.
 
 #include <cstdio>
 
@@ -10,6 +14,7 @@
 #include "src/data/fliggy_simulator.h"
 #include "src/serving/ranking_service.h"
 #include "src/serving/recall.h"
+#include "src/serving/serving_router.h"
 #include "src/util/flags.h"
 
 int main(int argc, char** argv) {
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   serving::CandidateRecall recall(&dataset, &atlas, recall_options);
   serving::RankingService odnet_service(&odnet, &dataset, &recall);
   serving::RankingService pop_service(&most_pop, &dataset, &recall);
+  serving::ServingRouter pop_router(&pop_service, serving::RouterOptions());
 
   const int64_t requests = flags.GetInt("requests");
   for (int64_t i = 0; i < requests &&
@@ -77,7 +83,9 @@ int main(int argc, char** argv) {
       }
     };
     print_list("ODNET top-4", odnet_service.RecommendTopK(user, 4));
-    print_list("MostPop top-4", pop_service.RecommendTopK(user, 4));
+    serving::TopKResult routed = pop_router.RecommendTopK(user, 4);
+    ODNET_CHECK(routed.ok());
+    print_list("MostPop top-4 (via router)", routed.value());
     std::printf("ground truth next booking: %s -> %s\n\n",
                 atlas.city(h.next_booking.origin).name.c_str(),
                 atlas.city(h.next_booking.destination).name.c_str());

@@ -1,0 +1,203 @@
+#ifndef ODNET_SERVING_FEATURE_CACHE_H_
+#define ODNET_SERVING_FEATURE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/telemetry/telemetry.h"
+
+namespace odnet {
+namespace serving {
+
+/// \brief Sharded TTL cache for per-user serving features (recalled
+/// candidate lists, embedding vectors): the online stack's "user feature /
+/// embedding cache" whose entries go stale as new behaviour arrives, so
+/// every entry expires `ttl_ns` after insertion and is re-fetched on the
+/// next lookup.
+///
+/// Concurrency: 16 shards, each a mutex + hash map, so concurrent lookups
+/// for different users rarely contend. Values are handed out as
+/// shared_ptr<const V>: an entry may be evicted or expire while a reader
+/// still holds the snapshot it was served.
+///
+/// Determinism: time comes from an injectable clock (tests drive an atomic
+/// fake clock to make expiry exact); capacity eviction is strictly
+/// oldest-insertion-first per shard, so cache behaviour is a pure function
+/// of the (lookup, insert, clock) sequence.
+template <typename V>
+class TtlCache {
+ public:
+  struct Options {
+    /// Max entries across all shards; <= 0 disables the cache entirely
+    /// (lookups miss, inserts drop).
+    int64_t capacity = 4096;
+    /// Entry lifetime; <= 0 means entries never expire.
+    int64_t ttl_ns = 0;
+    /// Clock used for TTL stamps; defaults to telemetry::NowNs.
+    std::function<int64_t()> clock;
+    /// When non-empty, hit/miss/expired/evicted counters are registered as
+    /// "<stat_prefix>.{hits,misses,expired,evictions}".
+    std::string stat_prefix;
+  };
+
+  explicit TtlCache(Options options) : options_(std::move(options)) {
+    if (!options_.clock) options_.clock = &telemetry::NowNs;
+    if (!options_.stat_prefix.empty()) {
+      telemetry::TelemetryRegistry& reg = telemetry::TelemetryRegistry::Get();
+      hits_ = reg.GetCounter(options_.stat_prefix + ".hits");
+      misses_ = reg.GetCounter(options_.stat_prefix + ".misses");
+      expired_ = reg.GetCounter(options_.stat_prefix + ".expired");
+      evictions_ = reg.GetCounter(options_.stat_prefix + ".evictions");
+    }
+    per_shard_capacity_ = options_.capacity <= 0
+                              ? 0
+                              : (options_.capacity + kShards - 1) / kShards;
+  }
+
+  TtlCache(const TtlCache&) = delete;
+  TtlCache& operator=(const TtlCache&) = delete;
+
+  /// Returns the cached value for `key`, or nullptr on miss. An entry whose
+  /// TTL has elapsed is removed and counts as a miss (plus `expired`).
+  std::shared_ptr<const V> Lookup(int64_t key) {
+    if (per_shard_capacity_ == 0) {
+      if (misses_ != nullptr) misses_->Add(1);
+      return nullptr;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      if (misses_ != nullptr) misses_->Add(1);
+      return nullptr;
+    }
+    if (options_.ttl_ns > 0 && options_.clock() >= it->second.expires_ns) {
+      shard.map.erase(it);
+      if (expired_ != nullptr) expired_->Add(1);
+      if (misses_ != nullptr) misses_->Add(1);
+      return nullptr;
+    }
+    if (hits_ != nullptr) hits_->Add(1);
+    return it->second.value;
+  }
+
+  /// Inserts (or replaces) the value for `key`, restarting its TTL. When the
+  /// shard is full, expired entries are dropped first, then the oldest
+  /// insertion is evicted.
+  void Insert(int64_t key, V value) {
+    InsertShared(key, std::make_shared<const V>(std::move(value)));
+  }
+
+  /// Insert without copying a value the caller already holds shared.
+  void InsertShared(int64_t key, std::shared_ptr<const V> value) {
+    if (per_shard_capacity_ == 0 || value == nullptr) return;
+    const int64_t now = options_.clock();
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry& entry = shard.map[key];
+    const bool replaced = entry.value != nullptr;
+    entry.value = std::move(value);
+    entry.expires_ns =
+        options_.ttl_ns > 0 ? now + options_.ttl_ns : kNeverExpires;
+    entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (replaced ||
+        static_cast<int64_t>(shard.map.size()) <= per_shard_capacity_) {
+      return;
+    }
+    // Over capacity: sweep expired entries; if none were, evict the oldest.
+    bool dropped_expired = false;
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->first != key && options_.ttl_ns > 0 &&
+          now >= it->second.expires_ns) {
+        it = shard.map.erase(it);
+        dropped_expired = true;
+        if (expired_ != nullptr) expired_->Add(1);
+      } else {
+        ++it;
+      }
+    }
+    if (dropped_expired) return;
+    auto oldest = shard.map.end();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      if (it->first == key) continue;
+      if (oldest == shard.map.end() || it->second.seq < oldest->second.seq) {
+        oldest = it;
+      }
+    }
+    if (oldest != shard.map.end()) {
+      shard.map.erase(oldest);
+      if (evictions_ != nullptr) evictions_->Add(1);
+    }
+  }
+
+  /// Drops the entry for `key` if present.
+  void Invalidate(int64_t key) {
+    if (per_shard_capacity_ == 0) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.erase(key);
+  }
+
+  /// Drops everything (e.g. after a model refresh).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.clear();
+    }
+  }
+
+  /// Current entry count (expired-but-unswept entries included).
+  int64_t size() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += static_cast<int64_t>(shard.map.size());
+    }
+    return total;
+  }
+
+ private:
+  static constexpr int kShards = 16;
+  static constexpr int64_t kNeverExpires =
+      std::numeric_limits<int64_t>::max();
+
+  struct Entry {
+    std::shared_ptr<const V> value;
+    int64_t expires_ns = 0;
+    int64_t seq = 0;  // insertion order, for oldest-first eviction
+  };
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<int64_t, Entry> map;
+  };
+
+  Shard& ShardFor(int64_t key) {
+    // SplitMix64 finalizer: spreads sequential user ids across shards.
+    uint64_t h = static_cast<uint64_t>(key);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    return shards_[h & (kShards - 1)];
+  }
+
+  Options options_;
+  int64_t per_shard_capacity_ = 0;
+  std::atomic<int64_t> next_seq_{0};
+  Shard shards_[kShards];
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* expired_ = nullptr;
+  telemetry::Counter* evictions_ = nullptr;
+};
+
+}  // namespace serving
+}  // namespace odnet
+
+#endif  // ODNET_SERVING_FEATURE_CACHE_H_

@@ -1,6 +1,7 @@
 #include "src/serving/ranking_service.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "src/serving/batch_scorer.h"
 #include "src/telemetry/telemetry.h"
@@ -8,6 +9,35 @@
 
 namespace odnet {
 namespace serving {
+
+std::vector<RankedFlight> SelectTopK(std::vector<RankedFlight> scored,
+                                     int64_t k) {
+  if (k <= 0) return {};
+  if (k >= static_cast<int64_t>(scored.size())) {
+    std::sort(scored.begin(), scored.end(), FlightBefore);
+    return scored;
+  }
+  // Min-heap of the k best so far: the heap's top is the *worst* kept
+  // flight, so a new candidate replaces it exactly when FlightBefore says
+  // the candidate ranks ahead of it.
+  std::priority_queue<RankedFlight, std::vector<RankedFlight>,
+                      bool (*)(const RankedFlight&, const RankedFlight&)>
+      heap(&FlightBefore);
+  for (const RankedFlight& f : scored) {
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.push(f);
+    } else if (FlightBefore(f, heap.top())) {
+      heap.pop();
+      heap.push(f);
+    }
+  }
+  std::vector<RankedFlight> out(heap.size());
+  for (size_t i = out.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
 
 RankingService::RankingService(baselines::OdRecommender* model,
                                const data::OdDataset* dataset,
@@ -18,9 +48,8 @@ RankingService::RankingService(baselines::OdRecommender* model,
   ODNET_CHECK(recall_ != nullptr);
 }
 
-std::vector<RankedFlight> RankingService::RankCandidates(
+std::vector<data::Sample> RankingService::BuildRows(
     int64_t user, const std::vector<data::OdPair>& candidates) const {
-  telemetry::SpanScope span("RankingService.RankCandidates", "serving");
   ODNET_CHECK_GE(user, 0);
   ODNET_CHECK_LT(user, dataset_->num_users);
   const data::UserHistory& history =
@@ -34,13 +63,36 @@ std::vector<RankedFlight> RankingService::RankCandidates(
     s.day = history.decision_day;
     rows.push_back(s);
   }
+  return rows;
+}
+
+std::vector<double> RankingService::ScoreCandidates(
+    int64_t user, const std::vector<data::OdPair>& candidates) const {
+  std::vector<data::Sample> rows = BuildRows(user, candidates);
   std::vector<baselines::OdScore> scores =
       ScoreChunked(model_, *dataset_, rows);
+  std::vector<double> combined;
+  combined.reserve(scores.size());
+  for (const baselines::OdScore& s : scores) {
+    combined.push_back(model_->CombinedScore(s));
+  }
+  return combined;
+}
+
+std::vector<data::OdPair> RankingService::RecallFor(int64_t user) const {
+  ODNET_CHECK_GE(user, 0);
+  ODNET_CHECK_LT(user, dataset_->num_users);
+  return recall_->RecallPairs(dataset_->histories[static_cast<size_t>(user)]);
+}
+
+std::vector<RankedFlight> RankingService::RankCandidates(
+    int64_t user, const std::vector<data::OdPair>& candidates) const {
+  telemetry::SpanScope span("RankingService.RankCandidates", "serving");
+  std::vector<double> scores = ScoreCandidates(user, candidates);
   std::vector<RankedFlight> ranked;
   ranked.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    ranked.push_back(
-        RankedFlight{candidates[i], model_->CombinedScore(scores[i])});
+    ranked.push_back(RankedFlight{candidates[i], scores[i]});
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const RankedFlight& a, const RankedFlight& b) {
@@ -57,13 +109,14 @@ std::vector<RankedFlight> RankingService::RecommendTopK(int64_t user,
   requests->Add(1);
   const int64_t start_ns = telemetry::Enabled() ? telemetry::NowNs() : 0;
   ODNET_CHECK_GT(k, 0);
-  const data::UserHistory& history =
-      dataset_->histories[static_cast<size_t>(user)];
-  std::vector<RankedFlight> ranked =
-      RankCandidates(user, recall_->RecallPairs(history));
-  if (static_cast<int64_t>(ranked.size()) > k) {
-    ranked.resize(static_cast<size_t>(k));
+  std::vector<data::OdPair> candidates = RecallFor(user);
+  std::vector<double> scores = ScoreCandidates(user, candidates);
+  std::vector<RankedFlight> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scored.push_back(RankedFlight{candidates[i], scores[i]});
   }
+  std::vector<RankedFlight> ranked = SelectTopK(std::move(scored), k);
   if (start_ns != 0) {
     static telemetry::Histogram* latency =
         telemetry::TelemetryRegistry::Get().GetHistogram(

@@ -16,10 +16,34 @@ struct RankedFlight {
   double score = 0.0;  // Eq. 11 blended probability
 };
 
+/// Deterministic ranking order: score descending, ties broken by flight id
+/// (origin ascending, then destination ascending). Breaking ties by id —
+/// instead of by candidate position — makes a served list a pure function of
+/// the candidate *set*, so the async router and the serial service agree
+/// bitwise no matter how requests were batched or candidates ordered.
+inline bool FlightBefore(const RankedFlight& a, const RankedFlight& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.od.origin != b.od.origin) return a.od.origin < b.od.origin;
+  return a.od.destination < b.od.destination;
+}
+
+/// \brief Heap-based partial top-k selection under FlightBefore: returns the
+/// k best flights in FlightBefore order without sorting the full list —
+/// O(n log k) versus the former full sort's O(n log n). Equal to sorting all
+/// of `scored` with FlightBefore and truncating to k (the oracle the
+/// equivalence test checks against). k <= 0 returns empty; k >= n sorts.
+std::vector<RankedFlight> SelectTopK(std::vector<RankedFlight> scored,
+                                     int64_t k);
+
 /// \brief In-process analogue of the paper's Ranking Service System (RSS,
 /// Sec. VI-B): recalls candidate OD pairs for a user, scores them with the
 /// trained model, and returns the top-k flights — the full online request
 /// path of Fig. 9 minus the RPC plumbing.
+///
+/// This class serves one request at a time on the caller's thread; the
+/// concurrent front-end (ServingRouter) batches many requests through the
+/// same BuildRows/ScoreCandidates/SelectTopK stages, which is what makes
+/// router output bitwise comparable to this serial path.
 class RankingService {
  public:
   /// All pointers must outlive the service. `model` must be fitted.
@@ -27,12 +51,32 @@ class RankingService {
                  const data::OdDataset* dataset,
                  const CandidateRecall* recall);
 
-  /// Serves one request: the top-k recommended flights for `user`.
+  /// Serves one request: the top-k recommended flights for `user`, selected
+  /// with heap-based partial top-k (ties by flight id, see FlightBefore).
   std::vector<RankedFlight> RecommendTopK(int64_t user, int64_t k) const;
 
   /// Scores a caller-supplied candidate list (used by the A/B simulator).
+  /// Full stable sort: equal scores keep the caller's candidate order.
   std::vector<RankedFlight> RankCandidates(
       int64_t user, const std::vector<data::OdPair>& candidates) const;
+
+  /// Scoring rows for (user, candidates) — one Sample per candidate, stamped
+  /// with the user's decision day. Shared with the router so batched rows
+  /// are built exactly as serial rows.
+  std::vector<data::Sample> BuildRows(
+      int64_t user, const std::vector<data::OdPair>& candidates) const;
+
+  /// Combined (Eq. 11) scores for `candidates`, in candidate order: the
+  /// scoring stage of RecommendTopK without recall or selection.
+  std::vector<double> ScoreCandidates(
+      int64_t user, const std::vector<data::OdPair>& candidates) const;
+
+  /// Recall stage for one user (the router's cache-miss path).
+  std::vector<data::OdPair> RecallFor(int64_t user) const;
+
+  baselines::OdRecommender* model() const { return model_; }
+  const data::OdDataset* dataset() const { return dataset_; }
+  const CandidateRecall* recall() const { return recall_; }
 
  private:
   baselines::OdRecommender* model_;

@@ -370,6 +370,46 @@ void SpanScope::Finish() {
   ThreadTraceBuffer()->Record(ev);
 }
 
+namespace {
+
+struct Lane {
+  TraceBuffer* buffer = nullptr;
+  int64_t last_end_ns = 0;  // relative; lane spans never start before this
+};
+
+struct LaneMap {
+  std::mutex mutex;
+  std::unordered_map<std::string, Lane> lanes;
+};
+
+LaneMap& Lanes() {
+  static LaneMap* map = new LaneMap();
+  return *map;
+}
+
+}  // namespace
+
+void RecordLaneSpan(const char* lane, const char* name, const char* category,
+                    int64_t start_ns, int64_t end_ns) {
+  if (!TraceEnabled() || end_ns < start_ns) return;
+  LaneMap& map = Lanes();
+  std::lock_guard<std::mutex> lock(map.mutex);
+  Lane& slot = map.lanes[lane];
+  if (slot.buffer == nullptr) {
+    TraceBufferList& list = Buffers();
+    std::lock_guard<std::mutex> list_lock(list.mutex);
+    slot.buffer = new TraceBuffer(static_cast<int>(list.buffers.size() + 1));
+    list.buffers.push_back(slot.buffer);
+  }
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_ns = std::max(start_ns - ProcessStartNs(), slot.last_end_ns);
+  ev.dur_ns = std::max<int64_t>(end_ns - ProcessStartNs() - ev.start_ns, 0);
+  slot.last_end_ns = ev.start_ns + ev.dur_ns;
+  slot.buffer->Record(ev);
+}
+
 int64_t TraceEventCount() {
   TraceBufferList& list = Buffers();
   std::lock_guard<std::mutex> lock(list.mutex);

@@ -259,6 +259,20 @@ bool WriteChromeTrace(const std::string& path);
 /// Events currently buffered across all threads (test hook).
 int64_t TraceEventCount();
 
+/// \brief Records a complete span with explicit timestamps onto a named
+/// virtual trace lane — a synthetic trace thread for intervals that cross
+/// real threads (e.g. the serving router's queue waits: the start is stamped
+/// on the submitting thread, the end on the dispatching worker, so neither
+/// thread's own timeline can host the span without breaking nesting).
+///
+/// Spans within one lane are clamped to start no earlier than the previous
+/// span's end, keeping the per-tid proper-nesting invariant the trace
+/// validator enforces; lane spans are the timeline view, exact durations
+/// belong in histograms. `lane`, `name`, and `category` must outlive the
+/// process (string literals). No-op unless TraceEnabled().
+void RecordLaneSpan(const char* lane, const char* name, const char* category,
+                    int64_t start_ns, int64_t end_ns);
+
 // ---------------------------------------------------------------------------
 // Tensor-op instrumentation hooks
 // ---------------------------------------------------------------------------

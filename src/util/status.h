@@ -20,6 +20,9 @@ enum class StatusCode {
   kIoError = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  /// The service is temporarily unable to take the work (load shedding,
+  /// a full admission queue); the caller may retry with backoff.
+  kUnavailable = 9,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -62,6 +65,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

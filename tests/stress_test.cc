@@ -8,14 +8,20 @@
 //    reconfigures the pool (SetNumThreads retires a pool generation that
 //    in-flight kernels still hold via shared_pool());
 //  - serving::ScoreChunked: concurrent chunked scoring against pool
-//    reconfiguration.
+//    reconfiguration;
+//  - serving::ServingRouter: concurrent submitters racing queue shutdown,
+//    admission-control shedding against a deterministically full queue, and
+//    TTL feature-cache expiry racing lookups.
 //
 // The tests also assert the determinism contract *while* the pool is being
 // resized under them: results must stay bitwise identical to a serial run.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -24,6 +30,11 @@
 #include "src/baselines/most_pop.h"
 #include "src/data/fliggy_simulator.h"
 #include "src/serving/batch_scorer.h"
+#include "src/serving/feature_cache.h"
+#include "src/serving/ranking_service.h"
+#include "src/serving/recall.h"
+#include "src/serving/serving_router.h"
+#include "src/util/status.h"
 #include "src/tensor/compute_context.h"
 #include "src/tensor/graph_plan.h"
 #include "src/tensor/ops.h"
@@ -293,6 +304,231 @@ TEST(ScoreChunkedStressTest, ConcurrentScoringUnderReconfiguration) {
   stop = true;
   reconfig.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ----------------------------------------------------------- ServingRouter --
+
+/// Shared serving stack for the router stress tests. Owns the dataset, the
+/// fitted model, recall, and the ranking service the routers wrap.
+struct RouterStressFixture {
+  RouterStressFixture() : simulator(MakeConfig()), dataset(simulator.Generate()) {
+    EXPECT_TRUE(method.Fit(dataset).ok());
+    recall = std::make_unique<serving::CandidateRecall>(
+        &dataset, &simulator.atlas(), serving::RecallOptions());
+    service = std::make_unique<serving::RankingService>(&method, &dataset,
+                                                        recall.get());
+  }
+  static data::FliggyConfig MakeConfig() {
+    data::FliggyConfig config;
+    config.num_users = 80;
+    config.num_cities = 15;
+    config.seed = 73;
+    return config;
+  }
+  data::FliggySimulator simulator;
+  data::OdDataset dataset;
+  baselines::MostPop method;
+  std::unique_ptr<serving::CandidateRecall> recall;
+  std::unique_ptr<serving::RankingService> service;
+};
+
+/// Blocks every Score() call until Open(); see serving_router_test.cc. Lets
+/// the stress tests pin the dispatcher mid-batch so the bounded queue is
+/// deterministically full when the submitter threads hammer it.
+class BlockingScorer : public baselines::OdRecommender {
+ public:
+  explicit BlockingScorer(baselines::OdRecommender* inner) : inner_(inner) {}
+
+  std::string name() const override { return "Blocking"; }
+  util::Status Fit(const data::OdDataset& dataset) override {
+    return inner_->Fit(dataset);
+  }
+  bool ThreadSafeScore() const override { return true; }
+  std::vector<baselines::OdScore> Score(
+      const data::OdDataset& dataset,
+      const std::vector<data::Sample>& samples) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entries_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return open_; });
+    }
+    return inner_->Score(dataset, samples);
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void AwaitEntries(int n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this, n] { return entries_ >= n; });
+  }
+
+ private:
+  baselines::OdRecommender* inner_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int entries_ = 0;
+};
+
+TEST(ServingRouterStressTest, SubmittersRacingShutdown) {
+  RouterStressFixture fixture;
+  serving::RouterOptions options;
+  options.num_workers = 2;
+  options.max_batch_rows = 64;
+  options.batch_deadline_us = 100;
+  options.queue_capacity = 64;
+  serving::ServingRouter router(fixture.service.get(), options);
+
+  // Four submitter threads race a Shutdown() triggered partway through the
+  // submission stream. Every future must resolve: either a served list or
+  // one of the two typed refusals — never a hang, never a dropped promise.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> refused{0};
+  std::atomic<int64_t> unexpected{0};
+  std::thread shutdown_thread([&] {
+    while (submitted.load() < kThreads * kPerThread / 2) {
+      std::this_thread::yield();
+    }
+    router.Shutdown();
+  });
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t user = (t * kPerThread + i) % fixture.dataset.num_users;
+        std::future<serving::TopKResult> future = router.SubmitTopK(user, 5);
+        submitted.fetch_add(1);
+        serving::TopKResult result = future.get();
+        if (result.ok()) {
+          served.fetch_add(1);
+          // Served lists must still honour the deterministic ranking order.
+          const std::vector<serving::RankedFlight>& list = result.value();
+          for (size_t j = 1; j < list.size(); ++j) {
+            if (serving::FlightBefore(list[j], list[j - 1])) {
+              unexpected.fetch_add(1);
+            }
+          }
+        } else if (result.status().code() == util::StatusCode::kUnavailable) {
+          shed.fetch_add(1);
+        } else if (result.status().code() ==
+                   util::StatusCode::kFailedPrecondition) {
+          refused.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  shutdown_thread.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(served.load() + shed.load() + refused.load(),
+            kThreads * kPerThread);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_GT(refused.load(), 0) << "shutdown landed after every submission";
+}
+
+TEST(ServingRouterStressTest, AdmissionControlShedsAgainstFullQueue) {
+  RouterStressFixture fixture;
+  BlockingScorer blocking(&fixture.method);
+  serving::RankingService gated_service(&blocking, &fixture.dataset,
+                                        fixture.recall.get());
+  serving::RouterOptions options;
+  options.num_workers = 1;
+  options.max_batch_rows = 1;  // one request per batch
+  options.batch_deadline_us = 0;
+  options.queue_capacity = 4;
+  serving::ServingRouter router(&gated_service, options);
+
+  // Pin the single dispatcher inside a gated batch, so the queue cannot
+  // drain while the submitters flood it.
+  std::future<serving::TopKResult> pinned = router.SubmitTopK(0, 5);
+  blocking.AwaitEntries(1);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::future<serving::TopKResult>> futures(kThreads * kPerThread);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t user = 1 + ((t * kPerThread + i) %
+                                  (fixture.dataset.num_users - 1));
+        futures[static_cast<size_t>(t * kPerThread + i)] =
+            router.SubmitTopK(user, 5);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  // With the dispatcher pinned, at most queue_capacity submissions can have
+  // been admitted; everything else must shed with the typed error.
+  blocking.Open();
+  int64_t served = 0;
+  int64_t shed = 0;
+  for (std::future<serving::TopKResult>& f : futures) {
+    serving::TopKResult result = f.get();
+    if (result.ok()) {
+      served++;
+    } else {
+      EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+      shed++;
+    }
+  }
+  EXPECT_TRUE(pinned.get().ok());
+  EXPECT_EQ(served + shed, kThreads * kPerThread);
+  EXPECT_LE(served, options.queue_capacity);
+  EXPECT_GE(shed, kThreads * kPerThread - options.queue_capacity);
+}
+
+TEST(TtlCacheStressTest, ExpiryRacingLookups) {
+  // Readers look up and re-insert while a clock thread sweeps entries past
+  // their TTL under them. TSan checks the shard locking; the value checks
+  // confirm a reader never observes a torn snapshot.
+  std::atomic<int64_t> now{0};
+  serving::TtlCache<std::vector<int64_t>>::Options options;
+  options.capacity = 64;
+  options.ttl_ns = 50;
+  options.clock = [&now] { return now.load(); };
+  serving::TtlCache<std::vector<int64_t>> cache(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+  std::thread clock_thread([&] {
+    for (int i = 0; i < 400 && !stop.load(); ++i) {
+      now.fetch_add(10);
+      std::this_thread::yield();
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      util::Rng rng(900 + static_cast<uint64_t>(t));
+      while (!stop.load()) {
+        const int64_t key = rng.UniformInt(0, 15);
+        std::shared_ptr<const std::vector<int64_t>> hit = cache.Lookup(key);
+        if (hit == nullptr) {
+          cache.Insert(key, std::vector<int64_t>{key, key * 2});
+        } else if (hit->size() != 2 || (*hit)[0] != key ||
+                   (*hit)[1] != key * 2) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  clock_thread.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_LE(cache.size(), options.capacity);
 }
 
 }  // namespace

@@ -17,7 +17,10 @@ counters are non-negative integers, gauges carry value/high_water with
 high_water >= value, histograms carry count/sum/min/max/mean/p50/p90/p99/
 p999 with ordered percentiles inside [min, max]. --require-counter NAME
 asserts a counter exists with a positive value (used by CI to prove the
-serving run actually exercised plan-cache hits).
+serving run actually exercised plan-cache hits); --require-histogram NAME
+asserts a histogram exists with count > 0; --require-span NAME asserts the
+trace contains a complete span with that exact name (used by CI to prove
+the router's queue-wait lane made it into the timeline).
 
 Usage:
   tools/validate_trace.py trace.json \
@@ -94,7 +97,7 @@ def validate_trace(path, required_cats):
     return spans, cats
 
 
-def validate_metrics(path, required_counters):
+def validate_metrics(path, required_counters, required_histograms):
     m = load_json(path, "metrics snapshot")
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(m.get(section), dict):
@@ -137,6 +140,12 @@ def validate_metrics(path, required_counters):
         if not isinstance(v, int) or v <= 0:
             fail(f"{path}: required counter '{name}' absent or zero "
                  f"(got {v!r})")
+
+    for name in required_histograms:
+        h = m["histograms"].get(name)
+        if not isinstance(h, dict) or h.get("count", 0) <= 0:
+            fail(f"{path}: required histogram '{name}' absent or empty "
+                 f"(got {h!r})")
     return m
 
 
@@ -152,17 +161,29 @@ def main():
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME", help="counter that must exist with "
                         "a positive value in --metrics (repeatable)")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME", help="histogram that must exist with "
+                        "count > 0 in --metrics (repeatable)")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME", help="complete span with this exact "
+                        "name that must appear in the trace (repeatable)")
     args = parser.parse_args()
 
     spans, cats = validate_trace(args.trace, args.require_cat)
+    span_names = {e["name"] for e in spans}
+    for want in args.require_span:
+        if want not in span_names:
+            fail(f"{args.trace}: required span '{want}' absent "
+                 f"(present: {sorted(span_names)})")
     summary = [f"{len(spans)} spans across {len(cats)} categories"]
     if args.metrics:
-        m = validate_metrics(args.metrics, args.require_counter)
+        m = validate_metrics(args.metrics, args.require_counter,
+                             args.require_histogram)
         summary.append(f"{len(m['counters'])} counters, "
                        f"{len(m['gauges'])} gauges, "
                        f"{len(m['histograms'])} histograms")
-    elif args.require_counter:
-        fail("--require-counter needs --metrics")
+    elif args.require_counter or args.require_histogram:
+        fail("--require-counter/--require-histogram need --metrics")
     print(f"validate_trace: OK: {'; '.join(summary)}")
 
 
