@@ -30,6 +30,7 @@
 #include "src/tensor/compute_context.h"
 #include "src/tensor/graph_plan.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/plan_optimizer.h"
 #include "src/util/check.h"
 #include "src/util/string_util.h"
 #include "src/util/table.h"
@@ -125,10 +126,13 @@ BENCHMARK(BM_OdnetInference)->Arg(10)->Arg(30);
 struct PlanRow {
   std::string section;
   int threads = 0;
+  int fused = -1;          // 1/0: captured with fusion on/off; -1: n/a
   double eager_us = 0.0;   // min-of-rounds mean (headline, noise-robust)
   double replay_us = 0.0;
   bench::LatencyHistogram eager_hist;   // per-iteration distributions
   bench::LatencyHistogram replay_hist;
+  tensor::MemoryPlanStats memory;       // this leg's captured plan
+  bool has_memory = false;
 };
 
 // The timed serving batch matches the chunked ranking path: ScoreChunked
@@ -140,8 +144,12 @@ constexpr size_t kServingBatch = serving::kScoreChunkSize;
 // on the same batch. The capture itself happens during warmup, so the timed
 // region measures pure replay. Both paths are timed in alternating rounds
 // and the per-iteration minimum is kept: min-of-rounds is robust against
-// the scheduler noise of a small shared machine.
-PlanRow TimeServing(int threads, int warmup, int iters, int rounds) {
+// the scheduler noise of a small shared machine. `fuse` selects the
+// optimizer A/B leg: the plan is captured (and its shape signature stamped)
+// with fusion forced on or off for this row.
+PlanRow TimeServing(int threads, int warmup, int iters, int rounds,
+                    bool fuse) {
+  tensor::FusionScope fusion(fuse);
   tensor::ComputeContext::Get().SetNumThreads(threads);
   const data::OdDataset& dataset = Dataset();
   core::OdnetConfig config;
@@ -158,20 +166,19 @@ PlanRow TimeServing(int threads, int warmup, int iters, int rounds) {
   PlanRow row;
   row.section = "serving";
   row.threads = threads;
-  row.eager_us = row.replay_us = 1e300;
+  row.fused = fuse ? 1 : 0;
   for (int i = 0; i < warmup; ++i) (void)model.Predict(batch);
   for (int i = 0; i < warmup; ++i) (void)model.PredictPlanned(batch);
   const std::function<void()> eager = [&] { (void)model.Predict(batch); };
   const std::function<void()> replay = [&] {
     (void)model.PredictPlanned(batch);
   };
-  for (int r = 0; r < rounds; ++r) {
-    row.eager_us = std::min(
-        row.eager_us, bench::TimedRoundUs(eager, iters, &row.eager_hist));
-    row.replay_us = std::min(
-        row.replay_us, bench::TimedRoundUs(replay, iters, &row.replay_hist));
-  }
+  row.eager_us = bench::TimedRoundsUs(eager, iters, rounds, &row.eager_hist);
+  row.replay_us =
+      bench::TimedRoundsUs(replay, iters, rounds, &row.replay_hist);
   ODNET_CHECK(model.serving_plan_stats().replays >= iters);
+  row.memory = model.serving_plan_stats().memory;
+  row.has_memory = true;
   return row;
 }
 
@@ -182,7 +189,9 @@ PlanRow TimeServing(int threads, int warmup, int iters, int rounds) {
 // runs the optimized path (NoGrad + thread-local arena leases), so the
 // measured gap is plan replay vs the best eager execution, not vs a straw
 // man.
-PlanRow TimeMicroGraph(int threads, int warmup, int iters, int rounds) {
+PlanRow TimeMicroGraph(int threads, int warmup, int iters, int rounds,
+                       bool fuse) {
+  tensor::FusionScope fusion(fuse);
   tensor::ComputeContext::Get().SetNumThreads(threads);
   constexpr int kLayers = 32;
   util::Rng rng(9119);
@@ -210,19 +219,18 @@ PlanRow TimeMicroGraph(int threads, int warmup, int iters, int rounds) {
   PlanRow row;
   row.section = "micro_graph";
   row.threads = threads;
-  row.eager_us = row.replay_us = 1e300;
+  row.fused = fuse ? 1 : 0;
   for (int i = 0; i < warmup; ++i) {
     (void)run_eager();
     (void)plan->Replay({x});
   }
   const std::function<void()> eager = [&] { (void)run_eager(); };
   const std::function<void()> replay = [&] { (void)plan->Replay({x}); };
-  for (int r = 0; r < rounds; ++r) {
-    row.eager_us = std::min(
-        row.eager_us, bench::TimedRoundUs(eager, iters, &row.eager_hist));
-    row.replay_us = std::min(
-        row.replay_us, bench::TimedRoundUs(replay, iters, &row.replay_hist));
-  }
+  row.eager_us = bench::TimedRoundsUs(eager, iters, rounds, &row.eager_hist);
+  row.replay_us =
+      bench::TimedRoundsUs(replay, iters, rounds, &row.replay_hist);
+  row.memory = plan->memory_stats();
+  row.has_memory = true;
   return row;
 }
 
@@ -294,18 +302,14 @@ PlanRow TimeTrainStep(int threads, int warmup, int iters, int rounds) {
   PlanRow row;
   row.section = "train_step";
   row.threads = threads;
-  row.eager_us = row.replay_us = 1e300;
   for (int i = 0; i < warmup; ++i) eager.Step(false);
   for (int i = 0; i < warmup; ++i) planned.Step(true);
   const std::function<void()> eager_step = [&] { eager.Step(false); };
   const std::function<void()> planned_step = [&] { planned.Step(true); };
-  for (int r = 0; r < rounds; ++r) {
-    row.eager_us = std::min(
-        row.eager_us, bench::TimedRoundUs(eager_step, iters, &row.eager_hist));
-    row.replay_us =
-        std::min(row.replay_us,
-                 bench::TimedRoundUs(planned_step, iters, &row.replay_hist));
-  }
+  row.eager_us =
+      bench::TimedRoundsUs(eager_step, iters, rounds, &row.eager_hist);
+  row.replay_us =
+      bench::TimedRoundsUs(planned_step, iters, rounds, &row.replay_hist);
   return row;
 }
 
@@ -319,12 +323,20 @@ int RunPlanSweep() {
               iters, rounds, smoke ? ", smoke" : "");
   std::vector<PlanRow> rows;
   for (int threads : {1, 8}) {
-    rows.push_back(TimeMicroGraph(threads, warmup, iters * 4, rounds));
-    std::printf("finished micro_graph threads=%d\n", threads);
-    std::fflush(stdout);
-    rows.push_back(TimeServing(threads, warmup, iters, rounds));
-    std::printf("finished serving threads=%d\n", threads);
-    std::fflush(stdout);
+    // Fusion A/B: the unfused leg captures with the optimizer forced off,
+    // the fused leg with it on — same program, same kernels underneath, so
+    // the replay delta is the fusion pass alone.
+    for (bool fuse : {false, true}) {
+      rows.push_back(TimeMicroGraph(threads, warmup, iters * 4, rounds,
+                                    fuse));
+      std::printf("finished micro_graph threads=%d fused=%d\n", threads,
+                  fuse ? 1 : 0);
+      std::fflush(stdout);
+      rows.push_back(TimeServing(threads, warmup, iters, rounds, fuse));
+      std::printf("finished serving threads=%d fused=%d\n", threads,
+                  fuse ? 1 : 0);
+      std::fflush(stdout);
+    }
     rows.push_back(TimeTrainStep(threads, warmup, iters, rounds));
     std::printf("finished train_step threads=%d\n", threads);
     std::fflush(stdout);
@@ -346,16 +358,20 @@ int RunPlanSweep() {
   const tensor::MemoryPlanStats memory = model.serving_plan_stats().memory;
 
   util::AsciiTable table(
-      {"Section", "Threads", "Eager us", "Replay us", "Speedup"});
+      {"Section", "Threads", "Fusion", "Eager us", "Replay us", "Speedup"});
   std::string json = "{\n  \"bench\": \"plan_replay\",\n  \"smoke\": ";
   json += smoke ? "true" : "false";
   json += ",\n  \"iters\": " + std::to_string(iters) +
-          ",\n  \"results\": [\n";
+          ",\n  \"methodology\": \"" +
+          std::string(bench::kHistMethodologyNote) +
+          "\",\n  \"results\": [\n";
   bool first = true;
   for (const PlanRow& row : rows) {
     const double speedup =
         row.replay_us > 0.0 ? row.eager_us / row.replay_us : 0.0;
-    table.AddRow({row.section, std::to_string(row.threads),
+    const char* fusion_label =
+        row.fused < 0 ? "-" : (row.fused == 1 ? "on" : "off");
+    table.AddRow({row.section, std::to_string(row.threads), fusion_label,
                   util::FormatFixed(row.eager_us, 1),
                   util::FormatFixed(row.replay_us, 1),
                   util::FormatFixed(speedup, 2) + "x"});
@@ -363,11 +379,52 @@ int RunPlanSweep() {
     first = false;
     json += "    {\"section\": \"" + row.section +
             "\", \"threads\": " + std::to_string(row.threads) +
+            ", \"fused\": " +
+            (row.fused < 0 ? "null" : (row.fused == 1 ? "true" : "false")) +
             ", \"eager_us\": " + util::FormatFixed(row.eager_us, 2) +
             ", \"replay_us\": " + util::FormatFixed(row.replay_us, 2) +
             ", \"speedup\": " + util::FormatFixed(speedup, 3) + ", " +
             row.eager_hist.JsonFields("eager_") + ", " +
-            row.replay_hist.JsonFields("replay_") + "}";
+            row.replay_hist.JsonFields("replay_");
+    if (row.has_memory) {
+      json += ", \"plan\": {\"num_nodes\": " +
+              std::to_string(row.memory.num_nodes) +
+              ", \"fused_nodes\": " + std::to_string(row.memory.fused_nodes) +
+              ", \"folded_nodes\": " +
+              std::to_string(row.memory.folded_nodes) +
+              ", \"elided_values\": " +
+              std::to_string(row.memory.elided_values) +
+              ", \"peak_bytes\": " + std::to_string(row.memory.peak_bytes) +
+              "}";
+    }
+    json += "}";
+  }
+  // Fusion A/B headline: fused vs unfused replay of the same section at the
+  // same thread count (eager is fusion-independent; replay is the product).
+  json += "\n  ],\n  \"fusion_ab\": [\n";
+  first = true;
+  for (const PlanRow& row : rows) {
+    if (row.fused != 1) continue;
+    const PlanRow* unfused = nullptr;
+    for (const PlanRow& other : rows) {
+      if (other.fused == 0 && other.section == row.section &&
+          other.threads == row.threads) {
+        unfused = &other;
+      }
+    }
+    if (unfused == nullptr || row.replay_us <= 0.0) continue;
+    const double ab = unfused->replay_us / row.replay_us;
+    std::printf("fusion A/B %s threads=%d: %.1fus -> %.1fus (%.2fx)\n",
+                row.section.c_str(), row.threads, unfused->replay_us,
+                row.replay_us, ab);
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"section\": \"" + row.section +
+            "\", \"threads\": " + std::to_string(row.threads) +
+            ", \"unfused_replay_us\": " +
+            util::FormatFixed(unfused->replay_us, 2) +
+            ", \"fused_replay_us\": " + util::FormatFixed(row.replay_us, 2) +
+            ", \"fusion_speedup\": " + util::FormatFixed(ab, 3) + "}";
   }
   json += "\n  ],\n  \"memory_plan\": {\"num_nodes\": " +
           std::to_string(memory.num_nodes) +
@@ -376,16 +433,25 @@ int RunPlanSweep() {
           ", \"requested_bytes\": " + std::to_string(memory.requested_bytes) +
           ", \"peak_bytes\": " + std::to_string(memory.peak_bytes) +
           ", \"reuse_ratio\": " + util::FormatFixed(memory.reuse_ratio, 3) +
+          ", \"fused_nodes\": " + std::to_string(memory.fused_nodes) +
+          ", \"folded_nodes\": " + std::to_string(memory.folded_nodes) +
+          ", \"elided_values\": " + std::to_string(memory.elided_values) +
+          ", \"elided_bytes\": " + std::to_string(memory.elided_bytes) +
           "}\n}\n";
   std::printf("\n");
   table.Print();
   std::printf(
       "\nmemory plan: %lld values -> %lld buffers, %lld -> %lld bytes "
-      "(reuse %.0f%%)\n",
+      "(reuse %.0f%%); fusion: %lld fused nests, %lld folded, "
+      "%lld values / %lld bytes elided\n",
       static_cast<long long>(memory.num_values),
       static_cast<long long>(memory.num_buffers),
       static_cast<long long>(memory.requested_bytes),
-      static_cast<long long>(memory.peak_bytes), memory.reuse_ratio * 100.0);
+      static_cast<long long>(memory.peak_bytes), memory.reuse_ratio * 100.0,
+      static_cast<long long>(memory.fused_nodes),
+      static_cast<long long>(memory.folded_nodes),
+      static_cast<long long>(memory.elided_values),
+      static_cast<long long>(memory.elided_bytes));
   std::ofstream out("BENCH_plan_replay.json");
   out << json;
   out.close();

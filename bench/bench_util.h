@@ -144,6 +144,33 @@ inline double TimedRoundUs(const std::function<void()>& step, int iters,
          static_cast<double>(iters > 0 ? iters : 1);
 }
 
+/// Min-of-rounds over `rounds` rounds of `iters` iterations each. All
+/// rounds compete for the min-of-rounds headline, but with rounds > 1 the
+/// first round's samples are excluded from `hist`: round 0 still carries
+/// one-time costs the warmup loop didn't reach (first-touch page faults,
+/// arena growth to the workload's high-water mark, lazy plan capture, cold
+/// i-cache), which otherwise dominate p99 without describing steady state
+/// — e.g. a 2228us eager "p99" over a 56us mean that is really one cold
+/// round 0 iteration. Callers emitting percentiles into BENCH_*.json
+/// should note this exclusion in the JSON (see `kHistMethodologyNote`).
+inline double TimedRoundsUs(const std::function<void()>& step, int iters,
+                            int rounds, LatencyHistogram* hist) {
+  double best_us = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    LatencyHistogram scratch;
+    LatencyHistogram* sink = (r == 0 && rounds > 1) ? &scratch : hist;
+    best_us = std::min(best_us, TimedRoundUs(step, iters, sink));
+  }
+  return best_us;
+}
+
+/// Methodology string for BENCH_*.json emitters whose percentile fields
+/// come from TimedRoundsUs.
+inline const char* kHistMethodologyNote =
+    "headline *_us is the min-of-rounds per-iteration mean; *_p50/p99/p999_us"
+    " are per-iteration percentiles over rounds 1..N-1 (round 0 excluded as"
+    " warmup-adjacent one-time cost)";
+
 /// Min-of-rounds timing plus the per-iteration latency distribution.
 struct LoopTiming {
   double best_us = 1e300;
@@ -154,9 +181,7 @@ inline LoopTiming TimeLoop(const std::function<void()>& step, int warmup,
                            int iters, int rounds) {
   LoopTiming t;
   for (int i = 0; i < warmup; ++i) step();
-  for (int r = 0; r < rounds; ++r) {
-    t.best_us = std::min(t.best_us, TimedRoundUs(step, iters, &t.hist));
-  }
+  t.best_us = TimedRoundsUs(step, iters, rounds, &t.hist);
   return t;
 }
 

@@ -58,5 +58,9 @@ double OdnetRecommender::theta() const {
   return model_ != nullptr ? model_->theta() : 0.5;
 }
 
+void OdnetRecommender::InvalidateServingPlans() {
+  if (model_ != nullptr) model_->InvalidateServingPlans();
+}
+
 }  // namespace baselines
 }  // namespace odnet

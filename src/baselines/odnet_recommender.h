@@ -31,6 +31,7 @@ class OdnetRecommender : public OdRecommender {
   std::vector<OdScore> Score(const data::OdDataset& dataset,
                              const std::vector<data::Sample>& samples) override;
   double theta() const override;
+  void InvalidateServingPlans() override;
   // ThreadSafeScore stays false: the forward pass draws from the HSGC
   // neighbor-sampling RNG (shared mutable stream), so concurrent Score
   // calls would race. ODNET parallelizes inside the tensor backend instead.

@@ -45,6 +45,12 @@ class OdRecommender {
   /// mutable member turns chunked scoring into a data race.
   virtual bool ThreadSafeScore() const { return false; }
 
+  /// Drops any cached serving artifacts derived from the trained state
+  /// (captured replay plans, precomputed tables). Called after a weight
+  /// refresh so the next Score() reflects the new parameters; methods
+  /// without derived serving state need not override.
+  virtual void InvalidateServingPlans() {}
+
   /// Blend weight theta for the serving score (Eq. 11):
   /// score = theta * p_o + (1 - theta) * p_d. Multi-task models may learn
   /// it; single-task models use 0.5.

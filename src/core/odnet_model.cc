@@ -5,6 +5,7 @@
 #include "src/data/temporal_features.h"
 #include "src/telemetry/telemetry.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/plan_optimizer.h"
 
 namespace odnet {
 namespace core {
@@ -136,9 +137,13 @@ std::pair<std::vector<double>, std::vector<double>> OdnetModel::Predict(
 namespace {
 
 std::string ShapeSignature(const data::OdBatch& batch) {
+  // The fusion state is part of the signature: a plan captured with fusion
+  // on must never be served to a caller that expects an unfused plan (the
+  // A/B bench legs and ODNET_PLAN_FUSION=0 runs rely on this).
   return std::to_string(batch.origin.batch) + "x" +
          std::to_string(batch.origin.t_long) + "x" +
-         std::to_string(batch.origin.t_short);
+         std::to_string(batch.origin.t_short) +
+         (tensor::PlanFusionEnabled() ? "|f1" : "|f0");
 }
 
 // Registry-facing plan-cache instruments (ISSUE 7): hits are replays,
@@ -171,6 +176,9 @@ void PublishMemoryPlanStats(const tensor::MemoryPlanStats& m) {
   reg.GetGauge("serving.plan_cache.memory.peak_bytes")->Set(m.peak_bytes);
   reg.GetGauge("serving.plan_cache.memory.requested_bytes")
       ->Set(m.requested_bytes);
+  reg.GetGauge("serving.plan_cache.memory.fused_nodes")->Set(m.fused_nodes);
+  reg.GetGauge("serving.plan_cache.memory.folded_nodes")->Set(m.folded_nodes);
+  reg.GetGauge("serving.plan_cache.memory.elided_bytes")->Set(m.elided_bytes);
 }
 
 }  // namespace

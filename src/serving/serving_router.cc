@@ -174,6 +174,12 @@ int64_t ServingRouter::queue_depth() const {
   return static_cast<int64_t>(queue_.size());
 }
 
+void ServingRouter::InvalidateCaches() {
+  feature_cache_.Clear();
+  scored_cache_.Clear();
+  service_->model()->InvalidateServingPlans();
+}
+
 void ServingRouter::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

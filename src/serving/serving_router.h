@@ -119,6 +119,15 @@ class ServingRouter {
   /// joins them. Idempotent; also run by the destructor.
   void Shutdown();
 
+  /// Model-refresh hook: drops both TTL caches (recalled candidates and
+  /// scored lists) and tells the model to drop its captured serving plans,
+  /// so no response served after this call is answered from pre-refresh
+  /// cached artifacts. The cache clears are safe against concurrent
+  /// submissions; the plan invalidation follows the model's own threading
+  /// contract (invalidate between scoring calls, e.g. with the queue
+  /// drained or from the thread that owns the refresh).
+  void InvalidateCaches();
+
   /// Pending (admitted, not yet dispatched) requests — test hook.
   int64_t queue_depth() const;
 

@@ -7,80 +7,23 @@
 #include <utility>
 
 #include "src/telemetry/telemetry.h"
+#include "src/tensor/plan_ir.h"
+#include "src/tensor/plan_optimizer.h"
 
 namespace odnet {
 namespace tensor {
+
+// The capture-time IR (RecNode/RecValue/Recorder) lives in plan_ir.h so the
+// optimizer (plan_optimizer.cc) can rewrite it between capture and lowering.
+using plan_ir::RecNode;
+using plan_ir::RecValue;
+using plan_ir::Recorder;
 
 namespace {
 
 // ---------------------------------------------------------------------------
 // Recording
 // ---------------------------------------------------------------------------
-
-struct RecNode {
-  ReplayKernel kernel;           // op node
-  std::function<void()> host;    // host-stage node
-  std::vector<int> ins;
-  int out = -1;
-  bool zero_out = false;
-  int alias_of = -1;             // >= 0: `out` aliases this value's buffer
-  const char* name = nullptr;    // telemetry::CurrentOpName() at record time
-};
-
-struct RecValue {
-  std::shared_ptr<internal::TensorImpl> impl;
-  int producer = -1;     // producing node; -1 = external (constant/input)
-  int input_index = -1;  // >= 0 when pre-registered as a rebindable input
-  Shape shape;
-  int64_t numel = 0;
-};
-
-// One in-flight capture. Installed thread-locally while the program runs;
-// ops funnel through capture::RecordOp / RecordAlias.
-struct Recorder {
-  std::vector<RecValue> values;
-  std::vector<RecNode> nodes;
-  std::unordered_map<const internal::TensorImpl*, int> ids;
-  std::vector<int> input_ids;
-  int64_t tensors_created = 0;  // MakeForOp/MakeViewForOp calls
-  int64_t ops_recorded = 0;     // RecordOp/RecordAlias calls
-  bool host_data = false;       // some kernel closes over host state
-
-  // Value id of `t`, registering it as an external (constant) on first
-  // sight. Externals must be owned: an arena-leased constant would dangle
-  // after the arena resets while the plan still references its buffer.
-  int IdFor(const Tensor& t) {
-    ODNET_CHECK(t.defined());
-    auto it = ids.find(t.impl());
-    if (it != ids.end()) return it->second;
-    ODNET_CHECK(t.impl()->lease == nullptr)
-        << "captured constant is arena-leased; plans may only retain owned "
-           "storage (Clone() it before capture)";
-    const int id = static_cast<int>(values.size());
-    RecValue v;
-    v.impl = t.impl_ptr();
-    v.shape = t.shape();
-    v.numel = t.numel();
-    values.push_back(std::move(v));
-    ids.emplace(t.impl(), id);
-    return id;
-  }
-
-  int RegisterOut(const Tensor& t, int producer) {
-    ODNET_CHECK(t.defined());
-    ODNET_CHECK(ids.find(t.impl()) == ids.end())
-        << "op output recorded twice";
-    const int id = static_cast<int>(values.size());
-    RecValue v;
-    v.impl = t.impl_ptr();
-    v.producer = producer;
-    v.shape = t.shape();
-    v.numel = t.numel();
-    values.push_back(std::move(v));
-    ids.emplace(t.impl(), id);
-    return id;
-  }
-};
 
 thread_local Recorder* g_recorder = nullptr;
 
@@ -108,13 +51,14 @@ namespace capture {
 bool Active() { return g_recorder != nullptr; }
 
 void RecordOp(const Tensor& out, const std::vector<Tensor>& ins,
-              ReplayKernel kernel, bool zero_init_output) {
+              ReplayKernel kernel, bool zero_init_output, OpDesc desc) {
   Recorder* rec = g_recorder;
   if (rec == nullptr) return;
   ++rec->ops_recorded;
   RecNode node;
   node.kernel = std::move(kernel);
   node.zero_out = zero_init_output;
+  node.desc = desc;
   node.name = telemetry::CurrentOpName();
   node.ins.reserve(ins.size());
   for (const Tensor& t : ins) node.ins.push_back(rec->IdFor(t));
@@ -341,9 +285,25 @@ std::shared_ptr<GraphPlan> GraphPlan::CaptureInference(
   }
   CheckCaptureIntegrity(rec);
   ODNET_CHECK(!outs.empty()) << "captured program returned no outputs";
+  // Optimize the IR between capture (integrity already checked) and
+  // lowering. Folded nodes become alias edges; fused chains replace their
+  // last member, so the node list PlanBuilder sees is already final.
+  PlanOptimizeStats ostats;
+  if (PlanFusionEnabled()) ostats = OptimizePlanIr(&rec, outs);
   std::shared_ptr<GraphPlan> plan = PlanBuilder::Build(&rec, outs, inputs);
   plan->capability_ = ActiveCpuCapability();
+  plan->stats_.fused_nodes = ostats.fused_chains;
+  plan->stats_.folded_nodes = ostats.folded_nodes;
+  plan->stats_.elided_values = ostats.elided_values;
+  plan->stats_.elided_bytes = ostats.elided_bytes;
   telemetry::TelemetryRegistry::Get().GetCounter("plan.captures")->Add(1);
+  {
+    telemetry::TelemetryRegistry& reg = telemetry::TelemetryRegistry::Get();
+    reg.GetCounter("plan.fusion.chains")->Add(ostats.fused_chains);
+    reg.GetCounter("plan.fusion.fused_stages")->Add(ostats.fused_stages);
+    reg.GetCounter("plan.fusion.folded")->Add(ostats.folded_nodes);
+    reg.GetCounter("plan.fusion.elided_values")->Add(ostats.elided_values);
+  }
   if (capture_results != nullptr) *capture_results = std::move(outs);
   return plan;
 }

@@ -51,15 +51,52 @@ using ReplayKernel = std::function<void(const ReplayPtrs&)>;
 
 namespace capture {
 
+/// What a recorded kernel computes, as far as the plan optimizer is
+/// concerned. Ops that annotate their RecordOp call with a non-opaque kind
+/// become visible to no-op folding and elementwise-chain fusion
+/// (plan_optimizer.cc); everything else stays an opaque closure that the
+/// optimizer must not touch. kMatMul/kSoftmax are never fused themselves but
+/// mark producers whose outputs are provably free of -0.0f (folding legality)
+/// and whose elementwise epilogues are worth chasing.
+enum class OpKind : int {
+  kOpaque = 0,
+  // Binary elementwise (reference_backend.h BinaryKind order).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // Scalar-parameterized elementwise (param holds the scalar).
+  kAddScalar,
+  kMulScalar,
+  // Activations (param holds the LeakyRelu slope).
+  kRelu,
+  kLeakyRelu,
+  kSigmoid,
+  kTanh,
+  kExp,
+  // Non-fusable producers the optimizer reasons about.
+  kMatMul,
+  kSoftmax,
+  // Bitwise copy of the input (reference-mode Reshape / inference Dropout).
+  kIdentityCopy,
+};
+
+struct OpDesc {
+  OpKind kind = OpKind::kOpaque;
+  float param = 0.0f;
+};
+
 /// True when the calling thread is recording into a plan. Ops use this to
 /// skip the (allocating) RecordOp call on the hot eager path.
 bool Active();
 
 /// Records one op node: `out` was produced from `ins` by `kernel`.
 /// `zero_init_output` marks kernels that accumulate into their output
-/// (MatMul, SumAxis) so replay pre-zeros the buffer.
+/// (MatMul, SumAxis) so replay pre-zeros the buffer. `desc` describes the
+/// computation for the plan optimizer (defaults to opaque: never optimized).
 void RecordOp(const Tensor& out, const std::vector<Tensor>& ins,
-              ReplayKernel kernel, bool zero_init_output = false);
+              ReplayKernel kernel, bool zero_init_output = false,
+              OpDesc desc = OpDesc());
 
 /// Records a zero-copy aliasing node: `out` shares `src`'s storage
 /// (Reshape views). Replay does no work; consumers of `out` resolve to
@@ -93,6 +130,11 @@ struct MemoryPlanStats {
   int64_t requested_bytes = 0;  // sum of all intermediate value sizes
   int64_t peak_bytes = 0;       // sum of physical buffer sizes
   double reuse_ratio = 0.0;     // 1 - peak/requested (0 when no reuse)
+  // Optimizer results (all zero when ODNET_PLAN_FUSION=0 / FusionScope off).
+  int64_t fused_nodes = 0;      // FusedNode loop nests in the final plan
+  int64_t folded_nodes = 0;     // no-op nodes folded into alias edges
+  int64_t elided_values = 0;    // intermediates no longer materialized
+  int64_t elided_bytes = 0;     // their aggregate buffer demand
 };
 
 /// \brief A captured inference program: topo-ordered nodes with static
@@ -197,6 +239,9 @@ class GraphPlan {
 
   std::vector<Node> nodes_;
   std::vector<std::shared_ptr<std::vector<float>>> constants_;
+  // Node::name points at string literals, or — for optimizer-synthesized
+  // fused nodes — at process-lifetime interned strings (plan_optimizer.cc):
+  // trace events keep bare name pointers past any plan's lifetime.
   std::vector<int64_t> slot_sizes_;
   std::vector<Shape> input_shapes_;
   std::vector<OutputRef> outputs_;

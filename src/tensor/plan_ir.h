@@ -1,0 +1,98 @@
+#ifndef ODNET_TENSOR_PLAN_IR_H_
+#define ODNET_TENSOR_PLAN_IR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/graph_plan.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+
+namespace odnet {
+namespace tensor {
+
+// The capture-time IR shared by the recorder (graph_plan.cc) and the plan
+// optimizer (plan_optimizer.cc). A capture produces a flat, topologically
+// ordered list of RecNodes over RecValues; the optimizer rewrites that list
+// in place (folding no-ops into alias nodes, collapsing elementwise chains
+// into fused nodes) before PlanBuilder lowers it to a GraphPlan with a
+// liveness memory plan. DESIGN.md §14 documents the contract.
+namespace plan_ir {
+
+struct RecNode {
+  ReplayKernel kernel;           // op node
+  std::function<void()> host;    // host-stage node
+  std::vector<int> ins;
+  int out = -1;
+  bool zero_out = false;
+  int alias_of = -1;             // >= 0: `out` aliases this value's buffer
+  const char* name = nullptr;    // telemetry::CurrentOpName() at record time
+  capture::OpDesc desc;          // what the kernel computes (optimizer food)
+};
+
+struct RecValue {
+  std::shared_ptr<internal::TensorImpl> impl;
+  int producer = -1;     // producing node; -1 = external (constant/input)
+  int input_index = -1;  // >= 0 when pre-registered as a rebindable input
+  Shape shape;
+  int64_t numel = 0;
+};
+
+// One in-flight capture. Installed thread-locally while the program runs;
+// ops funnel through capture::RecordOp / RecordAlias.
+struct Recorder {
+  std::vector<RecValue> values;
+  std::vector<RecNode> nodes;
+  std::unordered_map<const internal::TensorImpl*, int> ids;
+  std::vector<int> input_ids;
+  int64_t tensors_created = 0;  // MakeForOp/MakeViewForOp calls
+  int64_t ops_recorded = 0;     // RecordOp/RecordAlias calls
+  bool host_data = false;       // some kernel closes over host state
+
+  // Value id of `t`, registering it as an external (constant) on first
+  // sight. Externals must be owned: an arena-leased constant would dangle
+  // after the arena resets while the plan still references its buffer.
+  int IdFor(const Tensor& t) {
+    ODNET_CHECK(t.defined());
+    auto it = ids.find(t.impl());
+    if (it != ids.end()) return it->second;
+    ODNET_CHECK(t.impl()->lease == nullptr)
+        << "captured constant is arena-leased; plans may only retain owned "
+           "storage (Clone() it before capture)";
+    const int id = static_cast<int>(values.size());
+    RecValue v;
+    v.impl = t.impl_ptr();
+    v.shape = t.shape();
+    v.numel = t.numel();
+    values.push_back(std::move(v));
+    ids.emplace(t.impl(), id);
+    return id;
+  }
+
+  int RegisterOut(const Tensor& t, int producer) {
+    ODNET_CHECK(t.defined());
+    ODNET_CHECK(ids.find(t.impl()) == ids.end())
+        << "op output recorded twice";
+    const int id = static_cast<int>(values.size());
+    RecValue v;
+    v.impl = t.impl_ptr();
+    v.producer = producer;
+    v.shape = t.shape();
+    v.numel = t.numel();
+    values.push_back(std::move(v));
+    ids.emplace(t.impl(), id);
+    return id;
+  }
+};
+
+}  // namespace plan_ir
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_PLAN_IR_H_

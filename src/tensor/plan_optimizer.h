@@ -1,0 +1,71 @@
+#ifndef ODNET_TENSOR_PLAN_OPTIMIZER_H_
+#define ODNET_TENSOR_PLAN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace odnet {
+namespace tensor {
+
+namespace plan_ir {
+struct Recorder;
+}
+
+// GraphPlan optimization pipeline (DESIGN.md §14): runs on the capture-time
+// IR after the program has been recorded and before PlanBuilder lowers it to
+// a memory-planned GraphPlan. Two passes:
+//
+//  1. No-op folding — identity copies (reference-mode Reshape / inference
+//     Dropout), scale-by-1 and provably-safe add-0 nodes become alias edges;
+//     their consumers rewire through the existing alias-collapse machinery
+//     and the folded value never gets a buffer or a replay dispatch.
+//  2. Elementwise-chain fusion — maximal single-consumer chains of
+//     same-shape elementwise nodes collapse into one FusedNode whose kernel
+//     evaluates the whole chain per block in registers through the per-tier
+//     SIMD fused_chain entry point. Chain intermediates drop out of the
+//     liveness memory plan entirely.
+//
+// Every rewrite preserves replay numerics bit for bit against the unfused
+// plan (and hence against eager execution) on every backend, thread count,
+// and CPU capability tier — the legality rules live with the passes in
+// plan_optimizer.cc and are enforced by the differential suite.
+
+/// Whether plans captured by the calling thread are optimized. Controlled by
+/// ODNET_PLAN_FUSION (default on; "0" disables — the A/B and bisection
+/// escape hatch) and overridden in-process by FusionScope.
+bool PlanFusionEnabled();
+
+/// RAII thread-local override of PlanFusionEnabled(), for tests and the
+/// fused-vs-unfused bench legs. Nests; restores the previous state.
+class FusionScope {
+ public:
+  explicit FusionScope(bool enabled);
+  ~FusionScope();
+  FusionScope(const FusionScope&) = delete;
+  FusionScope& operator=(const FusionScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// What the optimizer did to one capture; folded into MemoryPlanStats and
+/// the plan.fusion.* telemetry counters by CaptureInference.
+struct PlanOptimizeStats {
+  int64_t folded_nodes = 0;   // no-ops turned into alias edges
+  int64_t fused_chains = 0;   // FusedNodes emitted
+  int64_t fused_stages = 0;   // elementwise nodes absorbed into them
+  int64_t elided_values = 0;  // intermediates no longer materialized
+  int64_t elided_bytes = 0;   // their aggregate buffer demand
+};
+
+/// Rewrites `rec`'s node list in place. `outs` are the program outputs
+/// (pinned: never folded away, never an interior chain link).
+PlanOptimizeStats OptimizePlanIr(plan_ir::Recorder* rec,
+                                 const std::vector<Tensor>& outs);
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_PLAN_OPTIMIZER_H_

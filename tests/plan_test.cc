@@ -31,6 +31,7 @@
 #include "src/tensor/graph_plan.h"
 #include "src/telemetry/telemetry.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/plan_optimizer.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
 #include "tests/test_util.h"
@@ -239,9 +240,12 @@ TEST(GraphPlanTest, ReplayIsBitwiseIdenticalToEagerAcrossBackendsAndThreads) {
 TEST(GraphPlanTest, MemoryPlanReusesRetiredBuffers) {
   // A deep elementwise chain: intermediates retire immediately, so the
   // liveness plan must ping-pong a couple of physical buffers instead of
-  // keeping one per value.
+  // keeping one per value. Captured unfused — this test pins the raw
+  // liveness geometry; the optimizer's view of the same chain is covered by
+  // the fusion tests.
   util::Rng rng(17);
   Tensor x = testing::RandomTensor({32, 32}, &rng);
+  tensor::FusionScope no_fusion(false);
   std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
       [&x]() {
         Tensor h = x;
@@ -308,6 +312,269 @@ TEST(GraphPlanTest, ConcurrentReplayOnSeparateBufferSets) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ----------------------------------------------------------- PlanOptimizer --
+
+// A serving-shaped program with a long fusable elementwise tail: MatMul
+// feeds a broadcast bias Add, then unary activations and scalar ops chained
+// single-consumer. The optimizer must fuse the tail into few nodes while
+// replay stays bitwise identical to eager.
+struct FusableProgram {
+  Tensor x;   // rebindable input {6, 16}
+  Tensor w;   // {16, 12}
+  Tensor bias;  // {12}: broadcast over rows
+  Tensor gate;  // {6, 12}: same-shape elementwise operand
+
+  explicit FusableProgram(util::Rng* rng)
+      : x(testing::RandomTensor({6, 16}, rng)),
+        w(testing::RandomTensor({16, 12}, rng)),
+        bias(testing::RandomTensor({12}, rng)),
+        gate(testing::RandomTensor({6, 12}, rng)) {}
+
+  std::vector<Tensor> Run() const {
+    Tensor h = tensor::MatMul(x, w);
+    h = tensor::Add(h, bias);          // broadcast bias epilogue
+    h = tensor::Tanh(h);
+    h = tensor::Mul(h, gate);          // same-shape binary link
+    h = tensor::MulScalar(h, 0.5f);
+    h = tensor::Sub(bias, h);          // spine on the right
+    h = tensor::Sigmoid(h);
+    return {h};
+  }
+
+  std::vector<Tensor> RunOn(const Tensor& input) const {
+    FusableProgram copy = *this;
+    copy.x = input;
+    return copy.Run();
+  }
+};
+
+TEST(PlanFusionTest, FusedReplayBitwiseMatchesEagerEverywhere) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  for (tensor::CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+    tensor::CpuCapabilityScope cap_scope(cap);
+    for (Backend backend : {Backend::kOptimized, Backend::kReference}) {
+      BackendGuard bg(backend);
+      util::Rng rng(131);
+      FusableProgram prog(&rng);
+      std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+          [&prog]() { return prog.Run(); }, nullptr, {prog.x});
+
+      tensor::MemoryPlanStats stats = plan->memory_stats();
+      EXPECT_GE(stats.fused_nodes, 1);
+      EXPECT_GE(stats.elided_values, 3);
+      EXPECT_GT(stats.elided_bytes, 0);
+
+      for (int threads : {1, 2, 8}) {
+        ctx.SetNumThreads(threads);
+        ctx.SetParallelThreshold(1);
+        // Two replays per thread count: the second runs on the dirty
+        // recycled slot buffers the first left behind.
+        for (int round = 0; round < 2; ++round) {
+          Tensor fresh = testing::RandomTensor({6, 16}, &rng);
+          tensor::NoGradGuard no_grad;
+          std::vector<Tensor> eager = prog.RunOn(fresh);
+          const std::vector<Tensor>& replayed = plan->Replay({fresh});
+          testing::ExpectUlpClose(replayed[0].vec(), eager[0].vec(),
+                                  /*max_ulps=*/0,
+                                  "fused replay threads " +
+                                      std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanFusionTest, FusionShrinksNodeAndBufferCountsVsUnfused) {
+  util::Rng rng(137);
+  FusableProgram prog(&rng);
+  std::shared_ptr<GraphPlan> fused;
+  std::shared_ptr<GraphPlan> unfused;
+  {
+    tensor::FusionScope on(true);
+    fused = GraphPlan::CaptureInference([&prog]() { return prog.Run(); },
+                                        nullptr, {prog.x});
+  }
+  {
+    tensor::FusionScope off(false);
+    unfused = GraphPlan::CaptureInference([&prog]() { return prog.Run(); },
+                                          nullptr, {prog.x});
+  }
+  tensor::MemoryPlanStats fs = fused->memory_stats();
+  tensor::MemoryPlanStats us = unfused->memory_stats();
+  EXPECT_EQ(us.fused_nodes, 0);
+  EXPECT_EQ(us.elided_values, 0);
+  EXPECT_LT(fs.num_nodes, us.num_nodes);
+  EXPECT_LT(fs.num_values, us.num_values);
+  EXPECT_LE(fs.peak_bytes, us.peak_bytes);
+  // Both replay to identical bits.
+  Tensor fresh = testing::RandomTensor({6, 16}, &rng);
+  testing::ExpectUlpClose(fused->Replay({fresh})[0].vec(),
+                          unfused->Replay({fresh})[0].vec(),
+                          /*max_ulps=*/0, "fused vs unfused replay");
+}
+
+TEST(PlanFusionTest, FoldsIdentityAndScaleByOneNoOps) {
+  // Reference-mode Reshape and inference Dropout record identity copies;
+  // MulScalar by exactly 1.0 and add-0 on a sign-safe producer fold too.
+  // The reference backend materializes all of them, so capture there.
+  BackendGuard bg(Backend::kReference);
+  util::Rng rng(139);
+  Tensor x = testing::RandomTensor({4, 6}, &rng);
+  util::Rng dropout_rng(7);
+  std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+      [&x, &dropout_rng]() {
+        Tensor h = tensor::Relu(x);
+        h = tensor::AddScalar(h, 0.0f);  // foldable: Relu never yields -0
+        h = tensor::Dropout(h, 0.0f, &dropout_rng, /*training=*/true);
+        h = tensor::Dropout(h, 0.3f, &dropout_rng, /*training=*/false);
+        h = tensor::Reshape(h, {6, 4});
+        h = tensor::Reshape(h, {24});   // chained reshape views
+        h = tensor::MulScalar(h, 1.0f);
+        return std::vector<Tensor>{tensor::Sigmoid(h)};
+      },
+      nullptr, {x});
+  tensor::MemoryPlanStats stats = plan->memory_stats();
+  EXPECT_GE(stats.folded_nodes, 5);
+  // Replay matches eager bitwise (same backend, fresh input).
+  Tensor fresh = testing::RandomTensor({4, 6}, &rng);
+  std::vector<Tensor> eager;
+  {
+    tensor::NoGradGuard no_grad;
+    util::Rng eager_rng(7);
+    Tensor h = tensor::Relu(fresh);
+    h = tensor::AddScalar(h, 0.0f);
+    h = tensor::Dropout(h, 0.0f, &eager_rng, true);
+    h = tensor::Dropout(h, 0.3f, &eager_rng, false);
+    h = tensor::Reshape(h, {6, 4});
+    h = tensor::Reshape(h, {24});
+    h = tensor::MulScalar(h, 1.0f);
+    eager.push_back(tensor::Sigmoid(h));
+  }
+  testing::ExpectUlpClose(plan->Replay({fresh})[0].vec(), eager[0].vec(),
+                          /*max_ulps=*/0, "folded replay");
+}
+
+TEST(PlanFusionTest, AddZeroAfterTanhIsNotFolded) {
+  // Tanh(-0) == -0, and -0 + 0.0f rounds to +0: folding would change bits.
+  // The optimizer must keep the AddScalar node (it may still fuse it).
+  BackendGuard bg(Backend::kReference);
+  Tensor x = Tensor::FromVector({4}, {0.0f, -0.0f, -1.0f, 2.0f});
+  std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+      [&x]() {
+        return std::vector<Tensor>{
+            tensor::AddScalar(tensor::Tanh(x), 0.0f)};
+      },
+      nullptr, {x});
+  EXPECT_EQ(plan->memory_stats().folded_nodes, 0);
+  tensor::NoGradGuard no_grad;
+  std::vector<float> eager = tensor::AddScalar(tensor::Tanh(x), 0.0f).vec();
+  testing::ExpectUlpClose(plan->Replay({x})[0].vec(), eager,
+                          /*max_ulps=*/0, "tanh add-0 replay");
+}
+
+TEST(PlanFusionTest, ValueWithTwoConsumersEndsTheChain) {
+  // h feeds two consumers: it must stay materialized, and neither consumer
+  // may absorb it. Both branches are single nodes, so nothing fuses at all.
+  util::Rng rng(149);
+  Tensor x = testing::RandomTensor({5, 7}, &rng);
+  std::shared_ptr<GraphPlan> plan = GraphPlan::CaptureInference(
+      [&x]() {
+        Tensor h = tensor::Tanh(x);
+        return std::vector<Tensor>{tensor::AddScalar(h, 1.0f),
+                                   tensor::MulScalar(h, 2.0f)};
+      },
+      nullptr, {x});
+  EXPECT_EQ(plan->memory_stats().fused_nodes, 0);
+  tensor::NoGradGuard no_grad;
+  Tensor h = tensor::Tanh(x);
+  std::vector<float> e0 = tensor::AddScalar(h, 1.0f).vec();
+  std::vector<float> e1 = tensor::MulScalar(h, 2.0f).vec();
+  const std::vector<Tensor>& out = plan->Replay({x});
+  testing::ExpectUlpClose(out[0].vec(), e0, 0, "two-consumer branch 0");
+  testing::ExpectUlpClose(out[1].vec(), e1, 0, "two-consumer branch 1");
+}
+
+TEST(PlanFusionTest, DropoutRejectsPOne) {
+  util::Rng rng(151);
+  Tensor x = testing::RandomTensor({4}, &rng);
+  EXPECT_DEATH(tensor::Dropout(x, 1.0f, &rng, /*training=*/true), "");
+}
+
+// Seeded differential fuzz: random fusable chains (unary activations,
+// scalar ops, same-shape and broadcast binaries, occasional no-ops),
+// captured fused and unfused, replayed twice (dirty recycled buffers) on
+// fresh inputs — results must match bitwise on every backend, thread count
+// and compiled capability tier.
+TEST(PlanFusionTest, DifferentialFuzzFusedVsUnfusedBitwise) {
+  ComputeConfigGuard guard;
+  ComputeContext& ctx = ComputeContext::Get();
+  util::Rng rng(0xF05EDu);
+  for (tensor::CpuCapability cap : tensor::AvailableCpuCapabilities()) {
+    tensor::CpuCapabilityScope cap_scope(cap);
+    for (Backend backend : {Backend::kOptimized, Backend::kReference}) {
+      BackendGuard bg(backend);
+      for (int iter = 0; iter < 6; ++iter) {
+        const int64_t rows = rng.UniformInt(1, 7);
+        const int64_t cols = rng.UniformInt(1, 33);  // exercises vector tails
+        Tensor x = testing::RandomTensor({rows, cols}, &rng);
+        Tensor row_operand = testing::RandomTensor({cols}, &rng);
+        Tensor full_operand = testing::RandomTensor({rows, cols}, &rng);
+        const int n_ops = static_cast<int>(rng.UniformInt(2, 20));
+        std::vector<int> ops;
+        for (int i = 0; i < n_ops; ++i) {
+          ops.push_back(static_cast<int>(rng.UniformInt(0, 11)));
+        }
+        auto program = [&]() {
+          Tensor h = x;
+          for (int op : ops) {
+            switch (op) {
+              case 0: h = tensor::Relu(h); break;
+              case 1: h = tensor::LeakyRelu(h, 0.01f); break;
+              case 2: h = tensor::Sigmoid(h); break;
+              case 3: h = tensor::Tanh(h); break;
+              case 4: h = tensor::AddScalar(h, 0.25f); break;
+              case 5: h = tensor::MulScalar(h, -0.5f); break;
+              case 6: h = tensor::Add(h, row_operand); break;
+              case 7: h = tensor::Mul(h, full_operand); break;
+              case 8: h = tensor::Sub(row_operand, h); break;
+              case 9: h = tensor::MulScalar(h, 1.0f); break;   // no-op
+              case 10: h = tensor::AddScalar(h, 0.0f); break;  // maybe-fold
+              default: h = tensor::Div(h, tensor::AddScalar(
+                               tensor::Mul(h, h), 1.0f)); break;
+            }
+          }
+          return std::vector<Tensor>{h};
+        };
+        std::shared_ptr<GraphPlan> fused;
+        std::shared_ptr<GraphPlan> unfused;
+        {
+          tensor::FusionScope on(true);
+          fused = GraphPlan::CaptureInference(program, nullptr, {x});
+        }
+        {
+          tensor::FusionScope off(false);
+          unfused = GraphPlan::CaptureInference(program, nullptr, {x});
+        }
+        for (int threads : {1, 2, 8}) {
+          ctx.SetNumThreads(threads);
+          ctx.SetParallelThreshold(1);
+          for (int round = 0; round < 2; ++round) {
+            Tensor fresh = testing::RandomTensor({rows, cols}, &rng);
+            std::vector<float> f = fused->Replay({fresh})[0].vec();
+            std::vector<float> u = unfused->Replay({fresh})[0].vec();
+            testing::ExpectUlpClose(
+                f, u, /*max_ulps=*/0,
+                "fuzz iter " + std::to_string(iter) + " threads " +
+                    std::to_string(threads) + " round " +
+                    std::to_string(round));
+          }
+        }
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------- TrainStepPlan --

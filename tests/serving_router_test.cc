@@ -445,6 +445,74 @@ TEST(ServingRouterCacheTest, RepeatedUsersHitTheFeatureCache) {
                        sut.service.RecommendTopK(11, 2), "cached k=2");
 }
 
+/// Pure per-sample scorer over a fitted inner method with a mutable score
+/// shift, standing in for a model whose weights get refreshed while the
+/// router is serving from its caches.
+class ShiftScorer : public baselines::OdRecommender {
+ public:
+  explicit ShiftScorer(baselines::OdRecommender* inner) : inner_(inner) {}
+
+  std::string name() const override { return "Shift"; }
+  util::Status Fit(const data::OdDataset&) override {
+    return util::Status::OK();  // inner is already fitted
+  }
+  bool ThreadSafeScore() const override { return true; }
+  std::vector<baselines::OdScore> Score(
+      const data::OdDataset& dataset,
+      const std::vector<data::Sample>& samples) override {
+    std::vector<baselines::OdScore> out = inner_->Score(dataset, samples);
+    const double shift = shift_.load();
+    for (baselines::OdScore& s : out) {
+      s.p_o += shift;
+      s.p_d += shift;
+    }
+    return out;
+  }
+  void InvalidateServingPlans() override { invalidations_.fetch_add(1); }
+
+  void set_shift(double shift) { shift_.store(shift); }
+  int invalidations() const { return invalidations_.load(); }
+
+ private:
+  baselines::OdRecommender* inner_;
+  std::atomic<double> shift_{0.0};
+  std::atomic<int> invalidations_{0};
+};
+
+TEST(ServingRouterCacheTest, InvalidateCachesDropsStaleScoredLists) {
+  ShiftScorer scorer(&FittedMostPop());
+  ServiceUnderTest sut(&scorer);
+  RouterOptions options;
+  options.cache_capacity = 1024;
+  options.cache_ttl_us = 0;  // never expires: only invalidation can evict
+  ServingRouter router(&sut.service, options);
+
+  // Warm the scored-list cache, then "refresh the model".
+  const TopKResult before = router.RecommendTopK(11, 6);
+  ASSERT_TRUE(before.ok());
+  scorer.set_shift(0.25);
+
+  // The warm entry keeps serving pre-refresh scores: staleness is exactly
+  // what InvalidateCaches exists to end.
+  TopKResult stale = router.RecommendTopK(11, 6);
+  ASSERT_TRUE(stale.ok());
+  ExpectListsIdentical(stale.value(), before.value(), "stale cached repeat");
+
+  router.InvalidateCaches();
+  EXPECT_EQ(scorer.invalidations(), 1)
+      << "router must forward the refresh to the model's plan cache";
+
+  // Next request re-recalls and re-scores with the new weights, matching
+  // the serial post-refresh oracle.
+  const std::vector<RankedFlight> oracle = sut.service.RecommendTopK(11, 6);
+  TopKResult fresh = router.RecommendTopK(11, 6);
+  ASSERT_TRUE(fresh.ok());
+  ExpectListsIdentical(fresh.value(), oracle, "post-invalidate request");
+  ASSERT_FALSE(fresh.value().empty());
+  EXPECT_NE(fresh.value()[0].score, stale.value()[0].score)
+      << "post-refresh scores must reflect the shifted weights";
+}
+
 TEST(TtlCacheTest, ManualClockExpiryAndRefresh) {
   std::atomic<int64_t> now{0};
   TtlCache<int>::Options options;

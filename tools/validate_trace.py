@@ -20,7 +20,10 @@ asserts a counter exists with a positive value (used by CI to prove the
 serving run actually exercised plan-cache hits); --require-histogram NAME
 asserts a histogram exists with count > 0; --require-span NAME asserts the
 trace contains a complete span with that exact name (used by CI to prove
-the router's queue-wait lane made it into the timeline).
+the router's queue-wait lane made it into the timeline); --require-span-
+prefix PREFIX asserts some complete span name starts with PREFIX (used for
+synthesized names with variable suffixes, e.g. the plan optimizer's
+"Fused[Add+Tanh]" loop nests).
 
 Usage:
   tools/validate_trace.py trace.json \
@@ -167,6 +170,10 @@ def main():
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="NAME", help="complete span with this exact "
                         "name that must appear in the trace (repeatable)")
+    parser.add_argument("--require-span-prefix", action="append", default=[],
+                        metavar="PREFIX", help="at least one complete span "
+                        "whose name starts with PREFIX must appear in the "
+                        "trace (repeatable)")
     args = parser.parse_args()
 
     spans, cats = validate_trace(args.trace, args.require_cat)
@@ -174,6 +181,10 @@ def main():
     for want in args.require_span:
         if want not in span_names:
             fail(f"{args.trace}: required span '{want}' absent "
+                 f"(present: {sorted(span_names)})")
+    for want in args.require_span_prefix:
+        if not any(name.startswith(want) for name in span_names):
+            fail(f"{args.trace}: no span name starts with '{want}' "
                  f"(present: {sorted(span_names)})")
     summary = [f"{len(spans)} spans across {len(cats)} categories"]
     if args.metrics:
