@@ -13,19 +13,35 @@
 // and the lazy sparse path, written machine-readably to
 // BENCH_train_step.json. ODNET_BENCH_SMOKE=1 shrinks the step counts so CI
 // can watch for gross regressions without paying full timing fidelity.
+//
+// `--ps-sweep` adds a `ps_sweep` section to the same JSON: the synchronous
+// data-parallel parameter-server step (sharded embedding store + sliced
+// gradient reduction + ShardedAdam) at vocab 1M over a train_workers x
+// embedding_shards grid. The JSON records hardware_concurrency because the
+// observed speedup is meaningless without it — on a 1-core container the
+// multi-worker rows measure pure orchestration overhead, not parallelism.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/nn/sharded_embedding.h"
 #include "src/optim/optimizer.h"
+#include "src/optim/sharded_adam.h"
 #include "src/serving/evaluator.h"
+#include "src/tensor/buffer_arena.h"
+#include "src/tensor/grad_delta.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace {
@@ -66,7 +82,170 @@ double TimeTrainSteps(int64_t vocab, int mode_id, int warmup, int steps,
   return odnet::bench::TimedRoundUs(step, steps, hist);
 }
 
-int RunTrainStepSweep() {
+// One synchronous data-parallel parameter-server step over the same
+// synthetic model at parameter-server scale (vocab-row embedding table,
+// batch 512 split into 4 fixed micro-slices). Mirrors the trainer's sync
+// path: each worker replays its slices on a storage-aliased replica,
+// extracts sparse grad_rows deltas, and the reduction accumulates them in
+// slice order under the store's row-ownership partition before
+// ShardedAdam::Step. The slice grid is fixed, so every (workers, shards)
+// cell does identical arithmetic — the timing differences are pure
+// coordination cost (thread spawn, delta routing, shard-parallel apply).
+double TimePsTrainSteps(int64_t vocab, int workers, int num_shards,
+                        int warmup, int steps,
+                        odnet::bench::LatencyHistogram* hist) {
+  using namespace odnet;
+  const int64_t dim = 16;
+  const int64_t hidden = 32;
+  const int64_t batch = 512;
+  const int kSlices = 4;  // fixed micro-slice grid, as in the trainer
+  util::Rng rng(1234);
+  tensor::Tensor table =
+      tensor::Tensor::Randn({vocab, dim}, &rng, 0.05f, /*requires_grad=*/true);
+  tensor::Tensor w1 = tensor::Tensor::Randn({dim, hidden}, &rng, 0.05f, true);
+  tensor::Tensor w2 = tensor::Tensor::Randn({hidden, 1}, &rng, 0.05f, true);
+  std::vector<tensor::Tensor> params{table, w1, w2};
+  nn::ShardedEmbeddingStore::Options opts;
+  opts.num_shards = num_shards;
+  nn::ShardedEmbeddingStore store(params, opts);
+  optim::ShardedAdam opt(&store, 0.01);
+
+  const int gang = std::min(workers, kSlices);
+  std::vector<std::vector<tensor::Tensor>> replicas(
+      static_cast<size_t>(gang));
+  for (auto& rep : replicas) {
+    for (const tensor::Tensor& p : params) {
+      tensor::Tensor mirror =
+          tensor::Tensor::Zeros(p.shape(), /*requires_grad=*/true);
+      mirror.AliasStorageOf(p);  // shared weights, private grads
+      rep.push_back(mirror);
+    }
+  }
+
+  std::atomic<int64_t> step_counter{0};
+  auto step = [&]() {
+    const int64_t step_id = step_counter.fetch_add(1);
+    const int64_t per = batch / kSlices;
+    std::vector<std::vector<tensor::GradDelta>> slice_deltas(kSlices);
+    std::atomic<int> next_slice{0};
+    auto worker_body = [&](int w) {
+      util::ThreadPool::WorkerMark mark;  // nested kernels stay serial
+      auto& rep = replicas[static_cast<size_t>(w)];
+      for (;;) {
+        const int g = next_slice.fetch_add(1);
+        if (g >= kSlices) break;
+        // Index stream keyed by (step, slice) — never by worker — so the
+        // sampled rows (and thus the reduced gradient) are identical for
+        // every cell of the sweep grid.
+        util::Rng idx_rng(util::Rng::StreamSeed(777, step_id, g));
+        std::vector<int64_t> indices(static_cast<size_t>(per));
+        for (int64_t& ix : indices) ix = idx_rng.UniformInt(0, vocab - 1);
+        for (tensor::Tensor& p : rep) p.ZeroGrad();
+        tensor::ArenaScope arena(tensor::BufferArena::ThreadLocal());
+        tensor::Tensor emb = tensor::EmbeddingLookup(rep[0], indices, {per});
+        tensor::Tensor h = tensor::Relu(tensor::MatMul(emb, rep[1]));
+        tensor::Tensor logits = tensor::MatMul(h, rep[2]);
+        tensor::Tensor loss = tensor::Mean(tensor::Mul(logits, logits));
+        loss.Backward();
+        std::vector<tensor::GradDelta> deltas;
+        deltas.reserve(rep.size());
+        for (const tensor::Tensor& p : rep) {
+          deltas.push_back(tensor::ExtractGradDelta(p));
+        }
+        slice_deltas[static_cast<size_t>(g)] = std::move(deltas);
+      }
+    };
+    if (gang == 1) {
+      worker_body(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(gang));
+      for (int w = 0; w < gang; ++w) threads.emplace_back(worker_body, w);
+      for (std::thread& t : threads) t.join();
+    }
+    // Deterministic reduction: metadata serially, values shard-parallel in
+    // ascending slice order, scale = slice/batch share.
+    opt.ZeroGrad();
+    for (int g = 0; g < kSlices; ++g) {
+      for (size_t p = 0; p < params.size(); ++p) {
+        tensor::MarkDeltaRows(params[p], slice_deltas[g][p]);
+      }
+    }
+    const float scale = 1.0f / static_cast<float>(kSlices);
+    std::vector<std::thread> appliers;
+    appliers.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      appliers.emplace_back([&, s]() {
+        util::ThreadPool::WorkerMark mark;
+        for (size_t p = 0; p < params.size(); ++p) {
+          for (int g = 0; g < kSlices; ++g) {
+            tensor::AccumulateGradDeltaRows(
+                params[p], slice_deltas[g][p], scale,
+                [&store, p, s](int64_t row) { return store.Owns(p, s, row); });
+          }
+        }
+      });
+    }
+    for (std::thread& t : appliers) t.join();
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+  };
+  for (int i = 0; i < warmup; ++i) step();
+  return odnet::bench::TimedRoundUs(step, steps, hist);
+}
+
+// Returns the `ps_sweep` JSON object (and prints the human table). Smoke
+// mode shrinks vocab and step counts so CI regenerates the section in
+// seconds; the committed full-fidelity file uses vocab 1M.
+std::string RunPsSweep(bool smoke) {
+  using namespace odnet;
+  const int warmup = smoke ? 1 : 3;
+  const int steps = smoke ? 3 : 30;
+  const int64_t vocab = smoke ? 100000 : 1000000;
+  const int worker_grid[] = {1, 2, 4};
+  const int shard_grid[] = {1, 4};
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf(
+      "\n=== PS train-step sweep (vocab %lld, batch 512, dim 16, %d steps, "
+      "%u cores%s) ===\n",
+      static_cast<long long>(vocab), steps, cores, smoke ? ", smoke" : "");
+  util::AsciiTable table(
+      {"Workers", "Shards", "us/step", "Speedup vs 1 worker"});
+  std::string json = "{\n    \"vocab\": " + std::to_string(vocab) +
+                     ",\n    \"batch\": 512,\n    \"dim\": 16,\n    "
+                     "\"slices\": 4,\n    \"cores\": " +
+                     std::to_string(cores) + ",\n    \"results\": [\n";
+  bool first = true;
+  for (int shards : shard_grid) {
+    double one_worker_us = 0.0;
+    for (int workers : worker_grid) {
+      bench::LatencyHistogram hist;
+      const double us =
+          TimePsTrainSteps(vocab, workers, shards, warmup, steps, &hist);
+      if (workers == 1) one_worker_us = us;
+      const double speedup = us > 0.0 ? one_worker_us / us : 0.0;
+      table.AddRow({std::to_string(workers), std::to_string(shards),
+                    util::FormatFixed(us, 1),
+                    util::FormatFixed(speedup, 2) + "x"});
+      if (!first) json += ",\n";
+      first = false;
+      json += "      {\"workers\": " + std::to_string(workers) +
+              ", \"shards\": " + std::to_string(shards) +
+              ", \"us_per_step\": " + util::FormatFixed(us, 2) +
+              ", \"speedup_vs_one_worker\": " + util::FormatFixed(speedup, 3) +
+              ", " + hist.JsonFields() + "}";
+      std::printf("finished workers=%d shards=%d\n", workers, shards);
+      std::fflush(stdout);
+    }
+  }
+  json += "\n    ]\n  }";
+  std::printf("\n");
+  table.Print();
+  return json;
+}
+
+int RunTrainStepSweep(bool with_ps_sweep) {
   using namespace odnet;
   const bool smoke = std::getenv("ODNET_BENCH_SMOKE") != nullptr;
   const int warmup = smoke ? 1 : 5;
@@ -105,9 +284,13 @@ int RunTrainStepSweep() {
       std::fflush(stdout);
     }
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ]";
   std::printf("\n");
   table.Print();
+  if (with_ps_sweep) {
+    json += ",\n  \"ps_sweep\": " + RunPsSweep(smoke);
+  }
+  json += "\n}\n";
   std::ofstream out("BENCH_train_step.json");
   out << json;
   out.close();
@@ -118,8 +301,17 @@ int RunTrainStepSweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--train-step-sweep") == 0) {
-    return RunTrainStepSweep();
+  bool train_sweep = false;
+  bool ps_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--train-step-sweep") == 0) train_sweep = true;
+    if (std::strcmp(argv[i], "--ps-sweep") == 0) ps_sweep = true;
+  }
+  if (train_sweep || ps_sweep) {
+    // --ps-sweep alone still regenerates the vocab sweep: both sections
+    // live in one BENCH_train_step.json, so a partial rewrite would drop
+    // the other section from the committed file.
+    return RunTrainStepSweep(ps_sweep);
   }
   using namespace odnet;
   bench::BenchScale scale = bench::BenchScale::FromEnv();

@@ -23,6 +23,13 @@ int main(int argc, char** argv) {
   flags.AddInt("users", 700, "number of simulated users");
   flags.AddInt("cities", 50, "number of cities");
   flags.AddInt("requests", 4, "number of serving requests to demo");
+  flags.AddInt("train-workers", 1,
+               "data-parallel training workers (>1 enables the sharded "
+               "parameter-server trainer, DESIGN.md section 15)");
+  flags.AddInt("shards", 1, "embedding store shards for the trainer");
+  flags.AddString("ps-mode", "sync",
+                  "parameter-server consistency: sync (deterministic "
+                  "barrier) or async (hogwild, non-deterministic)");
   if (util::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags.Help().c_str());
@@ -39,6 +46,9 @@ int main(int argc, char** argv) {
   // Two ranking backends behind the same recall stage.
   core::OdnetConfig model_config;
   model_config.epochs = 3;
+  model_config.train_workers = flags.GetInt("train-workers");
+  model_config.embedding_shards = flags.GetInt("shards");
+  model_config.ps_mode = flags.GetString("ps-mode");
   baselines::OdnetRecommender odnet("ODNET", &atlas, model_config);
   ODNET_CHECK(odnet.Fit(dataset).ok());
   baselines::MostPop most_pop;

@@ -1,6 +1,7 @@
 #include "src/baselines/odnet_recommender.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/core/hsg_builder.h"
 #include "src/util/check.h"
@@ -27,6 +28,19 @@ util::Status OdnetRecommender::Fit(const data::OdDataset& dataset) {
   model_ = std::make_unique<core::OdnetModel>(hsg_.get(), dataset.num_users,
                                               dataset.num_cities, config_);
   core::OdnetTrainer trainer(model_.get(), &dataset, temporal_.get());
+  if (config_.train_workers > 1) {
+    // Data-parallel training builds one storage-aliased replica per worker;
+    // the factory recreates the master's exact architecture (same config,
+    // same graph, same dims) — the trainer re-points the weights.
+    const graph::HeterogeneousSpatialGraph* graph = hsg_.get();
+    const int64_t num_users = dataset.num_users;
+    const int64_t num_cities = dataset.num_cities;
+    const core::OdnetConfig cfg = config_;
+    trainer.set_replica_factory([graph, num_users, num_cities, cfg]() {
+      return std::make_unique<core::OdnetModel>(graph, num_users, num_cities,
+                                                cfg);
+    });
+  }
   train_stats_ = trainer.Train();
   return util::Status::OK();
 }

@@ -44,6 +44,28 @@ struct OdnetConfig {
   /// steady-state scoring performs zero graph construction (DESIGN.md §10).
   bool capture_serving_plans = true;
 
+  // Data-parallel parameter-server training (DESIGN.md §15). With
+  // train_workers == 1 (default) the trainer runs the original
+  // single-threaded loop, bit for bit.
+  /// Number of data-parallel trainer workers, each running forward/backward
+  /// on its own batch slice against a storage-aliased model replica.
+  int64_t train_workers = 1;
+  /// Shard count of the ShardedEmbeddingStore the multi-worker trainer
+  /// builds over the model parameters. Never affects numerics in sync mode
+  /// (row updates are independent across rows); it only sets the apply
+  /// parallelism and lock granularity.
+  int64_t embedding_shards = 1;
+  /// "sync": barrier per step, gradients reduced in fixed slice order —
+  /// deterministic for any worker/shard count. "async": hogwild-style
+  /// per-shard apply queues drained concurrently with the next slices'
+  /// forward passes — documented non-deterministic.
+  std::string ps_mode = "sync";
+  /// Fixed number of gradient micro-slices each batch is split into for
+  /// multi-worker training. The sync-mode digest depends on this grid (and
+  /// the seed), never on train_workers — workers only decide who computes
+  /// a slice, not what is computed.
+  int64_t train_grad_slices = 4;
+
   /// Optimizer treatment of row-sparse embedding gradients:
   /// "dense-equivalent" (default) — per-step cost scales with batch-distinct
   /// rows while staying bitwise identical to dense updates; "lazy" —

@@ -61,6 +61,16 @@ class Hsgc : public nn::Module {
   int64_t embed_dim() const { return d_; }
   graph::Metapath metapath() const { return rho_; }
 
+  /// Replaces the neighbor-sampling stream with one seeded at `seed`.
+  /// The construction-time stream (drawn from the model's init Rng) keeps
+  /// the single-threaded trainer's historical draw sequence; data-parallel
+  /// workers reseed their replica's stream per batch slice with
+  /// util::Rng::StreamSeed(seed, epoch, step, slice) so the sampled
+  /// neighborhoods depend on the slice being processed, never on which
+  /// worker ran it (DESIGN.md §15). Not thread-safe against a concurrent
+  /// Forward/EmbedUsers on the same instance — each worker owns a replica.
+  void SeedSampleStream(uint64_t seed) { sample_rng_ = util::Rng(seed); }
+
  private:
   /// Stable per-level sampling workspace. The neighbor re-sampling loops
   /// run inside PlanHostStage closures that write into these members, and

@@ -34,6 +34,10 @@ int64_t RoleEncoder::q_dim() const {
   return 4 * d_ + data::TemporalFeatureIndex::kDim;
 }
 
+void RoleEncoder::SeedSampleStream(uint64_t seed) {
+  if (hsgc_ != nullptr) hsgc_->SeedSampleStream(seed);
+}
+
 Tensor RoleEncoder::EmbedCitySeq(const Hsgc::State* state,
                                  const std::vector<int64_t>& ids,
                                  const tensor::Shape& shape) const {
@@ -236,6 +240,13 @@ std::vector<double> OdnetModel::ServeScores(const data::OdBatch& batch) {
     scores[i] = t * po[i] + (1.0 - t) * pd[i];  // Eq. 11
   }
   return scores;
+}
+
+void OdnetModel::SeedSampleStreams(uint64_t seed) {
+  // Distinct sub-stream per role so the two encoders never sample from the
+  // same sequence (tags 1/2 mirror the O/D ordering of Fig. 3).
+  origin_encoder_.SeedSampleStream(util::Rng::StreamSeed(seed, 1));
+  destination_encoder_.SeedSampleStream(util::Rng::StreamSeed(seed, 2));
 }
 
 double OdnetModel::theta() const {

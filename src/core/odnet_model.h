@@ -37,6 +37,9 @@ class RoleEncoder : public nn::Module {
   /// Encodes a role-view batch into q: [B, q_dim()].
   tensor::Tensor Forward(const data::TaskBatch& batch);
 
+  /// Reseeds the HSGC neighbor-sampling stream (no-op without an HSGC).
+  void SeedSampleStream(uint64_t seed);
+
   /// 4 embeddings of width d plus the temporal-statistics block.
   int64_t q_dim() const;
 
@@ -110,6 +113,13 @@ class OdnetModel : public nn::Module {
 
   /// Serving score of Eq. 11: theta * p_O + (1 - theta) * p_D.
   std::vector<double> ServeScores(const data::OdBatch& batch);
+
+  /// Reseeds both role encoders' HSGC sampling streams as a deterministic
+  /// function of `seed` (distinct sub-streams per role). Data-parallel
+  /// trainer workers call this on their replica before each batch slice so
+  /// neighbor sampling is a function of (epoch, step, slice) alone. No-op
+  /// for the -G variants.
+  void SeedSampleStreams(uint64_t seed);
 
   /// Current value of the (learnable) loss weight theta.
   double theta() const;

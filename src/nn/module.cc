@@ -30,6 +30,19 @@ void Module::ZeroGrad() {
   for (tensor::Tensor& t : Parameters()) t.ZeroGrad();
 }
 
+void Module::AliasParametersTo(const Module& src) {
+  auto mine = NamedParameters();
+  auto theirs = src.NamedParameters();
+  ODNET_CHECK_EQ(mine.size(), theirs.size())
+      << "parameter count mismatch between replica and master";
+  for (size_t i = 0; i < mine.size(); ++i) {
+    ODNET_CHECK(mine[i].first == theirs[i].first)
+        << "parameter name mismatch at index " << i << ": " << mine[i].first
+        << " vs " << theirs[i].first;
+    mine[i].second.AliasStorageOf(theirs[i].second);
+  }
+}
+
 tensor::Tensor Module::RegisterParameter(const std::string& name,
                                          tensor::Tensor t) {
   ODNET_CHECK(t.defined());

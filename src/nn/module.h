@@ -36,6 +36,13 @@ class Module {
   /// Zeroes the gradient buffers of every parameter in the tree.
   void ZeroGrad();
 
+  /// Points every parameter of this module at `src`'s parameter storage
+  /// (names and shapes must match exactly). Gradients, row-sparsity
+  /// metadata, and the autograd tape stay per-module: a data-parallel
+  /// replica aliased to the master model always reads the master's current
+  /// weights in its forward pass while accumulating its own gradients.
+  void AliasParametersTo(const Module& src);
+
  protected:
   /// Registers a leaf parameter; returns it (requires_grad is forced on).
   tensor::Tensor RegisterParameter(const std::string& name, tensor::Tensor t);

@@ -1,0 +1,93 @@
+#include "src/tensor/grad_delta.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace odnet {
+namespace tensor {
+
+using internal::TensorImpl;
+
+GradDelta ExtractGradDelta(const Tensor& param) {
+  ODNET_CHECK(param.defined());
+  TensorImpl* impl = param.impl();
+  impl->EnsureGrad();
+  GradDelta delta;
+  if (impl->grad_rows_valid && impl->shape.size() == 2) {
+    delta.row_sparse = true;
+    delta.width = impl->shape[1];
+    delta.rows = impl->grad_rows;
+    delta.values.resize(delta.rows.size() * static_cast<size_t>(delta.width));
+    const float* g = impl->grad.data();
+    float* out = delta.values.data();
+    for (size_t r = 0; r < delta.rows.size(); ++r) {
+      std::memcpy(out + r * static_cast<size_t>(delta.width),
+                  g + delta.rows[r] * delta.width,
+                  static_cast<size_t>(delta.width) * sizeof(float));
+    }
+  } else {
+    delta.values = impl->grad;
+  }
+  return delta;
+}
+
+void AccumulateGradDeltaRows(const Tensor& target, const GradDelta& delta,
+                             float scale,
+                             const std::function<bool(int64_t)>& want_row) {
+  TensorImpl* impl = target.impl();
+  impl->EnsureGrad();
+  float* g = impl->grad.data();
+  if (delta.row_sparse) {
+    ODNET_CHECK_EQ(impl->shape.size(), 2u);
+    ODNET_CHECK_EQ(impl->shape[1], delta.width);
+    const float* v = delta.values.data();
+    for (size_t r = 0; r < delta.rows.size(); ++r) {
+      const int64_t row = delta.rows[r];
+      if (!want_row(row)) continue;
+      float* grow = g + row * delta.width;
+      const float* vrow = v + r * static_cast<size_t>(delta.width);
+      for (int64_t j = 0; j < delta.width; ++j) {
+        grow[j] += scale * vrow[j];
+      }
+    }
+  } else {
+    ODNET_CHECK_EQ(impl->grad.size(), delta.values.size());
+    const float* v = delta.values.data();
+    if (impl->shape.size() == 2) {
+      // Dense gradient of a matrix: filter per row, so a row-ownership
+      // partition (ShardedEmbeddingStore) accumulates each row exactly once
+      // even when the same parameter carries row-sparse deltas from other
+      // slices.
+      const int64_t rows = impl->shape[0];
+      const int64_t width = impl->shape[1];
+      for (int64_t row = 0; row < rows; ++row) {
+        if (!want_row(row)) continue;
+        float* grow = g + row * width;
+        const float* vrow = v + row * width;
+        for (int64_t j = 0; j < width; ++j) {
+          grow[j] += scale * vrow[j];
+        }
+      }
+    } else {
+      if (!want_row(0)) return;
+      const int64_t n = static_cast<int64_t>(delta.values.size());
+      for (int64_t i = 0; i < n; ++i) {
+        g[i] += scale * v[i];
+      }
+    }
+  }
+}
+
+void MarkDeltaRows(const Tensor& target, const GradDelta& delta) {
+  TensorImpl* impl = target.impl();
+  impl->EnsureGrad();
+  if (delta.row_sparse) {
+    impl->MarkGradRows(delta.rows);
+  } else if (!delta.values.empty()) {
+    impl->MarkGradDense();
+  }
+}
+
+}  // namespace tensor
+}  // namespace odnet

@@ -1,0 +1,65 @@
+#ifndef ODNET_TENSOR_GRAD_DELTA_H_
+#define ODNET_TENSOR_GRAD_DELTA_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace odnet {
+namespace tensor {
+
+/// \brief A compact copy of one parameter's accumulated gradient, detached
+/// from the tensor that produced it.
+///
+/// Data-parallel trainer workers run backward on their own model replica
+/// and ship these deltas to the reduction/apply stage, so a replica's grad
+/// buffers can be zeroed for the next slice while the previous slice's
+/// contribution is still in flight. Row-sparse gradients (embedding tables
+/// written only by EmbeddingLookup backward — TensorImpl::grad_rows) copy
+/// only the touched rows: extraction cost scales with the batch's distinct
+/// ids, never with the vocabulary.
+struct GradDelta {
+  /// True: `rows`/`values` hold the touched rows of a rank-2 gradient
+  /// (values laid out row-major, rows.size() * width floats). False:
+  /// `values` is the full dense gradient buffer and `rows` is empty.
+  bool row_sparse = false;
+  int64_t width = 0;  // row width; 0 for dense deltas
+  std::vector<int64_t> rows;  // sorted ascending, deduped (from grad_rows)
+  std::vector<float> values;
+};
+
+/// Extracts `param`'s accumulated gradient as a GradDelta. Row-sparse when
+/// the grad carries valid row metadata (no densification — only listed rows
+/// are copied); a full dense copy otherwise. The param's grad buffer is
+/// left untouched.
+GradDelta ExtractGradDelta(const Tensor& param);
+
+/// Accumulates `target.grad[i] += scale * delta_value[i]` for the subset of
+/// the delta selected by `want_row`:
+///   - row-sparse deltas: rows r with want_row(r), in ascending row order;
+///   - dense deltas of rank-2 targets: rows r with want_row(r) — so a
+///     row-ownership partition splits a dense matrix gradient the same way
+///     it splits a sparse one;
+///   - dense deltas of other ranks: all elements when want_row(0) (routed
+///     whole to a single owner).
+/// Values only — the caller is responsible for grad-row metadata (see
+/// MarkDeltaRows), so disjoint row-ownership partitions can accumulate in
+/// parallel without racing on the metadata. The per-element combine is a
+/// plain `g + scale * v` in float, so a fixed (slice-order) call sequence
+/// gives bitwise-reproducible sums for every thread count.
+void AccumulateGradDeltaRows(const Tensor& target, const GradDelta& delta,
+                             float scale,
+                             const std::function<bool(int64_t)>& want_row);
+
+/// Merges `delta`'s sparsity metadata into `target`'s grad: row-sparse
+/// deltas merge their row list (MarkGradRows), dense deltas mark the grad
+/// dense. Call once per (target, delta) pair from a single thread before
+/// the parallel AccumulateGradDeltaRows passes.
+void MarkDeltaRows(const Tensor& target, const GradDelta& delta);
+
+}  // namespace tensor
+}  // namespace odnet
+
+#endif  // ODNET_TENSOR_GRAD_DELTA_H_

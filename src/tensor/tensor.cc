@@ -189,6 +189,16 @@ const std::vector<int64_t>& Tensor::grad_rows() const {
   return impl_->grad_rows;
 }
 
+void Tensor::AliasStorageOf(const Tensor& src) {
+  ODNET_CHECK(defined());
+  ODNET_CHECK(src.defined());
+  ODNET_CHECK(SameShape(shape(), src.shape()))
+      << "AliasStorageOf shape mismatch: " << ShapeToString(shape()) << " vs "
+      << ShapeToString(src.shape());
+  impl_->storage = src.impl_->storage;
+  impl_->lease = src.impl_->lease;
+}
+
 Tensor Tensor::Clone() const {
   ODNET_CHECK(defined());
   Tensor t(NewImpl(impl_->shape, impl_->data()));

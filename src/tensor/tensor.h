@@ -219,6 +219,13 @@ class Tensor {
   /// grad_rows_valid().
   const std::vector<int64_t>& grad_rows() const;
 
+  /// Re-points this tensor's storage at `src`'s buffer (shapes must match).
+  /// Reads and writes through either tensor then see the same values, while
+  /// grad buffers, row metadata, and tape stay per-tensor — the mechanism
+  /// behind data-parallel model replicas (nn::Module::AliasParametersTo).
+  /// Only meaningful on leaf tensors; the previous storage is released.
+  void AliasStorageOf(const Tensor& src);
+
   /// Deep copy with no autograd history.
   Tensor Clone() const;
 

@@ -138,5 +138,20 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t Rng::StreamSeed(uint64_t base, uint64_t a, uint64_t b, uint64_t c) {
+  // One SplitMix64 round per coordinate, each absorbing the running value:
+  // the golden-ratio increment keeps (x, y) and (y, x) apart, the
+  // finalizer avalanche keeps adjacent coordinates unrelated.
+  uint64_t s = base;
+  for (uint64_t coord : {a, b, c}) {
+    s += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = s ^ coord;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    s = z ^ (z >> 31);
+  }
+  return s;
+}
+
 }  // namespace util
 }  // namespace odnet

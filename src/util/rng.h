@@ -71,6 +71,21 @@ class Rng {
   /// one. Useful to give each user/worker its own stream.
   Rng Fork();
 
+  /// Stream-split seed derivation: maps (base, a, b, c) to a seed whose
+  /// resulting stream is decorrelated from every other coordinate tuple.
+  ///
+  /// Unlike Fork(), which consumes state from a live generator (so the
+  /// result depends on call order), StreamSeed is a pure function of its
+  /// arguments — the contract the data-parallel trainer relies on: worker
+  /// W processing batch slice (epoch, step, slice) seeds its sampling
+  /// stream with StreamSeed(seed, epoch, step, slice), so the draws depend
+  /// only on which slice is processed, never on which worker ran it or in
+  /// what order. Each coordinate passes through a full SplitMix64
+  /// finalizer round, so swapped or adjacent coordinates give unrelated
+  /// streams.
+  static uint64_t StreamSeed(uint64_t base, uint64_t a, uint64_t b = 0,
+                             uint64_t c = 0);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -16,6 +16,12 @@ thread_local bool t_in_worker_thread = false;
 
 bool ThreadPool::InWorkerThread() { return t_in_worker_thread; }
 
+ThreadPool::WorkerMark::WorkerMark() : previous_(t_in_worker_thread) {
+  t_in_worker_thread = true;
+}
+
+ThreadPool::WorkerMark::~WorkerMark() { t_in_worker_thread = previous_; }
+
 ThreadPool::ThreadPool(int num_threads) {
   ODNET_CHECK_GE(num_threads, 1);
   workers_.reserve(static_cast<size_t>(num_threads));
@@ -64,6 +70,13 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
+  if (InWorkerThread()) {
+    // Nested invocation from a pool task (or a WorkerMark'd trainer
+    // worker): fanning out again would queue shards behind the caller and
+    // oversubscribe the machine, so run serially right here.
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::atomic<int64_t> next{0};
   auto run_shard = [&next, n, &fn] {
     for (;;) {

@@ -37,6 +37,12 @@ class ThreadPool {
   /// and waits for completion. If any invocation throws, remaining indices
   /// are abandoned, all in-flight work is drained, and the first exception
   /// is rethrown on the caller.
+  ///
+  /// Called from a pool worker (or under a WorkerMark), this degrades to a
+  /// plain serial loop on the calling thread: a nested fan-out would only
+  /// queue shards behind the very task that is waiting on them and
+  /// oversubscribe the machine once they do run. The serial fallback keeps
+  /// the iteration order deterministic and the pool queue untouched.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -45,6 +51,22 @@ class ThreadPool {
   /// Used by the tensor backend to run kernels serially inside pool tasks
   /// instead of fanning out again.
   static bool InWorkerThread();
+
+  /// RAII guard that makes the current (non-pool) thread count as a pool
+  /// worker for the scope's duration: nested ThreadPool::ParallelFor and
+  /// tensor-kernel dispatch run serially on it. The data-parallel trainer
+  /// marks its dedicated worker threads so K concurrent forward/backward
+  /// passes never multiply into K fan-outs over the shared pool.
+  class WorkerMark {
+   public:
+    WorkerMark();
+    ~WorkerMark();
+    WorkerMark(const WorkerMark&) = delete;
+    WorkerMark& operator=(const WorkerMark&) = delete;
+
+   private:
+    bool previous_;
+  };
 
  private:
   void WorkerLoop();

@@ -154,6 +154,28 @@ TEST(RngTest, ForkDecorrelates) {
   EXPECT_NE(a.NextUint64(), forked.NextUint64());
 }
 
+TEST(RngTest, StreamSeedIsPureAndCoordinateSensitive) {
+  // Unlike Fork (order-dependent), StreamSeed is a pure function of its
+  // coordinates — the data-parallel trainer relies on this to make worker
+  // RNG draws a function of (epoch, step, slice) alone.
+  EXPECT_EQ(Rng::StreamSeed(1234, 1, 2, 3), Rng::StreamSeed(1234, 1, 2, 3));
+  EXPECT_NE(Rng::StreamSeed(1234, 1, 2, 3), Rng::StreamSeed(1234, 1, 2, 4));
+  EXPECT_NE(Rng::StreamSeed(1234, 1, 2, 0), Rng::StreamSeed(1234, 2, 1, 0));
+  EXPECT_NE(Rng::StreamSeed(1234, 0), Rng::StreamSeed(1234, 1));
+  EXPECT_NE(Rng::StreamSeed(1, 7), Rng::StreamSeed(2, 7));
+}
+
+TEST(RngTest, StreamSeedStreamsDecorrelate) {
+  // Adjacent-coordinate streams share no draws over a short window.
+  Rng a(Rng::StreamSeed(99, 0, 0, 0));
+  Rng b(Rng::StreamSeed(99, 0, 0, 1));
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    collisions += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
 // -------------------------------------------------------------- Strings --
 
 TEST(StringUtilTest, SplitBasic) {
@@ -420,6 +442,50 @@ TEST(ThreadPoolTest, InWorkerThreadFlag) {
   std::atomic<bool> inside{false};
   pool.Submit([&inside] { inside = ThreadPool::InWorkerThread(); }).get();
   EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, ParallelForFromWorkerRunsSerially) {
+  ThreadPool pool(2);
+  // Regression: a ParallelFor issued from inside a pool worker degrades to
+  // a plain serial loop on that worker — every index runs on the calling
+  // thread instead of queueing behind the very task that waits on them.
+  std::atomic<bool> all_same_thread{true};
+  std::atomic<int64_t> total{0};
+  pool.Submit([&pool, &all_same_thread, &total] {
+        const std::thread::id me = std::this_thread::get_id();
+        pool.ParallelFor(64, [&all_same_thread, &total, me](int64_t) {
+          if (std::this_thread::get_id() != me) all_same_thread = false;
+          total.fetch_add(1);
+        });
+      })
+      .get();
+  EXPECT_TRUE(all_same_thread.load());
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, WorkerMarkForcesSerialParallelFor) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  {
+    ThreadPool::WorkerMark mark;
+    EXPECT_TRUE(ThreadPool::InWorkerThread());
+    {
+      ThreadPool::WorkerMark nested;
+      EXPECT_TRUE(ThreadPool::InWorkerThread());
+    }
+    // Nested scopes restore, not clear: still marked.
+    EXPECT_TRUE(ThreadPool::InWorkerThread());
+    const std::thread::id me = std::this_thread::get_id();
+    bool same_thread = true;  // serial fallback: plain locals are safe
+    int64_t total = 0;
+    pool.ParallelFor(32, [&same_thread, &total, me](int64_t) {
+      if (std::this_thread::get_id() != me) same_thread = false;
+      ++total;
+    });
+    EXPECT_TRUE(same_thread);
+    EXPECT_EQ(total, 32);
+  }
   EXPECT_FALSE(ThreadPool::InWorkerThread());
 }
 

@@ -23,7 +23,10 @@ trace contains a complete span with that exact name (used by CI to prove
 the router's queue-wait lane made it into the timeline); --require-span-
 prefix PREFIX asserts some complete span name starts with PREFIX (used for
 synthesized names with variable suffixes, e.g. the plan optimizer's
-"Fused[Add+Tanh]" loop nests).
+"Fused[Add+Tanh]" loop nests); --require-counter-prefix PREFIX asserts at
+least one counter whose name starts with PREFIX has a positive value (used
+for metric families such as the data-parallel trainer's "trainer.shard."
+counters).
 
 Usage:
   tools/validate_trace.py trace.json \
@@ -100,7 +103,8 @@ def validate_trace(path, required_cats):
     return spans, cats
 
 
-def validate_metrics(path, required_counters, required_histograms):
+def validate_metrics(path, required_counters, required_histograms,
+                     required_counter_prefixes):
     m = load_json(path, "metrics snapshot")
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(m.get(section), dict):
@@ -149,6 +153,12 @@ def validate_metrics(path, required_counters, required_histograms):
         if not isinstance(h, dict) or h.get("count", 0) <= 0:
             fail(f"{path}: required histogram '{name}' absent or empty "
                  f"(got {h!r})")
+
+    for prefix in required_counter_prefixes:
+        if not any(name.startswith(prefix) and isinstance(v, int) and v > 0
+                   for name, v in m["counters"].items()):
+            fail(f"{path}: no positive counter starts with '{prefix}' "
+                 f"(present: {sorted(m['counters'])})")
     return m
 
 
@@ -167,6 +177,10 @@ def main():
     parser.add_argument("--require-histogram", action="append", default=[],
                         metavar="NAME", help="histogram that must exist with "
                         "count > 0 in --metrics (repeatable)")
+    parser.add_argument("--require-counter-prefix", action="append",
+                        default=[], metavar="PREFIX", help="at least one "
+                        "counter whose name starts with PREFIX must have a "
+                        "positive value in --metrics (repeatable)")
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="NAME", help="complete span with this exact "
                         "name that must appear in the trace (repeatable)")
@@ -189,12 +203,15 @@ def main():
     summary = [f"{len(spans)} spans across {len(cats)} categories"]
     if args.metrics:
         m = validate_metrics(args.metrics, args.require_counter,
-                             args.require_histogram)
+                             args.require_histogram,
+                             args.require_counter_prefix)
         summary.append(f"{len(m['counters'])} counters, "
                        f"{len(m['gauges'])} gauges, "
                        f"{len(m['histograms'])} histograms")
-    elif args.require_counter or args.require_histogram:
-        fail("--require-counter/--require-histogram need --metrics")
+    elif (args.require_counter or args.require_histogram
+          or args.require_counter_prefix):
+        fail("--require-counter/--require-histogram/--require-counter-prefix "
+             "need --metrics")
     print(f"validate_trace: OK: {'; '.join(summary)}")
 
 
